@@ -1,0 +1,74 @@
+//! E7 — project views (§5.2): counter-based maintenance on
+//! duplicate-heavy projections versus complete re-evaluation. The narrow
+//! projection collapses many base tuples per view tuple — exactly the
+//! shape where set semantics breaks and counters shine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ivm::differential::project_view_delta;
+use ivm::full_reval;
+use ivm::prelude::*;
+
+/// R(A, B) with B drawn from a small domain so π_B collapses heavily.
+fn build(size: usize, b_domain: i64) -> (Database, SpjExpr, Vec<AttrName>) {
+    let mut db = Database::new();
+    db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+    let rows: Vec<[i64; 2]> = (0..size as i64)
+        .map(|i| [i, (i * 7919) % b_domain])
+        .collect();
+    db.load("R", rows).unwrap();
+    let attrs: Vec<AttrName> = vec!["B".into()];
+    let view = SpjExpr::new(["R"], Condition::always_true(), Some(attrs.clone()));
+    (db, view, attrs)
+}
+
+fn bench_project_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_project_view");
+    group.sample_size(20);
+    let size = 50_000;
+    for b_domain in [10i64, 1_000, 100_000] {
+        let (db, view, attrs) = build(size, b_domain);
+        // Update: delete 100 existing rows, insert 100 fresh ones.
+        let mut txn = Transaction::new();
+        for i in 0..100i64 {
+            txn.delete(
+                "R",
+                [
+                    i * 13 % size as i64,
+                    (i * 13 % size as i64 * 7919) % b_domain,
+                ],
+            )
+            .unwrap();
+            txn.insert("R", [size as i64 + i, (i * 31) % b_domain])
+                .unwrap();
+        }
+        let schema = db.schema("R").unwrap().clone();
+        let inserts = txn.insert_set("R", &schema).unwrap();
+        let deletes = txn.delete_set("R", &schema).unwrap();
+        let mut db_after = db.clone();
+        db_after.apply(&txn).unwrap();
+
+        group.bench_with_input(
+            BenchmarkId::new("differential_counters", b_domain),
+            &b_domain,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        project_view_delta(&attrs, &Condition::always_true(), &inserts, &deletes)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_reeval", b_domain),
+            &b_domain,
+            |b, _| b.iter(|| black_box(full_reval::recompute(&view, &db_after).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_project_maintenance);
+criterion_main!(benches);

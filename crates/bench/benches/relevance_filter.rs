@@ -1,0 +1,111 @@
+//! E5 — Algorithm 4.1's per-tuple filtering cost: the prepared
+//! invariant-graph fast path (one O(n³) pass at build time, O(k²) per
+//! tuple) versus the naive per-tuple full rebuild, across batch sizes and
+//! condition widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use ivm::prelude::*;
+
+/// Condition over a widening set of attributes of R and S: half the atoms
+/// mention R (variant under R-updates), half only S (invariant).
+fn build_filter_setting(width: usize) -> (Database, SpjExpr) {
+    let r_attrs: Vec<String> = (0..width).map(|i| format!("R{i}")).collect();
+    let s_attrs: Vec<String> = (0..width).map(|i| format!("S{i}")).collect();
+    let mut db = Database::new();
+    db.create("R", Schema::new(r_attrs.clone()).unwrap())
+        .unwrap();
+    db.create("S", Schema::new(s_attrs.clone()).unwrap())
+        .unwrap();
+    let mut atoms = Vec::new();
+    for i in 0..width {
+        // Variant non-evaluable: Ri ≤ Si + 3; invariant: Si chain.
+        atoms.push(Atom::cmp_attr(
+            r_attrs[i].as_str(),
+            CompOp::Le,
+            s_attrs[i].as_str(),
+            3,
+        ));
+        if i + 1 < width {
+            atoms.push(Atom::cmp_attr(
+                s_attrs[i].as_str(),
+                CompOp::Lt,
+                s_attrs[i + 1].as_str(),
+                0,
+            ));
+        }
+        // Variant evaluable: Ri < 50.
+        atoms.push(Atom::lt_const(r_attrs[i].as_str(), 50));
+    }
+    let view = SpjExpr::new(["R", "S"], Condition::conjunction(atoms), None);
+    (db, view)
+}
+
+fn tuples(n: usize, width: usize) -> Vec<Tuple> {
+    (0..n as i64)
+        .map(|i| Tuple::new((0..width as i64).map(|j| (i * 7 + j * 13) % 100)))
+        .collect()
+}
+
+fn bench_filter_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_filter_batch");
+    let width = 4;
+    let (db, view) = build_filter_setting(width);
+    let filter = RelevanceFilter::new(&view, &db, "R").unwrap();
+    for batch in [100usize, 1_000, 10_000] {
+        let ts = tuples(batch, width);
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::new("prepared", batch), &batch, |b, _| {
+            b.iter(|| {
+                let mut kept = 0;
+                for t in &ts {
+                    if filter.is_relevant(t).unwrap() {
+                        kept += 1;
+                    }
+                }
+                black_box(kept)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_rebuild", batch), &batch, |b, _| {
+            b.iter(|| {
+                let mut kept = 0;
+                for t in &ts {
+                    if filter.is_relevant_naive(t).unwrap() {
+                        kept += 1;
+                    }
+                }
+                black_box(kept)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_filter_condition_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_filter_condition_width");
+    for width in [2usize, 4, 8, 12] {
+        let (db, view) = build_filter_setting(width);
+        let filter = RelevanceFilter::new(&view, &db, "R").unwrap();
+        let ts = tuples(1_000, width);
+        group.throughput(Throughput::Elements(1_000));
+        group.bench_with_input(BenchmarkId::new("prepared", width), &width, |b, _| {
+            b.iter(|| {
+                for t in &ts {
+                    black_box(filter.is_relevant(t).unwrap());
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_rebuild", width), &width, |b, _| {
+            b.iter(|| {
+                for t in &ts {
+                    black_box(filter.is_relevant_naive(t).unwrap());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter_batch, bench_filter_condition_width);
+criterion_main!(benches);

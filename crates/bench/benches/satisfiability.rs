@@ -1,0 +1,49 @@
+//! E4 — the §4 satisfiability test: Floyd–Warshall O(n³) scaling in the
+//! number of variables, Bellman–Ford on the same (sparse) graphs, and DNF
+//! O(m·n³) scaling in the number of disjuncts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ivm_bench::random_formula;
+use ivm_satisfiability::conjunctive::Solver;
+use ivm_satisfiability::dnf::DnfFormula;
+
+fn bench_solver_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_conjunctive_vars");
+    for n in [4usize, 8, 16, 32, 64, 128] {
+        // 2n atoms: sparse graphs, the realistic shape of view conditions.
+        let formulas: Vec<_> = (0..16).map(|i| random_formula(i, n, 2 * n)).collect();
+        group.bench_with_input(BenchmarkId::new("floyd_warshall", n), &n, |b, _| {
+            b.iter(|| {
+                for f in &formulas {
+                    black_box(f.is_satisfiable(Solver::FloydWarshall));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bellman_ford", n), &n, |b, _| {
+            b.iter(|| {
+                for f in &formulas {
+                    black_box(f.is_satisfiable(Solver::BellmanFord));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dnf_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_dnf_disjuncts");
+    let n = 16;
+    for m in [1usize, 4, 16, 64] {
+        let f =
+            DnfFormula::new(n, (0..m as u64).map(|i| random_formula(1000 + i, n, 2 * n))).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(f.is_satisfiable(Solver::FloydWarshall)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver_scaling, bench_dnf_scaling);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E6 — select views (§5.1): differential maintenance
+//! `v ∪ σ(i_r) − σ(d_r)` versus complete re-evaluation, across base sizes
+//! and update-set sizes. The paper's claim: differential wins whenever the
+//! change set is small relative to the relation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ivm::differential::select_view_delta;
+use ivm::full_reval;
+use ivm_bench::select_scenario;
+
+fn bench_select_differential_vs_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_select_view");
+    group.sample_size(20);
+    let size = 100_000;
+    let domain = 1_000_000;
+    for update in [10usize, 100, 1_000, 10_000] {
+        let mut s = select_scenario(6, size, domain, domain / 2);
+        let txn = s
+            .workload
+            .transaction(&s.db, "R", update / 2, update / 2)
+            .unwrap();
+        let schema = s.db.schema("R").unwrap().clone();
+        let inserts = txn.insert_set("R", &schema).unwrap();
+        let deletes = txn.delete_set("R", &schema).unwrap();
+        let mut db_after = s.db.clone();
+        db_after.apply(&txn).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("differential", update), &update, |b, _| {
+            b.iter(|| black_box(select_view_delta(&s.condition, &inserts, &deletes).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("full_reeval", update), &update, |b, _| {
+            b.iter(|| black_box(full_reval::recompute(&s.view, &db_after).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_select_base_size_scaling(c: &mut Criterion) {
+    // Fixed 100-tuple update against growing bases: differential cost must
+    // stay flat while full re-evaluation grows linearly.
+    let mut group = c.benchmark_group("e6_select_base_scaling");
+    group.sample_size(20);
+    for size in [1_000usize, 10_000, 100_000] {
+        let domain = (size as i64) * 10;
+        let mut s = select_scenario(7, size, domain, domain / 2);
+        let txn = s.workload.transaction(&s.db, "R", 50, 50).unwrap();
+        let schema = s.db.schema("R").unwrap().clone();
+        let inserts = txn.insert_set("R", &schema).unwrap();
+        let deletes = txn.delete_set("R", &schema).unwrap();
+        let mut db_after = s.db.clone();
+        db_after.apply(&txn).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("differential", size), &size, |b, _| {
+            b.iter(|| black_box(select_view_delta(&s.condition, &inserts, &deletes).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("full_reeval", size), &size, |b, _| {
+            b.iter(|| black_box(full_reval::recompute(&s.view, &db_after).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_select_differential_vs_full,
+    bench_select_base_size_scaling
+);
+criterion_main!(benches);

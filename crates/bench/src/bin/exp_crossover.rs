@@ -1,0 +1,97 @@
+//! E6 + E8: the crossover question §6 leaves open — "determine under what
+//! circumstances differential re-evaluation is more efficient than
+//! complete re-evaluation". Sweeps the update ratio for a select view and
+//! a join view, printing both costs and the winner per point.
+//!
+//! Run with: `cargo run --release -p ivm-bench --bin exp_crossover`
+
+use ivm::differential::{differential_delta, select_view_delta, DiffOptions};
+use ivm::full_reval;
+use ivm_bench::{join_scenario, print_header, print_row, select_scenario, time_us};
+
+const REPS: usize = 5;
+
+fn median_us(mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let (_, us) = time_us(&mut f);
+            us
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[REPS / 2]
+}
+
+fn select_crossover() {
+    println!("== E6: select view σ_{{A < θ}}(R), |R| = 100 000 ==\n");
+    let widths = [12, 14, 14, 14];
+    print_header(&["updates", "diff µs", "full µs", "winner"], &widths);
+    let size = 100_000;
+    let domain = 1_000_000i64;
+    for update in [10usize, 100, 1_000, 10_000, 50_000, 100_000] {
+        let mut s = select_scenario(21, size, domain, domain / 2);
+        let n = update.min(size);
+        let txn = s.workload.transaction(&s.db, "R", n / 2, n / 2).unwrap();
+        let schema = s.db.schema("R").unwrap().clone();
+        let inserts = txn.insert_set("R", &schema).unwrap();
+        let deletes = txn.delete_set("R", &schema).unwrap();
+        let mut db_after = s.db.clone();
+        db_after.apply(&txn).unwrap();
+
+        let diff = median_us(|| {
+            std::hint::black_box(select_view_delta(&s.condition, &inserts, &deletes).unwrap());
+        });
+        let full = median_us(|| {
+            std::hint::black_box(full_reval::recompute(&s.view, &db_after).unwrap());
+        });
+        print_row(
+            &[
+                update.to_string(),
+                format!("{diff:.1}"),
+                format!("{full:.1}"),
+                (if diff < full { "differential" } else { "full" }).to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!();
+}
+
+fn join_crossover() {
+    println!("== E8: join view R ⋈ S, |R| = |S| = 20 000 ==\n");
+    let widths = [12, 14, 14, 14];
+    print_header(&["insert ‰", "diff µs", "full µs", "winner"], &widths);
+    let r_size = 20_000;
+    for permille in [1usize, 10, 50, 100, 500, 1_000] {
+        let n = (r_size * permille / 1_000).max(1);
+        let mut sc = join_scenario(22, r_size, r_size, 4_000);
+        let txn = sc.workload.transaction(&sc.db, "R", n, 0).unwrap();
+        let mut db_after = sc.db.clone();
+        db_after.apply(&txn).unwrap();
+
+        let diff = median_us(|| {
+            std::hint::black_box(
+                differential_delta(&sc.view, &sc.db, &txn, &DiffOptions::default()).unwrap(),
+            );
+        });
+        let full = median_us(|| {
+            std::hint::black_box(full_reval::recompute(&sc.view, &db_after).unwrap());
+        });
+        print_row(
+            &[
+                permille.to_string(),
+                format!("{diff:.1}"),
+                format!("{full:.1}"),
+                (if diff < full { "differential" } else { "full" }).to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!("\n(paper §5.1/§5.3: differential wins while the change set is small;");
+    println!(" the crossover appears as the update ratio approaches the base size)");
+}
+
+fn main() {
+    select_crossover();
+    join_crossover();
+}

@@ -1,0 +1,173 @@
+//! E10: the complete pipeline on a transaction stream — differential with
+//! the §4 relevance filter, differential without it, and per-transaction
+//! full re-evaluation, with work counters alongside wall-clock time.
+//!
+//! Run with: `cargo run --release -p ivm-bench --bin exp_endtoend`
+
+use ivm::full_reval;
+use ivm::prelude::*;
+use ivm_bench::{print_header, print_row, time_us};
+
+const BASE: i64 = 50_000;
+const STREAM: usize = 500;
+
+fn view_expr() -> SpjExpr {
+    SpjExpr::new(
+        ["orders", "customers"],
+        Condition::conjunction([
+            Atom::gt_const("AMOUNT", 900_000),
+            Atom::eq_const("REGION", 1),
+        ]),
+        Some(vec!["OID".into(), "AMOUNT".into()]),
+    )
+}
+
+fn build_manager(filtering: bool) -> ViewManager {
+    let mut m = ViewManager::new().with_filtering(filtering);
+    m.create_relation("orders", Schema::new(["OID", "CUST", "AMOUNT"]).unwrap())
+        .unwrap();
+    m.create_relation("customers", Schema::new(["CUST", "REGION"]).unwrap())
+        .unwrap();
+    m.load(
+        "customers",
+        (0..500i64).map(|c| [c, c % 5]).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    m.load(
+        "orders",
+        (0..BASE)
+            .map(|o| [o, o % 500, (o * 7919) % 1_000_000])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    m.register_view("hot", view_expr(), RefreshPolicy::Immediate)
+        .unwrap();
+    m
+}
+
+fn stream() -> Vec<Transaction> {
+    let mut txns = Vec::with_capacity(STREAM);
+    let mut next_oid = BASE;
+    for t in 0..STREAM {
+        let mut txn = Transaction::new();
+        // 90% of transactions carry only small amounts — provably
+        // irrelevant to the view, so the filter can skip them outright.
+        let hot_txn = t % 10 == 0;
+        for k in 0..10i64 {
+            let oid = next_oid;
+            next_oid += 1;
+            let amount = if hot_txn && k == 0 {
+                900_001 + (oid % 90_000)
+            } else {
+                (oid * 31) % 800_000
+            };
+            txn.insert("orders", [oid, oid % 500, amount]).unwrap();
+        }
+        txns.push(txn);
+    }
+    txns
+}
+
+fn main() {
+    println!("== E10: {STREAM} transactions x 10 inserts against |orders| = {BASE} ==\n");
+    let widths = [26, 12, 12, 12, 14];
+    print_header(
+        &["strategy", "total ms", "µs/txn", "joins", "skipped txns"],
+        &widths,
+    );
+
+    // (a) differential + relevance filter
+    let mut m = build_manager(true);
+    let txns = stream();
+    let (_, us) = time_us(|| {
+        for txn in &txns {
+            m.execute(txn).unwrap();
+        }
+    });
+    let s = m.stats("hot").unwrap();
+    print_row(
+        &[
+            "differential + filter".into(),
+            format!("{:.1}", us / 1000.0),
+            format!("{:.1}", us / STREAM as f64),
+            s.diff.joins_performed.to_string(),
+            s.skipped_by_filter.to_string(),
+        ],
+        &widths,
+    );
+    m.verify_consistency().unwrap();
+    let final_view = m.view_contents("hot").unwrap().clone();
+
+    // (b) differential without the filter
+    let mut m = build_manager(false);
+    let txns = stream();
+    let (_, us) = time_us(|| {
+        for txn in &txns {
+            m.execute(txn).unwrap();
+        }
+    });
+    let s = m.stats("hot").unwrap();
+    print_row(
+        &[
+            "differential, no filter".into(),
+            format!("{:.1}", us / 1000.0),
+            format!("{:.1}", us / STREAM as f64),
+            s.diff.joins_performed.to_string(),
+            s.skipped_by_filter.to_string(),
+        ],
+        &widths,
+    );
+    m.verify_consistency().unwrap();
+    assert_eq!(&final_view, m.view_contents("hot").unwrap());
+
+    // (b2) cost-based strategy: should behave like differential on this
+    // small-change stream (the §6 decision).
+    let mut m = build_manager(true);
+    let m_strategy = std::mem::replace(&mut m, ViewManager::new());
+    let mut m = m_strategy.with_strategy(MaintenanceStrategy::CostBased);
+    let txns = stream();
+    let (_, us) = time_us(|| {
+        for txn in &txns {
+            m.execute(txn).unwrap();
+        }
+    });
+    let s = m.stats("hot").unwrap();
+    print_row(
+        &[
+            "cost-based strategy".into(),
+            format!("{:.1}", us / 1000.0),
+            format!("{:.1}", us / STREAM as f64),
+            s.diff.joins_performed.to_string(),
+            s.skipped_by_filter.to_string(),
+        ],
+        &widths,
+    );
+    m.verify_consistency().unwrap();
+    assert_eq!(&final_view, m.view_contents("hot").unwrap());
+    assert_eq!(s.full_recomputes, 0, "small changes must stay differential");
+
+    // (c) full re-evaluation per transaction
+    let m0 = build_manager(false);
+    let mut db = m0.database().clone();
+    let expr = view_expr();
+    let txns = stream();
+    let (_, us) = time_us(|| {
+        for txn in &txns {
+            db.apply(txn).unwrap();
+            std::hint::black_box(full_reval::recompute(&expr, &db).unwrap());
+        }
+    });
+    print_row(
+        &[
+            "full re-eval per txn".into(),
+            format!("{:.1}", us / 1000.0),
+            format!("{:.1}", us / STREAM as f64),
+            (STREAM).to_string(),
+            "0".into(),
+        ],
+        &widths,
+    );
+    assert_eq!(full_reval::recompute(&expr, &db).unwrap(), final_view);
+
+    println!("\nall three strategies converge to the same view contents ✓");
+}

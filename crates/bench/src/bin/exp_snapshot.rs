@@ -1,0 +1,133 @@
+//! E11: snapshot refresh (§6) — deferred maintenance cost versus refresh
+//! period, against full recomputation at the same cadence.
+//!
+//! Run with: `cargo run --release -p ivm-bench --bin exp_snapshot`
+
+use ivm::full_reval;
+use ivm::prelude::*;
+use ivm_bench::{print_header, print_row, time_us};
+
+const ITEMS: i64 = 500;
+const SALES: i64 = 50_000;
+const TXNS: usize = 1_000;
+
+fn build() -> ViewManager {
+    let mut m = ViewManager::new();
+    m.create_relation("sales", Schema::new(["SID", "ITEM", "QTY"]).unwrap())
+        .unwrap();
+    m.create_relation("items", Schema::new(["ITEM", "PRICE"]).unwrap())
+        .unwrap();
+    m.load(
+        "items",
+        (0..ITEMS)
+            .map(|i| [i, 5 + (i * 37) % 500])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    m.load(
+        "sales",
+        (0..SALES)
+            .map(|s| [s, s % ITEMS, 1 + (s * 13) % 9])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    m
+}
+
+fn expr() -> SpjExpr {
+    SpjExpr::new(
+        ["sales", "items"],
+        Atom::gt_const("PRICE", 400).into(),
+        Some(vec![
+            "SID".into(),
+            "ITEM".into(),
+            "QTY".into(),
+            "PRICE".into(),
+        ]),
+    )
+}
+
+fn txn_stream() -> Vec<Transaction> {
+    let mut txns = Vec::with_capacity(TXNS);
+    let mut next_sid = SALES;
+    for t in 0..TXNS {
+        let mut txn = Transaction::new();
+        for k in 0..5 {
+            let sid = next_sid;
+            next_sid += 1;
+            txn.insert("sales", [sid, (sid * 7 + k) % ITEMS, 1 + (t as i64 % 9)])
+                .unwrap();
+        }
+        if t % 3 == 0 {
+            let old = t as i64 * 2;
+            txn.delete("sales", [old, old % ITEMS, 1 + (old * 13) % 9])
+                .unwrap();
+        }
+        txns.push(txn);
+    }
+    txns
+}
+
+fn main() {
+    println!("== E11: deferred snapshot refresh, {TXNS} txns over |sales| = {SALES} ==\n");
+    let widths = [8, 10, 14, 12, 12];
+    print_header(
+        &["period", "refreshes", "µs/refresh", "µs/txn", "runs"],
+        &widths,
+    );
+    for period in [1usize, 10, 50, 200, 1_000] {
+        let mut m = build();
+        m.register_view("snap", expr(), RefreshPolicy::Deferred)
+            .unwrap();
+        let txns = txn_stream();
+        let mut refresh_us = 0.0;
+        let mut refreshes = 0usize;
+        for (t, txn) in txns.iter().enumerate() {
+            m.execute(txn).unwrap();
+            if (t + 1) % period == 0 {
+                let (_, us) = time_us(|| m.refresh("snap").unwrap());
+                refresh_us += us;
+                refreshes += 1;
+            }
+        }
+        let (_, us) = time_us(|| m.refresh("snap").unwrap());
+        refresh_us += us;
+        refreshes += 1;
+        m.verify_consistency().unwrap();
+        let runs = m.stats("snap").unwrap().maintenance_runs;
+        print_row(
+            &[
+                period.to_string(),
+                refreshes.to_string(),
+                format!("{:.1}", refresh_us / refreshes as f64),
+                format!("{:.1}", refresh_us / TXNS as f64),
+                runs.to_string(),
+            ],
+            &widths,
+        );
+    }
+
+    // Full recomputation at period 50.
+    let mut m = build();
+    let e = expr();
+    let txns = txn_stream();
+    let mut full_us = 0.0;
+    let mut recomputes = 0usize;
+    for (t, txn) in txns.iter().enumerate() {
+        m.execute(txn).unwrap();
+        if (t + 1) % 50 == 0 {
+            let (_, us) = time_us(|| {
+                std::hint::black_box(full_reval::recompute(&e, m.database()).unwrap());
+            });
+            full_us += us;
+            recomputes += 1;
+        }
+    }
+    println!(
+        "\nfull recomputation at period 50: {:.1} µs/refresh ({} refreshes)",
+        full_us / recomputes as f64,
+        recomputes
+    );
+    println!("\n(differential refresh cost tracks the accumulated change set;");
+    println!(" full recomputation always pays the whole join)");
+}

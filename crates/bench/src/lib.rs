@@ -1,0 +1,194 @@
+//! Shared scenario builders and reporting helpers for the experiment
+//! harness (benches and `exp_*` binaries). Every scenario is
+//! deterministically seeded; the experiment ids (E4–E11) refer to
+//! DESIGN.md's per-experiment index.
+
+#![warn(missing_docs)]
+
+use ivm::prelude::*;
+use ivm_satisfiability::atom::{Atom as SatAtom, Op};
+use ivm_satisfiability::conjunctive::ConjunctiveFormula;
+
+/// A two-relation select/join scenario: R(A,B) of `r_size` rows joined
+/// with S(B,C) of `s_size` rows, values in `[0, domain)`.
+pub struct JoinScenario {
+    /// The database (relations `R`, `S`).
+    pub db: Database,
+    /// The view `σ_cond(R ⋈ S)` (no projection).
+    pub view: SpjExpr,
+    /// Workload generator (for building transactions).
+    pub workload: Workload,
+}
+
+/// Build a [`JoinScenario`].
+pub fn join_scenario(seed: u64, r_size: usize, s_size: usize, domain: i64) -> JoinScenario {
+    let mut workload = Workload::new(seed, domain);
+    let mut db = Database::new();
+    db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+    db.create("S", Schema::new(["B", "C"]).unwrap()).unwrap();
+    workload.populate(&mut db, "R", r_size).unwrap();
+    workload.populate(&mut db, "S", s_size).unwrap();
+    let view = SpjExpr::new(["R", "S"], Condition::always_true(), None);
+    JoinScenario { db, view, workload }
+}
+
+/// A single-relation select-view scenario: `σ_{A < threshold}(R)` over
+/// R(A,B) with `size` rows drawn from `[0, domain)`. `threshold` controls
+/// view selectivity.
+pub struct SelectScenario {
+    /// The database (relation `R`).
+    pub db: Database,
+    /// The select view.
+    pub view: SpjExpr,
+    /// The selection condition alone.
+    pub condition: Condition,
+    /// Workload generator.
+    pub workload: Workload,
+}
+
+/// Build a [`SelectScenario`].
+pub fn select_scenario(seed: u64, size: usize, domain: i64, threshold: i64) -> SelectScenario {
+    let mut workload = Workload::new(seed, domain);
+    let mut db = Database::new();
+    db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+    workload.populate(&mut db, "R", size).unwrap();
+    let condition: Condition = Atom::lt_const("A", threshold).into();
+    let view = SpjExpr::new(["R"], condition.clone(), None);
+    SelectScenario {
+        db,
+        view,
+        condition,
+        workload,
+    }
+}
+
+/// A chain-join scenario over `p` relations of `size` rows each, with the
+/// view `σ_{A0 < domain}(R0 ⋈ … ⋈ R_{p−1})` (the condition is trivially
+/// true; selectivity comes from the joins).
+pub struct ChainScenario {
+    /// The database (relations `R0`…).
+    pub db: Database,
+    /// The chain view.
+    pub view: SpjExpr,
+    /// Workload generator.
+    pub workload: Workload,
+}
+
+/// Build a [`ChainScenario`].
+pub fn chain_scenario(seed: u64, p: usize, size: usize, domain: i64) -> ChainScenario {
+    let mut workload = Workload::new(seed, domain);
+    let db = workload.chain_database(p, size).unwrap();
+    let view = SpjExpr::new(
+        Workload::chain_names(p),
+        Atom::lt_const("A0", domain).into(),
+        None,
+    );
+    ChainScenario { db, view, workload }
+}
+
+/// A random conjunctive formula over `n` variables with `n_atoms` atoms —
+/// the E4 satisfiability-scaling workload. Mixes satisfiable and
+/// unsatisfiable instances.
+pub fn random_formula(seed: u64, n: usize, n_atoms: usize) -> ConjunctiveFormula {
+    // Self-contained xorshift so this helper needs no RNG dependency.
+    let mut s = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    const OPS: [Op; 5] = [Op::Eq, Op::Lt, Op::Gt, Op::Le, Op::Ge];
+    let mut atoms = Vec::with_capacity(n_atoms);
+    for _ in 0..n_atoms {
+        let op = OPS[(next() % 5) as usize];
+        let x = (next() as usize) % n;
+        if next() % 2 == 0 {
+            atoms.push(SatAtom::var_const(x, op, (next() % 21) as i64 - 10));
+        } else {
+            let y = (next() as usize) % n;
+            atoms.push(SatAtom::var_var(x, op, y, (next() % 9) as i64 - 4));
+        }
+    }
+    ConjunctiveFormula::with_atoms(n, atoms).unwrap()
+}
+
+/// Print a fixed-width table row (helper for the `exp_*` binaries).
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, width) in cells.iter().zip(widths) {
+        line.push_str(&format!("{cell:>width$} "));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Print a table header with a separator line.
+pub fn print_header(cells: &[&str], widths: &[usize]) {
+    print_row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
+    let total: usize = widths.iter().sum::<usize>() + widths.len();
+    println!("{}", "-".repeat(total));
+}
+
+/// Time a closure, returning `(result, microseconds)`.
+pub fn time_us<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm::differential::{differential_delta, DiffOptions};
+
+    #[test]
+    fn join_scenario_is_consistent() {
+        let mut s = join_scenario(1, 100, 100, 64);
+        let txn = s.workload.transaction(&s.db, "R", 5, 5).unwrap();
+        let r = differential_delta(&s.view, &s.db, &txn, &DiffOptions::default()).unwrap();
+        let mut v = s.view.eval(&s.db).unwrap();
+        v.apply_delta(&r.delta).unwrap();
+        s.db.apply(&txn).unwrap();
+        assert_eq!(v, s.view.eval(&s.db).unwrap());
+    }
+
+    #[test]
+    fn select_scenario_threshold_controls_selectivity() {
+        let tight = select_scenario(2, 500, 1000, 10);
+        let loose = select_scenario(2, 500, 1000, 900);
+        let v_tight = tight.view.eval(&tight.db).unwrap().total_count();
+        let v_loose = loose.view.eval(&loose.db).unwrap().total_count();
+        assert!(v_tight < v_loose);
+    }
+
+    #[test]
+    fn chain_scenario_builds_any_width() {
+        for p in 1..=4 {
+            let s = chain_scenario(3, p, 30, 16);
+            assert_eq!(s.view.arity(), p);
+            s.view.eval(&s.db).unwrap();
+        }
+    }
+
+    #[test]
+    fn random_formula_mixes_sat_and_unsat() {
+        use ivm_satisfiability::conjunctive::Solver;
+        let mut sat = 0;
+        let mut unsat = 0;
+        for seed in 0..200 {
+            if random_formula(seed, 6, 8).is_satisfiable(Solver::BellmanFord) {
+                sat += 1;
+            } else {
+                unsat += 1;
+            }
+        }
+        assert!(sat > 20, "expected a healthy satisfiable share, got {sat}");
+        assert!(
+            unsat > 20,
+            "expected a healthy unsatisfiable share, got {unsat}"
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Row-evaluation planning: join ordering and selection pushdown.
+//!
+//! §5.3 closes with two open optimizations: "we can further reduce the
+//! cost of materializing the view by using an algorithm to determine a
+//! good order for execution of the joins" (efficient solutions "are being
+//! investigated"), and §5.4 points at Wong–Youssefi-style decomposition
+//! for evaluating each row's SPJ expression. This module supplies
+//! practical versions of both:
+//!
+//! * **Operand ordering** ([`order_operands`]): a greedy
+//!   smallest-change-first order that starts from the cheapest *updated*
+//!   operand and grows only through operands connected by shared
+//!   attributes (avoiding accidental cross products). Because change sets
+//!   are small, putting them first keeps every intermediate result small —
+//!   the dominant effect in differential evaluation.
+//! * **Selection pushdown** ([`push_selections`]): for single-conjunction
+//!   conditions, every atom whose variables fall within one operand's
+//!   scheme is applied to that operand *before* any join (and removed from
+//!   the residual condition evaluated on the joined rows). Atoms are
+//!   pushed to every operand that can evaluate them — for natural-join
+//!   views a bound on a shared attribute prunes both sides.
+
+use ivm_relational::attribute::AttrName;
+use ivm_relational::predicate::{Condition, Conjunction};
+use ivm_relational::schema::Schema;
+
+/// Result of decomposing a condition for pushdown.
+#[derive(Debug, Clone)]
+pub struct Pushdown {
+    /// Per-operand condition to apply before joining
+    /// ([`Condition::always_true`] when nothing pushes).
+    pub per_operand: Vec<Condition>,
+    /// The residual condition evaluated on joined rows.
+    pub residual: Condition,
+}
+
+/// Decompose `condition` over the operand schemes.
+///
+/// Pushdown only applies to single-conjunction conditions; a multi-disjunct
+/// DNF is returned unchanged as the residual (pushing per-disjunct atoms
+/// independently would be unsound).
+pub fn push_selections(condition: &Condition, schemas: &[&Schema]) -> Pushdown {
+    if condition.disjuncts.len() != 1 {
+        return Pushdown {
+            per_operand: vec![Condition::always_true(); schemas.len()],
+            residual: condition.clone(),
+        };
+    }
+    let conj = &condition.disjuncts[0];
+    let mut pushed: Vec<Vec<_>> = vec![Vec::new(); schemas.len()];
+    let mut residual = Vec::new();
+    for atom in &conj.atoms {
+        let mut placed = false;
+        for (i, schema) in schemas.iter().enumerate() {
+            if atom.vars().all(|v| schema.contains(v)) {
+                pushed[i].push(atom.clone());
+                placed = true;
+            }
+        }
+        if !placed {
+            residual.push(atom.clone());
+        }
+    }
+    Pushdown {
+        per_operand: pushed
+            .into_iter()
+            .map(|atoms| {
+                if atoms.is_empty() {
+                    Condition::always_true()
+                } else {
+                    Condition::from(Conjunction::new(atoms))
+                }
+            })
+            .collect(),
+        residual: Condition::from(Conjunction::new(residual)),
+    }
+}
+
+/// Greedy connected operand order for differential row evaluation.
+///
+/// `metric[i]` is the expected operand size along the rows that matter:
+/// the change-set size for updated operands, the old size otherwise.
+/// `updated[i]` marks changed operands. The order starts from the
+/// smallest-metric updated operand and repeatedly appends, among operands
+/// sharing an attribute with what has been joined so far, first any
+/// updated one (smallest metric), then the smallest connected one; a
+/// disconnected operand is taken only when nothing connected remains.
+///
+/// Returns the identity permutation when no operand is updated.
+pub fn order_operands(schemas: &[&Schema], metric: &[usize], updated: &[bool]) -> Vec<usize> {
+    let p = schemas.len();
+    debug_assert_eq!(metric.len(), p);
+    debug_assert_eq!(updated.len(), p);
+    let Some(start) = (0..p).filter(|&i| updated[i]).min_by_key(|&i| metric[i]) else {
+        return (0..p).collect();
+    };
+
+    let mut order = Vec::with_capacity(p);
+    let mut taken = vec![false; p];
+    let mut joined_attrs: Vec<AttrName> = schemas[start].attrs().to_vec();
+    order.push(start);
+    taken[start] = true;
+
+    while order.len() < p {
+        let connected = |i: usize| schemas[i].attrs().iter().any(|a| joined_attrs.contains(a));
+        // Preference tiers: connected+updated, connected, updated, any —
+        // each resolved by smallest metric, then position (stable).
+        let next = (0..p)
+            .filter(|&i| !taken[i])
+            .min_by_key(|&i| {
+                let tier = match (connected(i), updated[i]) {
+                    (true, true) => 0,
+                    (true, false) => 1,
+                    (false, true) => 2,
+                    (false, false) => 3,
+                };
+                (tier, metric[i], i)
+            })
+            .expect("operands remain");
+        for a in schemas[next].attrs() {
+            if !joined_attrs.contains(a) {
+                joined_attrs.push(a.clone());
+            }
+        }
+        order.push(next);
+        taken[next] = true;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_relational::predicate::Atom;
+
+    fn s(attrs: &[&str]) -> Schema {
+        Schema::new(attrs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn pushdown_splits_by_scheme() {
+        let r = s(&["A", "B"]);
+        let t = s(&["B", "C"]);
+        let cond = Condition::conjunction([
+            Atom::lt_const("A", 10), // → R only
+            Atom::gt_const("B", 0),  // → both (shared)
+            Atom::eq_attr("A", "C"), // residual (spans)
+        ]);
+        let p = push_selections(&cond, &[&r, &t]);
+        assert_eq!(p.per_operand[0].disjuncts[0].atoms.len(), 2); // A<10, B>0
+        assert_eq!(p.per_operand[1].disjuncts[0].atoms.len(), 1); // B>0
+        assert_eq!(p.residual.disjuncts[0].atoms.len(), 1); // A=C
+    }
+
+    #[test]
+    fn pushdown_skips_multi_disjunct_dnf() {
+        let r = s(&["A"]);
+        let cond = Condition::dnf([
+            Conjunction::new([Atom::lt_const("A", 0)]),
+            Conjunction::new([Atom::gt_const("A", 10)]),
+        ]);
+        let p = push_selections(&cond, &[&r]);
+        assert_eq!(p.residual, cond);
+        assert_eq!(p.per_operand[0], Condition::always_true());
+    }
+
+    #[test]
+    fn pushdown_of_trivial_condition() {
+        let r = s(&["A"]);
+        let p = push_selections(&Condition::always_true(), &[&r]);
+        assert!(p.residual.disjuncts[0].atoms.is_empty());
+    }
+
+    #[test]
+    fn order_starts_at_smallest_updated_and_stays_connected() {
+        // Chain R0(A0,A1) R1(A1,A2) R2(A2,A3) R3(A3,A4), updated = {R3}.
+        let schemas = [
+            s(&["A0", "A1"]),
+            s(&["A1", "A2"]),
+            s(&["A2", "A3"]),
+            s(&["A3", "A4"]),
+        ];
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let order = order_operands(&refs, &[1000, 1000, 1000, 5], &[false, false, false, true]);
+        // Must walk the chain backwards from R3: 3, 2, 1, 0.
+        assert_eq!(order, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn order_prefers_updated_then_small() {
+        // Star: R0(K,X0) R1(K,X1) R2(K,X2); R1 updated (size 3), R2 small.
+        let schemas = [s(&["K", "X0"]), s(&["K", "X1"]), s(&["K", "X2"])];
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let order = order_operands(&refs, &[100, 3, 10], &[false, true, false]);
+        assert_eq!(order[0], 1, "start at updated");
+        assert_eq!(order[1], 2, "then smallest connected");
+        assert_eq!(order[2], 0);
+    }
+
+    #[test]
+    fn order_identity_when_nothing_updated() {
+        let schemas = [s(&["A"]), s(&["B"])];
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        assert_eq!(order_operands(&refs, &[1, 1], &[false, false]), vec![0, 1]);
+    }
+
+    #[test]
+    fn order_handles_disconnected_components() {
+        // R0(A) and R1(B) share nothing; both must still appear.
+        let schemas = [s(&["A"]), s(&["B"])];
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let order = order_operands(&refs, &[5, 9], &[true, false]);
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn order_two_updated_relations() {
+        let schemas = [s(&["A", "B"]), s(&["B", "C"]), s(&["C", "D"])];
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        let order = order_operands(&refs, &[4, 1000, 2], &[true, false, true]);
+        // Start at R2 (metric 2 < 4); R1 connects; prefer updated R0? R0 is
+        // not connected to {C,D} — R1 is. Then R0.
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+}

@@ -1,0 +1,1168 @@
+//! Differential re-evaluation of SPJ views — Algorithm 5.1 (§5.4).
+//!
+//! Input: the view `V = π_X(σ_C(R₁ ⋈ … ⋈ R_p))`, the contents of the
+//! base relations *before* the transaction, and the per-relation net update
+//! sets. Output: a view transaction (a signed [`DeltaRelation`]) that
+//! brings the materialization up to date.
+//!
+//! 1. Build the truth-table rows for the updated relations only
+//!    (O(2^k), [`crate::differential::truth_table`]).
+//! 2. For each row, evaluate the SPJ expression substituting for each
+//!    operand either its unchanged portion (`B_i = 0`) or its tagged change
+//!    set (`B_i = 1`); σ and π distribute over the union of rows.
+//! 3. The union of the row results, read through the tags, is the view
+//!    transaction: "insert all tuples tagged insert, delete all tuples
+//!    tagged delete".
+//!
+//! Two engines implement step 2:
+//!
+//! * [`Engine::Tagged`] — the paper-literal pipeline. `B_i = 0` substitutes
+//!   the *surviving* old tuples `r_i − d_{r_i}` tagged `old`; `B_i = 1`
+//!   substitutes `i_{r_i} ∪ d_{r_i}` tagged `insert`/`delete`; joins
+//!   combine tags by the §5.3 table (mixed insert/delete tuples are
+//!   ignored). Summed over all non-zero rows this yields exactly
+//!   `V(new) − V(old)`: a row's all-insert choices contribute the new-only
+//!   terms, all-delete choices the old-only terms, and mixed choices
+//!   cancel — the "ignore" entries of the tag table.
+//! * [`Engine::Signed`] — the algebraic closure of the same idea. `B_i = 0`
+//!   substitutes the *full* old relation, `B_i = 1` the signed delta
+//!   `i − d`; because ⋈ is bilinear and σ/π linear over signed counts,
+//!   `Σ_rows` telescopes to `V(new) − V(old)` by inclusion–exclusion.
+//!
+//! Optimizations (each individually switchable in [`DiffOptions`], all
+//! validated against each other by property tests):
+//!
+//! * **prefix sharing** — rows are evaluated as a DFS over operand
+//!   positions so every shared join prefix is computed once, and prefixes
+//!   that cannot reach a non-zero row are never extended (§5.3's "re-using
+//!   partial subexpressions appearing in multiple rows");
+//! * **selection pushdown** — single-operand atoms of the condition filter
+//!   operands before any join ([`crate::differential::plan`]);
+//! * **operand reordering** — change sets join first, in a
+//!   connectivity-preserving greedy order (§5.3's "good order for
+//!   execution of the joins");
+//! * **lazy operands** — when only one relation changed (`k = 1`), the
+//!   single row never touches that relation's old contents, so they are
+//!   never copied.
+
+use ivm_relational::algebra;
+use ivm_relational::attribute::AttrName;
+use ivm_relational::database::Database;
+use ivm_relational::delta::DeltaRelation;
+use ivm_relational::expr::SpjExpr;
+use ivm_relational::predicate::Condition;
+use ivm_relational::relation::Relation;
+use ivm_relational::schema::Schema;
+use ivm_relational::tagged::{Tag, TaggedRelation};
+use ivm_relational::transaction::Transaction;
+
+use crate::differential::{plan, truth_table};
+use crate::error::Result;
+use crate::stats::DiffStats;
+
+/// Which differential pipeline to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The paper-literal tagged-tuple pipeline (§5.3–5.4).
+    #[default]
+    Tagged,
+    /// The signed-count (z-set style) pipeline; equivalent results,
+    /// different constant factors.
+    Signed,
+}
+
+/// Options controlling a differential run. The defaults enable every
+/// optimization; the flags exist for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffOptions {
+    /// Engine choice.
+    pub engine: Engine,
+    /// Share join prefixes across truth-table rows; `false` evaluates each
+    /// row independently.
+    pub share_prefixes: bool,
+    /// Apply single-operand condition atoms before joining.
+    pub push_selections: bool,
+    /// Join change sets first in a connectivity-preserving greedy order.
+    pub reorder_operands: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        DiffOptions {
+            engine: Engine::Tagged,
+            share_prefixes: true,
+            push_selections: true,
+            reorder_operands: true,
+        }
+    }
+}
+
+impl DiffOptions {
+    /// The paper's plain algorithm with no optimizations beyond the truth
+    /// table itself (ablation baseline).
+    pub fn plain() -> Self {
+        DiffOptions {
+            engine: Engine::Tagged,
+            share_prefixes: false,
+            push_selections: false,
+            reorder_operands: false,
+        }
+    }
+}
+
+/// A computed view transaction plus its work counters.
+#[derive(Debug, Clone)]
+pub struct DifferentialResult {
+    /// The signed view delta (`+` = insert into the view, `−` = delete).
+    pub delta: DeltaRelation,
+    /// Work performed.
+    pub stats: DiffStats,
+}
+
+/// The net change to one operand position.
+#[derive(Debug, Clone)]
+pub struct OperandUpdate {
+    /// Net inserted tuples (`i_r`), disjoint from the old relation.
+    pub inserts: Relation,
+    /// Net deleted tuples (`d_r ⊆ r`).
+    pub deletes: Relation,
+}
+
+impl OperandUpdate {
+    /// True when both change sets are empty.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Total number of changed tuples.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+}
+
+/// Algorithm 5.1: compute the view transaction for `txn` against the
+/// pre-transaction database `db_before`.
+pub fn differential_delta(
+    view: &SpjExpr,
+    db_before: &Database,
+    txn: &Transaction,
+    opts: &DiffOptions,
+) -> Result<DifferentialResult> {
+    let mut old: Vec<&Relation> = Vec::with_capacity(view.arity());
+    let mut updates: Vec<Option<OperandUpdate>> = Vec::with_capacity(view.arity());
+    for name in &view.relations {
+        let rel = db_before.relation(name)?;
+        old.push(rel);
+        let inserts = txn.insert_set(name, rel.schema())?;
+        let deletes = txn.delete_set(name, rel.schema())?;
+        if inserts.is_empty() && deletes.is_empty() {
+            updates.push(None);
+        } else {
+            updates.push(Some(OperandUpdate { inserts, deletes }));
+        }
+    }
+    differential_delta_parts(view, &old, &updates, opts)
+}
+
+/// Algorithm 5.1 over explicit positional operands: `old[i]` is the
+/// pre-transaction state of `view.relations[i]`, `updates[i]` its net
+/// change (or `None` if untouched). Useful when the old states are
+/// reconstructed rather than held in a [`Database`] (e.g. snapshot
+/// refresh).
+pub fn differential_delta_parts(
+    view: &SpjExpr,
+    old: &[&Relation],
+    updates: &[Option<OperandUpdate>],
+    opts: &DiffOptions,
+) -> Result<DifferentialResult> {
+    assert_eq!(old.len(), view.arity(), "one old state per operand");
+    assert_eq!(updates.len(), view.arity(), "one update slot per operand");
+    let p = view.arity();
+    let out_schema = output_schema(view, old)?;
+
+    let updated: Vec<usize> = updates
+        .iter()
+        .enumerate()
+        .filter_map(|(i, u)| u.as_ref().filter(|u| !u.is_empty()).map(|_| i))
+        .collect();
+    if updated.is_empty() {
+        return Ok(DifferentialResult {
+            delta: DeltaRelation::empty(out_schema),
+            stats: DiffStats::default(),
+        });
+    }
+
+    // --- planning -----------------------------------------------------
+    let schemas: Vec<&Schema> = old.iter().map(|r| r.schema()).collect();
+    let pushdown = if opts.push_selections {
+        plan::push_selections(&view.condition, &schemas)
+    } else {
+        plan::Pushdown {
+            per_operand: vec![Condition::always_true(); p],
+            residual: view.condition.clone(),
+        }
+    };
+    let order: Vec<usize> = if opts.reorder_operands {
+        let metric: Vec<usize> = (0..p)
+            .map(|i| match &updates[i] {
+                Some(u) if !u.is_empty() => u.len(),
+                _ => old[i].len(),
+            })
+            .collect();
+        let updated_flags: Vec<bool> = (0..p).map(|i| updated.contains(&i)).collect();
+        plan::order_operands(&schemas, &metric, &updated_flags)
+    } else {
+        (0..p).collect()
+    };
+    let identity_order = order.iter().enumerate().all(|(i, &o)| i == o);
+
+    // Final projection: the view's own, or — when reordering disturbed the
+    // natural layout — an explicit projection back onto the canonical
+    // scheme.
+    let final_proj: Option<Vec<AttrName>> = match &view.projection {
+        Some(attrs) => Some(attrs.clone()),
+        None if !identity_order => Some(out_schema.attrs().to_vec()),
+        None => None,
+    };
+
+    // Permute operands into evaluation order.
+    let ordered_old: Vec<&Relation> = order.iter().map(|&i| old[i]).collect();
+    let ordered_updates: Vec<Option<&OperandUpdate>> = order
+        .iter()
+        .map(|&i| updates[i].as_ref().filter(|u| !u.is_empty()))
+        .collect();
+    let ordered_push: Vec<&Condition> = order.iter().map(|&i| &pushdown.per_operand[i]).collect();
+
+    let ctx = RowCtx {
+        residual: &pushdown.residual,
+        final_proj: final_proj.as_deref(),
+        out_schema: &out_schema,
+    };
+
+    match opts.engine {
+        Engine::Tagged => {
+            tagged_differential(&ctx, &ordered_old, &ordered_updates, &ordered_push, opts)
+        }
+        Engine::Signed => {
+            signed_differential(&ctx, &ordered_old, &ordered_updates, &ordered_push, opts)
+        }
+    }
+}
+
+/// Shared per-run context: the residual condition and final projection
+/// applied at each row leaf.
+struct RowCtx<'a> {
+    residual: &'a Condition,
+    final_proj: Option<&'a [AttrName]>,
+    out_schema: &'a Schema,
+}
+
+/// Scheme of the view, derived from the operand relations in definition
+/// order.
+fn output_schema(view: &SpjExpr, old: &[&Relation]) -> Result<Schema> {
+    let mut joined = old[0].schema().clone();
+    for rel in &old[1..] {
+        joined = joined.join(rel.schema());
+    }
+    Ok(match &view.projection {
+        None => joined,
+        Some(attrs) => joined.project(attrs.iter())?,
+    })
+}
+
+/// Does any row use the `B_i = 0` operand of position `i` (in evaluation
+/// order)? Non-updated positions always do; an updated position does only
+/// when another relation is also updated (`k ≥ 2`).
+fn zero_operand_needed(i: usize, ordered_updates: &[Option<&OperandUpdate>]) -> bool {
+    let k = ordered_updates.iter().filter(|u| u.is_some()).count();
+    ordered_updates[i].is_none() || k >= 2
+}
+
+// ---------------------------------------------------------------------
+// Tagged engine
+// ---------------------------------------------------------------------
+
+struct TaggedOperands {
+    /// `B = 0` operand: surviving old tuples tagged `old`, pre-filtered by
+    /// the pushed condition. `None` when no row needs it.
+    zero: Option<TaggedRelation>,
+    /// `B = 1` operand: tagged, pre-filtered change set. `None` for
+    /// untouched relations.
+    one: Option<TaggedRelation>,
+}
+
+/// Materialize the `B = 0` operand: old minus deletions, filtered, tagged
+/// `old` — fusing §5.3's `r − d_r` with the pushed selection in one pass.
+fn tagged_zero(
+    old: &Relation,
+    deletes: Option<&Relation>,
+    cond: &Condition,
+) -> Result<TaggedRelation> {
+    let trivial = cond.is_trivially_true();
+    let mut out = TaggedRelation::empty(old.schema().clone());
+    for (t, c) in old.iter() {
+        if let Some(d) = deletes {
+            let dc = d.count(t);
+            if dc >= c {
+                continue; // fully deleted
+            }
+            if trivial || cond.eval(old.schema(), t)? {
+                out.add(t.clone(), Tag::Old, c - dc);
+            }
+            continue;
+        }
+        if trivial || cond.eval(old.schema(), t)? {
+            out.add(t.clone(), Tag::Old, c);
+        }
+    }
+    Ok(out)
+}
+
+/// Materialize the `B = 1` operand: inserts/deletes filtered and tagged.
+fn tagged_one(u: &OperandUpdate, cond: &Condition) -> Result<TaggedRelation> {
+    let trivial = cond.is_trivially_true();
+    let schema = u.inserts.schema().clone();
+    let mut out = TaggedRelation::empty(schema.clone());
+    for (t, c) in u.inserts.iter() {
+        if trivial || cond.eval(&schema, t)? {
+            out.add(t.clone(), Tag::Insert, c);
+        }
+    }
+    for (t, c) in u.deletes.iter() {
+        if trivial || cond.eval(&schema, t)? {
+            out.add(t.clone(), Tag::Delete, c);
+        }
+    }
+    Ok(out)
+}
+
+fn tagged_differential(
+    ctx: &RowCtx<'_>,
+    old: &[&Relation],
+    updates: &[Option<&OperandUpdate>],
+    pushed: &[&Condition],
+    opts: &DiffOptions,
+) -> Result<DifferentialResult> {
+    let p = old.len();
+    let mut operands = Vec::with_capacity(p);
+    for i in 0..p {
+        let zero = if zero_operand_needed(i, updates) {
+            Some(tagged_zero(
+                old[i],
+                updates[i].map(|u| &u.deletes),
+                pushed[i],
+            )?)
+        } else {
+            None
+        };
+        let one = match updates[i] {
+            None => None,
+            Some(u) => Some(tagged_one(u, pushed[i])?),
+        };
+        operands.push(TaggedOperands { zero, one });
+    }
+
+    let mut stats = DiffStats::default();
+    let mut acc = TaggedRelation::empty(ctx.out_schema.clone());
+
+    if opts.share_prefixes {
+        let mut updated_after = vec![false; p + 1];
+        for j in (0..p).rev() {
+            updated_after[j] = updated_after[j + 1] || operands[j].one.is_some();
+        }
+        dfs_tagged(
+            ctx,
+            &operands,
+            &updated_after,
+            0,
+            None,
+            false,
+            &mut acc,
+            &mut stats,
+        )?;
+    } else {
+        let updated: Vec<usize> = (0..p).filter(|&i| operands[i].one.is_some()).collect();
+        for row in truth_table::rows(p, &updated) {
+            stats.rows_evaluated += 1;
+            let inputs: Vec<&TaggedRelation> = row
+                .iter()
+                .enumerate()
+                .map(|(j, &one)| {
+                    if one {
+                        operands[j].one.as_ref().expect("B=1 only for updated")
+                    } else {
+                        operands[j].zero.as_ref().expect("zero operand needed")
+                    }
+                })
+                .collect();
+            stats.operand_tuples += inputs.iter().map(|r| r.len() as u64).sum::<u64>();
+            let mut joined = inputs[0].clone();
+            for input in &inputs[1..] {
+                stats.joins_performed += 1;
+                joined = algebra::natural_join_tagged(&joined, input)?;
+            }
+            emit_tagged_leaf(ctx, &joined, &mut acc)?;
+        }
+    }
+
+    let delta = acc.to_delta();
+    let (ins, del) = delta.split();
+    stats.output_inserts = ins.iter().map(|(_, c)| c).sum();
+    stats.output_deletes = del.iter().map(|(_, c)| c).sum();
+    Ok(DifferentialResult { delta, stats })
+}
+
+/// Apply the residual condition and final projection to a row result and
+/// merge it into the accumulator.
+fn emit_tagged_leaf(
+    ctx: &RowCtx<'_>,
+    joined: &TaggedRelation,
+    acc: &mut TaggedRelation,
+) -> Result<()> {
+    let selected = algebra::select_tagged(joined, ctx.residual)?;
+    let projected = match ctx.final_proj {
+        None => selected,
+        Some(attrs) => algebra::project_tagged(&selected, attrs)?,
+    };
+    acc.merge(&projected).map_err(crate::error::IvmError::from)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_tagged(
+    ctx: &RowCtx<'_>,
+    operands: &[TaggedOperands],
+    updated_after: &[bool],
+    j: usize,
+    prefix: Option<&TaggedRelation>,
+    any_one: bool,
+    acc: &mut TaggedRelation,
+    stats: &mut DiffStats,
+) -> Result<()> {
+    if j == operands.len() {
+        // Reached only on useful rows (pruning guarantees any_one).
+        debug_assert!(any_one);
+        stats.rows_evaluated += 1;
+        let joined = prefix.expect("p ≥ 1 so prefix exists at leaf");
+        return emit_tagged_leaf(ctx, joined, acc);
+    }
+    // Zero branch — pruned when it can never flip any_one.
+    if let Some(zero) = &operands[j].zero {
+        if any_one || updated_after[j + 1] {
+            descend_tagged(
+                ctx,
+                operands,
+                updated_after,
+                j,
+                prefix,
+                any_one,
+                zero,
+                acc,
+                stats,
+            )?;
+        }
+    }
+    // One branch.
+    if let Some(one) = &operands[j].one {
+        descend_tagged(
+            ctx,
+            operands,
+            updated_after,
+            j,
+            prefix,
+            true,
+            one,
+            acc,
+            stats,
+        )?;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn descend_tagged(
+    ctx: &RowCtx<'_>,
+    operands: &[TaggedOperands],
+    updated_after: &[bool],
+    j: usize,
+    prefix: Option<&TaggedRelation>,
+    any_one: bool,
+    operand: &TaggedRelation,
+    acc: &mut TaggedRelation,
+    stats: &mut DiffStats,
+) -> Result<()> {
+    stats.operand_tuples += operand.len() as u64;
+    match prefix {
+        None => dfs_tagged(
+            ctx,
+            operands,
+            updated_after,
+            j + 1,
+            Some(operand),
+            any_one,
+            acc,
+            stats,
+        ),
+        Some(prev) => {
+            if prev.is_empty() {
+                // Empty prefixes stay empty; skip the whole subtree.
+                stats.joins_skipped += 1;
+                return Ok(());
+            }
+            stats.joins_performed += 1;
+            let next = algebra::natural_join_tagged(prev, operand)?;
+            dfs_tagged(
+                ctx,
+                operands,
+                updated_after,
+                j + 1,
+                Some(&next),
+                any_one,
+                acc,
+                stats,
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Signed engine
+// ---------------------------------------------------------------------
+
+struct SignedOperands {
+    zero: Option<DeltaRelation>,
+    one: Option<DeltaRelation>,
+}
+
+fn signed_zero(old: &Relation, cond: &Condition) -> Result<DeltaRelation> {
+    let trivial = cond.is_trivially_true();
+    let mut out = DeltaRelation::empty(old.schema().clone());
+    for (t, c) in old.iter() {
+        if trivial || cond.eval(old.schema(), t)? {
+            out.add(t.clone(), c as i64);
+        }
+    }
+    Ok(out)
+}
+
+fn signed_one(u: &OperandUpdate, cond: &Condition) -> Result<DeltaRelation> {
+    let trivial = cond.is_trivially_true();
+    let schema = u.inserts.schema().clone();
+    let mut out = DeltaRelation::empty(schema.clone());
+    for (t, c) in u.inserts.iter() {
+        if trivial || cond.eval(&schema, t)? {
+            out.add(t.clone(), c as i64);
+        }
+    }
+    for (t, c) in u.deletes.iter() {
+        if trivial || cond.eval(&schema, t)? {
+            out.add(t.clone(), -(c as i64));
+        }
+    }
+    Ok(out)
+}
+
+fn signed_differential(
+    ctx: &RowCtx<'_>,
+    old: &[&Relation],
+    updates: &[Option<&OperandUpdate>],
+    pushed: &[&Condition],
+    opts: &DiffOptions,
+) -> Result<DifferentialResult> {
+    let p = old.len();
+    let mut operands = Vec::with_capacity(p);
+    for i in 0..p {
+        let zero = if zero_operand_needed(i, updates) {
+            Some(signed_zero(old[i], pushed[i])?)
+        } else {
+            None
+        };
+        let one = match updates[i] {
+            None => None,
+            Some(u) => Some(signed_one(u, pushed[i])?),
+        };
+        operands.push(SignedOperands { zero, one });
+    }
+
+    let mut stats = DiffStats::default();
+    let mut acc = DeltaRelation::empty(ctx.out_schema.clone());
+
+    if opts.share_prefixes {
+        let mut updated_after = vec![false; p + 1];
+        for j in (0..p).rev() {
+            updated_after[j] = updated_after[j + 1] || operands[j].one.is_some();
+        }
+        dfs_signed(
+            ctx,
+            &operands,
+            &updated_after,
+            0,
+            None,
+            false,
+            &mut acc,
+            &mut stats,
+        )?;
+    } else {
+        let updated: Vec<usize> = (0..p).filter(|&i| operands[i].one.is_some()).collect();
+        for row in truth_table::rows(p, &updated) {
+            stats.rows_evaluated += 1;
+            let inputs: Vec<&DeltaRelation> = row
+                .iter()
+                .enumerate()
+                .map(|(j, &one)| {
+                    if one {
+                        operands[j].one.as_ref().expect("B=1 only for updated")
+                    } else {
+                        operands[j].zero.as_ref().expect("zero operand needed")
+                    }
+                })
+                .collect();
+            stats.operand_tuples += inputs.iter().map(|r| r.len() as u64).sum::<u64>();
+            let mut joined = inputs[0].clone();
+            for input in &inputs[1..] {
+                stats.joins_performed += 1;
+                joined = algebra::natural_join_delta(&joined, input)?;
+            }
+            emit_signed_leaf(ctx, &joined, &mut acc)?;
+        }
+    }
+
+    let (ins, del) = acc.split();
+    stats.output_inserts = ins.iter().map(|(_, c)| c).sum();
+    stats.output_deletes = del.iter().map(|(_, c)| c).sum();
+    Ok(DifferentialResult { delta: acc, stats })
+}
+
+fn emit_signed_leaf(
+    ctx: &RowCtx<'_>,
+    joined: &DeltaRelation,
+    acc: &mut DeltaRelation,
+) -> Result<()> {
+    let selected = algebra::select_delta(joined, ctx.residual)?;
+    let projected = match ctx.final_proj {
+        None => selected,
+        Some(attrs) => algebra::project_delta(&selected, attrs)?,
+    };
+    acc.merge(&projected).map_err(crate::error::IvmError::from)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_signed(
+    ctx: &RowCtx<'_>,
+    operands: &[SignedOperands],
+    updated_after: &[bool],
+    j: usize,
+    prefix: Option<&DeltaRelation>,
+    any_one: bool,
+    acc: &mut DeltaRelation,
+    stats: &mut DiffStats,
+) -> Result<()> {
+    if j == operands.len() {
+        debug_assert!(any_one);
+        stats.rows_evaluated += 1;
+        let joined = prefix.expect("p ≥ 1 so prefix exists at leaf");
+        return emit_signed_leaf(ctx, joined, acc);
+    }
+    if let Some(zero) = &operands[j].zero {
+        if any_one || updated_after[j + 1] {
+            descend_signed(
+                ctx,
+                operands,
+                updated_after,
+                j,
+                prefix,
+                any_one,
+                zero,
+                acc,
+                stats,
+            )?;
+        }
+    }
+    if let Some(one) = &operands[j].one {
+        descend_signed(
+            ctx,
+            operands,
+            updated_after,
+            j,
+            prefix,
+            true,
+            one,
+            acc,
+            stats,
+        )?;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn descend_signed(
+    ctx: &RowCtx<'_>,
+    operands: &[SignedOperands],
+    updated_after: &[bool],
+    j: usize,
+    prefix: Option<&DeltaRelation>,
+    any_one: bool,
+    operand: &DeltaRelation,
+    acc: &mut DeltaRelation,
+    stats: &mut DiffStats,
+) -> Result<()> {
+    stats.operand_tuples += operand.len() as u64;
+    match prefix {
+        None => dfs_signed(
+            ctx,
+            operands,
+            updated_after,
+            j + 1,
+            Some(operand),
+            any_one,
+            acc,
+            stats,
+        ),
+        Some(prev) => {
+            if prev.is_empty() {
+                stats.joins_skipped += 1;
+                return Ok(());
+            }
+            stats.joins_performed += 1;
+            let next = algebra::natural_join_delta(prev, operand)?;
+            dfs_signed(
+                ctx,
+                operands,
+                updated_after,
+                j + 1,
+                Some(&next),
+                any_one,
+                acc,
+                stats,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_relational::predicate::Atom;
+    use ivm_relational::tuple::Tuple;
+
+    fn setup() -> (Database, SpjExpr) {
+        let mut db = Database::new();
+        db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+        db.create("S", Schema::new(["B", "C"]).unwrap()).unwrap();
+        db.load("R", [[1, 10], [2, 20], [9, 10]]).unwrap();
+        db.load("S", [[10, 11], [20, 3], [10, 15]]).unwrap();
+        let view = SpjExpr::new(
+            ["R", "S"],
+            Atom::gt_const("C", 10).into(),
+            Some(vec!["A".into(), "C".into()]),
+        );
+        (db, view)
+    }
+
+    fn all_option_combos() -> Vec<DiffOptions> {
+        let mut v = Vec::new();
+        for engine in [Engine::Tagged, Engine::Signed] {
+            for share in [true, false] {
+                for push in [true, false] {
+                    for reorder in [true, false] {
+                        v.push(DiffOptions {
+                            engine,
+                            share_prefixes: share,
+                            push_selections: push,
+                            reorder_operands: reorder,
+                        });
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// The central invariant: differential result + old view = new view,
+    /// for every engine/option combination.
+    fn check_equivalence(db: &Database, view: &SpjExpr, txn: &Transaction) {
+        let mut db_after = db.clone();
+        db_after.apply(txn).unwrap();
+        let expected = view.eval(&db_after).unwrap();
+        for opts in all_option_combos() {
+            let mut v = view.eval(db).unwrap();
+            let result = differential_delta(view, db, txn, &opts).unwrap();
+            v.apply_delta(&result.delta).unwrap();
+            assert_eq!(v, expected, "options {opts:?}");
+        }
+    }
+
+    #[test]
+    fn insert_only_single_relation() {
+        let (db, view) = setup();
+        let mut txn = Transaction::new();
+        txn.insert_all("R", [[5, 10], [6, 20]]).unwrap();
+        check_equivalence(&db, &view, &txn);
+    }
+
+    #[test]
+    fn delete_only_single_relation() {
+        let (db, view) = setup();
+        let mut txn = Transaction::new();
+        txn.delete("R", [1, 10]).unwrap();
+        check_equivalence(&db, &view, &txn);
+    }
+
+    #[test]
+    fn mixed_updates_both_relations() {
+        let (db, view) = setup();
+        let mut txn = Transaction::new();
+        txn.insert("R", [7, 10]).unwrap();
+        txn.delete("R", [2, 20]).unwrap();
+        txn.insert("S", [20, 99]).unwrap();
+        txn.delete("S", [10, 15]).unwrap();
+        check_equivalence(&db, &view, &txn);
+    }
+
+    #[test]
+    fn duplicate_producing_projection() {
+        let (db, _) = setup();
+        let view = SpjExpr::new(["R", "S"], Condition::always_true(), Some(vec!["C".into()]));
+        let mut txn = Transaction::new();
+        txn.delete("R", [1, 10]).unwrap();
+        txn.insert("R", [3, 10]).unwrap();
+        check_equivalence(&db, &view, &txn);
+    }
+
+    #[test]
+    fn untouched_view_relations_empty_delta() {
+        let (mut db, view) = setup();
+        db.create("T", Schema::new(["Z"]).unwrap()).unwrap();
+        let mut txn = Transaction::new();
+        txn.insert("T", [1]).unwrap();
+        for opts in all_option_combos() {
+            let r = differential_delta(&view, &db, &txn, &opts).unwrap();
+            assert!(r.delta.is_empty());
+            assert_eq!(r.stats.rows_evaluated, 0);
+        }
+    }
+
+    #[test]
+    fn example_52_insert_only_join() {
+        let mut db = Database::new();
+        db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+        db.create("S", Schema::new(["B", "C"]).unwrap()).unwrap();
+        db.load("R", [[1, 10]]).unwrap();
+        db.load("S", [[10, 100], [20, 200]]).unwrap();
+        let view = SpjExpr::new(["R", "S"], Condition::always_true(), None);
+        let mut txn = Transaction::new();
+        txn.insert("R", [2, 20]).unwrap();
+        let r = differential_delta(&view, &db, &txn, &DiffOptions::default()).unwrap();
+        assert_eq!(r.delta.count(&Tuple::from([2, 20, 200])), 1);
+        assert_eq!(r.delta.len(), 1);
+        assert_eq!(r.stats.rows_evaluated, 1, "one updated relation ⇒ one row");
+        check_equivalence(&db, &view, &txn);
+    }
+
+    #[test]
+    fn example_53_delete_only_join() {
+        let mut db = Database::new();
+        db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+        db.create("S", Schema::new(["B", "C"]).unwrap()).unwrap();
+        db.load("R", [[1, 10], [2, 20]]).unwrap();
+        db.load("S", [[10, 100], [20, 200]]).unwrap();
+        let view = SpjExpr::new(["R", "S"], Condition::always_true(), None);
+        let mut txn = Transaction::new();
+        txn.delete("R", [2, 20]).unwrap();
+        let r = differential_delta(&view, &db, &txn, &DiffOptions::default()).unwrap();
+        assert_eq!(r.delta.count(&Tuple::from([2, 20, 200])), -1);
+        assert_eq!(r.delta.len(), 1);
+        check_equivalence(&db, &view, &txn);
+    }
+
+    #[test]
+    fn three_way_join_rows() {
+        let mut db = Database::new();
+        db.create("R1", Schema::new(["A", "B"]).unwrap()).unwrap();
+        db.create("R2", Schema::new(["B", "C"]).unwrap()).unwrap();
+        db.create("R3", Schema::new(["C", "D"]).unwrap()).unwrap();
+        db.load("R1", [[1, 2], [3, 4]]).unwrap();
+        db.load("R2", [[2, 5], [4, 6]]).unwrap();
+        db.load("R3", [[5, 7], [6, 8]]).unwrap();
+        let view = SpjExpr::new(["R1", "R2", "R3"], Condition::always_true(), None);
+        let mut txn = Transaction::new();
+        txn.insert("R1", [9, 2]).unwrap();
+        txn.insert("R2", [4, 5]).unwrap();
+        let opts = DiffOptions {
+            share_prefixes: false,
+            ..DiffOptions::default()
+        };
+        let r = differential_delta(&view, &db, &txn, &opts).unwrap();
+        assert_eq!(r.stats.rows_evaluated, 3);
+        check_equivalence(&db, &view, &txn);
+    }
+
+    #[test]
+    fn prefix_sharing_reduces_joins() {
+        let mut db = Database::new();
+        for (i, name) in ["R1", "R2", "R3", "R4"].iter().enumerate() {
+            let a = format!("A{i}");
+            let b = format!("A{}", i + 1);
+            db.create(*name, Schema::new([a.as_str(), b.as_str()]).unwrap())
+                .unwrap();
+            db.load(name, [[1, 1], [2, 2]]).unwrap();
+        }
+        let view = SpjExpr::new(["R1", "R2", "R3", "R4"], Condition::always_true(), None);
+        let mut txn = Transaction::new();
+        txn.insert("R1", [3, 3]).unwrap();
+        txn.insert("R2", [4, 4]).unwrap();
+        txn.insert("R3", [5, 5]).unwrap();
+        txn.insert("R4", [6, 6]).unwrap();
+        let shared = differential_delta(
+            &view,
+            &db,
+            &txn,
+            &DiffOptions {
+                share_prefixes: true,
+                reorder_operands: false,
+                ..DiffOptions::default()
+            },
+        )
+        .unwrap();
+        let naive = differential_delta(
+            &view,
+            &db,
+            &txn,
+            &DiffOptions {
+                share_prefixes: false,
+                reorder_operands: false,
+                ..DiffOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(shared.delta, naive.delta);
+        // Naive: 15 rows × 3 joins = 45; shared DFS: ≤ 2 + 4 + 8 = 14.
+        assert_eq!(naive.stats.joins_performed, 45);
+        assert!(
+            shared.stats.joins_performed <= 14,
+            "shared joins = {}",
+            shared.stats.joins_performed
+        );
+    }
+
+    #[test]
+    fn k1_never_touches_old_contents_of_changed_relation() {
+        let mut db = Database::new();
+        db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+        db.create("S", Schema::new(["B", "C"]).unwrap()).unwrap();
+        for i in 0..100 {
+            db.load("R", [[i, i % 10]]).unwrap();
+        }
+        db.load("S", [[0, 1], [1, 2]]).unwrap();
+        let view = SpjExpr::new(["R", "S"], Condition::always_true(), None);
+        let mut txn = Transaction::new();
+        txn.insert("R", [1000, 0]).unwrap();
+        for engine in [Engine::Tagged, Engine::Signed] {
+            let r = differential_delta(
+                &view,
+                &db,
+                &txn,
+                &DiffOptions {
+                    engine,
+                    ..DiffOptions::default()
+                },
+            )
+            .unwrap();
+            // 1 change tuple + 2 tuples of S; never the 100 old R rows.
+            assert_eq!(r.stats.operand_tuples, 3, "engine {engine:?}");
+            assert_eq!(r.stats.rows_evaluated, 1);
+        }
+    }
+
+    #[test]
+    fn all_zero_prefix_is_pruned() {
+        // p = 2, only the last relation updated: the expensive old ⋈ old
+        // path must never be joined even without reordering.
+        let (db, view) = setup();
+        let mut txn = Transaction::new();
+        txn.insert("S", [10, 99]).unwrap();
+        let r = differential_delta(
+            &view,
+            &db,
+            &txn,
+            &DiffOptions {
+                reorder_operands: false,
+                ..DiffOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.stats.rows_evaluated, 1);
+        assert_eq!(r.stats.joins_performed, 1);
+        check_equivalence(&db, &view, &txn);
+    }
+
+    #[test]
+    fn pushdown_shrinks_operands() {
+        // Condition A < 2 pushes onto R: the zero operand of R must carry
+        // only the rows with A < 2.
+        let (db, _) = setup();
+        let view = SpjExpr::new(["R", "S"], Atom::lt_const("A", 2).into(), None);
+        let mut txn = Transaction::new();
+        txn.insert("S", [10, 99]).unwrap();
+        let with = differential_delta(
+            &view,
+            &db,
+            &txn,
+            &DiffOptions {
+                push_selections: true,
+                ..DiffOptions::default()
+            },
+        )
+        .unwrap();
+        let without = differential_delta(
+            &view,
+            &db,
+            &txn,
+            &DiffOptions {
+                push_selections: false,
+                ..DiffOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(with.delta, without.delta);
+        assert!(
+            with.stats.operand_tuples < without.stats.operand_tuples,
+            "pushdown must shrink operands: {} vs {}",
+            with.stats.operand_tuples,
+            without.stats.operand_tuples
+        );
+    }
+
+    #[test]
+    fn reorder_puts_changes_first() {
+        // Chain of 3, only the last updated: with reordering the first
+        // join is change ⋈ R1 (small), without it the DFS still prunes but
+        // must join R0 ⋈ R1 for the useful row.
+        let mut db = Database::new();
+        db.create("R0", Schema::new(["A0", "A1"]).unwrap()).unwrap();
+        db.create("R1", Schema::new(["A1", "A2"]).unwrap()).unwrap();
+        db.create("R2", Schema::new(["A2", "A3"]).unwrap()).unwrap();
+        for i in 0..50 {
+            db.load("R0", [[i, i % 7]]).unwrap();
+            db.load("R1", [[i % 7, i % 5]]).unwrap_or(());
+            db.load("R2", [[i % 5, i]]).unwrap_or(());
+        }
+        let view = SpjExpr::new(["R0", "R1", "R2"], Condition::always_true(), None);
+        let mut txn = Transaction::new();
+        txn.insert("R2", [2, 999]).unwrap();
+        let reordered = differential_delta(
+            &view,
+            &db,
+            &txn,
+            &DiffOptions {
+                reorder_operands: true,
+                ..DiffOptions::default()
+            },
+        )
+        .unwrap();
+        let in_order = differential_delta(
+            &view,
+            &db,
+            &txn,
+            &DiffOptions {
+                reorder_operands: false,
+                ..DiffOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(reordered.delta, in_order.delta);
+        assert!(
+            reordered.stats.operand_tuples <= in_order.stats.operand_tuples,
+            "change-first order must not read more tuples"
+        );
+        // And the delta has the canonical scheme despite reordering.
+        assert_eq!(
+            reordered.delta.schema().attrs(),
+            &["A0".into(), "A1".into(), "A2".into(), "A3".into()]
+        );
+    }
+
+    #[test]
+    fn self_join_view() {
+        let mut db = Database::new();
+        db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+        db.load("R", [[1, 10], [2, 20]]).unwrap();
+        let view = SpjExpr::new(["R", "R"], Atom::lt_const("A", 100).into(), None);
+        let mut txn = Transaction::new();
+        txn.insert("R", [3, 30]).unwrap();
+        txn.delete("R", [1, 10]).unwrap();
+        check_equivalence(&db, &view, &txn);
+    }
+
+    #[test]
+    fn dnf_condition_all_options() {
+        use ivm_relational::predicate::Conjunction;
+        let (db, _) = setup();
+        let view = SpjExpr::new(
+            ["R", "S"],
+            Condition::dnf([
+                Conjunction::new([Atom::lt_const("A", 2)]),
+                Conjunction::new([Atom::gt_const("C", 12)]),
+            ]),
+            Some(vec!["A".into()]),
+        );
+        let mut txn = Transaction::new();
+        txn.insert("R", [0, 10]).unwrap();
+        txn.delete("S", [10, 15]).unwrap();
+        check_equivalence(&db, &view, &txn);
+    }
+
+    #[test]
+    fn parts_api_matches_database_api() {
+        let (db, view) = setup();
+        let mut txn = Transaction::new();
+        txn.insert("R", [7, 10]).unwrap();
+        txn.delete("S", [10, 15]).unwrap();
+        let via_db = differential_delta(&view, &db, &txn, &DiffOptions::default()).unwrap();
+
+        let r = db.relation("R").unwrap();
+        let s = db.relation("S").unwrap();
+        let updates = vec![
+            Some(OperandUpdate {
+                inserts: txn.insert_set("R", r.schema()).unwrap(),
+                deletes: txn.delete_set("R", r.schema()).unwrap(),
+            }),
+            Some(OperandUpdate {
+                inserts: txn.insert_set("S", s.schema()).unwrap(),
+                deletes: txn.delete_set("S", s.schema()).unwrap(),
+            }),
+        ];
+        let via_parts =
+            differential_delta_parts(&view, &[r, s], &updates, &DiffOptions::default()).unwrap();
+        assert_eq!(via_db.delta, via_parts.delta);
+    }
+
+    #[test]
+    fn stats_outputs_match_delta() {
+        let (db, view) = setup();
+        let mut txn = Transaction::new();
+        txn.insert("R", [7, 10]).unwrap();
+        txn.delete("R", [1, 10]).unwrap();
+        let r = differential_delta(&view, &db, &txn, &DiffOptions::default()).unwrap();
+        let (ins, del) = r.delta.split();
+        assert_eq!(
+            r.stats.output_inserts,
+            ins.iter().map(|(_, c)| c).sum::<u64>()
+        );
+        assert_eq!(
+            r.stats.output_deletes,
+            del.iter().map(|(_, c)| c).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn plain_options_reproduce_paper_algorithm() {
+        let (db, view) = setup();
+        let mut txn = Transaction::new();
+        txn.insert("R", [7, 10]).unwrap();
+        txn.insert("S", [20, 50]).unwrap();
+        let plain = differential_delta(&view, &db, &txn, &DiffOptions::plain()).unwrap();
+        let tuned = differential_delta(&view, &db, &txn, &DiffOptions::default()).unwrap();
+        assert_eq!(plain.delta, tuned.delta);
+        assert_eq!(plain.stats.rows_evaluated, 3);
+    }
+}

@@ -1,0 +1,95 @@
+//! The binary truth table of §5.3.
+//!
+//! For a view over `p` relations, associate a binary variable `B_i` with
+//! each operand: `B_i = 0` selects the old tuples, `B_i = 1` the changed
+//! tuples. The expansion of the updated view by distributivity of ⋈ over
+//! ∪ is the union over all 2^p rows; the all-zero row is the current
+//! materialization and is skipped, and "in practice it is not necessary to
+//! build a table with 2^p rows — by knowing which relations have been
+//! modified we can build only those rows representing the necessary
+//! subexpressions … assuming only k such relations were modified, building
+//! the table can be done in time O(2^k)."
+
+/// One row: `row[i]` is the value of `B_i`.
+pub type Row = Vec<bool>;
+
+/// Enumerate the truth-table rows that must be evaluated: every assignment
+/// that sets `B_i = 1` only for updated relations, except the all-zero row.
+///
+/// Rows are produced in the paper's order — counting up with the *last*
+/// updated relation as the least-significant bit — so for `p = 3`, all
+/// updated, the sequence is `001, 010, 011, 100, 101, 110, 111`.
+pub fn rows(p: usize, updated: &[usize]) -> Vec<Row> {
+    let k = updated.len();
+    assert!(k <= 63, "more than 63 updated relations is not supported");
+    debug_assert!(updated.iter().all(|&i| i < p), "updated index out of range");
+    let mut out = Vec::with_capacity((1usize << k).saturating_sub(1));
+    for mask in 1u64..(1u64 << k) {
+        let mut row = vec![false; p];
+        for (j, &rel) in updated.iter().enumerate() {
+            // Bit j counts from the most significant side so the table
+            // reads like the paper's.
+            if mask >> (k - 1 - j) & 1 == 1 {
+                row[rel] = true;
+            }
+        }
+        out.push(row);
+    }
+    out
+}
+
+/// Number of rows that will be evaluated for `k` updated relations:
+/// `2^k − 1`.
+pub fn row_count(k: usize) -> usize {
+    (1usize << k) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fmt(rows: &[Row]) -> Vec<String> {
+        rows.iter()
+            .map(|r| r.iter().map(|&b| if b { '1' } else { '0' }).collect())
+            .collect()
+    }
+
+    #[test]
+    fn paper_p3_table_all_updated() {
+        // The paper's p = 3 table, minus the discarded all-zero row 1.
+        let r = rows(3, &[0, 1, 2]);
+        assert_eq!(
+            fmt(&r),
+            vec!["001", "010", "011", "100", "101", "110", "111"]
+        );
+    }
+
+    #[test]
+    fn paper_example_r1_r2_updated() {
+        // "Suppose a transaction contains insertions to relations r1 and r2
+        // only. One can discard all rows where B3 = 1 (rows 2,4,6,8) and
+        // row 1; to bring the view up to date we need only rows 3, 5, 7":
+        // 010, 100, 110.
+        let r = rows(3, &[0, 1]);
+        assert_eq!(fmt(&r), vec!["010", "100", "110"]);
+    }
+
+    #[test]
+    fn single_updated_relation_single_row() {
+        let r = rows(4, &[2]);
+        assert_eq!(fmt(&r), vec!["0010"]);
+    }
+
+    #[test]
+    fn row_counts_are_2k_minus_1() {
+        for k in 0..10 {
+            assert_eq!(row_count(k), (1 << k) - 1);
+        }
+        assert_eq!(rows(6, &[1, 3, 5]).len(), row_count(3));
+    }
+
+    #[test]
+    fn no_updates_no_rows() {
+        assert!(rows(3, &[]).is_empty());
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type for the view-maintenance layer.
+
+use std::fmt;
+
+use ivm_relational::error::RelError;
+use ivm_satisfiability::error::SatError;
+
+/// Errors raised by view registration, relevance analysis and differential
+/// maintenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IvmError {
+    /// An error bubbled up from the relational substrate.
+    Relational(RelError),
+    /// An error bubbled up from the satisfiability engine.
+    Satisfiability(SatError),
+    /// A view with this name is already registered.
+    DuplicateView(String),
+    /// No view with this name is registered.
+    UnknownView(String),
+    /// The named relation does not participate in the view, so a relevance
+    /// filter for it cannot be built.
+    RelationNotInView {
+        /// The relation name.
+        relation: String,
+        /// The view it was checked against.
+        view: String,
+    },
+    /// The view definition fell outside the supported SPJ class (e.g. no
+    /// operand relations).
+    UnsupportedView(String),
+}
+
+impl fmt::Display for IvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IvmError::Relational(e) => write!(f, "relational error: {e}"),
+            IvmError::Satisfiability(e) => write!(f, "satisfiability error: {e}"),
+            IvmError::DuplicateView(n) => write!(f, "view {n} already registered"),
+            IvmError::UnknownView(n) => write!(f, "unknown view {n}"),
+            IvmError::RelationNotInView { relation, view } => {
+                write!(f, "relation {relation} does not participate in view {view}")
+            }
+            IvmError::UnsupportedView(msg) => write!(f, "unsupported view definition: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IvmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IvmError::Relational(e) => Some(e),
+            IvmError::Satisfiability(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelError> for IvmError {
+    fn from(e: RelError) -> Self {
+        IvmError::Relational(e)
+    }
+}
+
+impl From<SatError> for IvmError {
+    fn from(e: SatError) -> Self {
+        IvmError::Satisfiability(e)
+    }
+}
+
+/// Result alias for the view-maintenance layer.
+pub type Result<T> = std::result::Result<T, IvmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: IvmError = RelError::UnknownRelation("r".into()).into();
+        assert!(e.to_string().contains('r'));
+        let e: IvmError = SatError::VarOutOfRange {
+            var: 1,
+            num_vars: 0,
+        }
+        .into();
+        assert!(e.to_string().contains("x1"));
+        assert!(IvmError::UnknownView("v".into()).to_string().contains('v'));
+    }
+
+    #[test]
+    fn source_chains() {
+        use std::error::Error;
+        let e: IvmError = RelError::UnknownRelation("r".into()).into();
+        assert!(e.source().is_some());
+        assert!(IvmError::DuplicateView("v".into()).source().is_none());
+    }
+}

@@ -1,0 +1,990 @@
+//! The view manager: end-to-end maintenance of registered views.
+//!
+//! Ties the paper together: transactions are validated and applied to the
+//! base relations; for every registered view the update sets are first
+//! passed through the §4 relevance filter, and the survivors drive the §5
+//! differential engine. Three refresh policies are supported:
+//!
+//! * [`RefreshPolicy::Immediate`] — the paper's main assumption: "views
+//!   are materialized every time a transaction updates the database",
+//!   maintenance runs as the last operation of the transaction;
+//! * [`RefreshPolicy::Deferred`] — the §6 *snapshot* model \[AL80\]:
+//!   changes accumulate and are folded in on explicit
+//!   [`ViewManager::refresh`] (snapshot refresh);
+//! * [`RefreshPolicy::OnDemand`] — like deferred, but a query
+//!   ([`ViewManager::query`]) triggers the refresh first.
+//!
+//! Alerters in the style of Buneman & Clemons \[BC79\] can subscribe to a
+//! view with [`ViewManager::on_change`]; they are invoked with the view
+//! delta whenever maintenance changes the view.
+//!
+//! Orthogonally to *when*, [`MaintenanceStrategy`] controls *how*: always
+//! differentially (the paper's proposal), always by full re-evaluation
+//! (the §1 strawman), or per-transaction via the §6 cost model. General
+//! algebra trees (∪/− included) register through
+//! [`ViewManager::register_tree_view`] and are maintained by the recursive
+//! delta rules of [`crate::differential::tree`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use ivm_relational::database::Database;
+use ivm_relational::delta::DeltaRelation;
+use ivm_relational::expr::{Expr, SpjExpr};
+use ivm_relational::relation::Relation;
+use ivm_relational::schema::Schema;
+use ivm_relational::transaction::Transaction;
+use ivm_relational::tuple::Tuple;
+
+use crate::differential::{differential_delta, DiffOptions};
+use crate::error::{IvmError, Result};
+use crate::relevance::{FilterStats, RelevanceFilter};
+use crate::stats::DiffStats;
+use crate::view::{MaterializedView, ViewDefinition};
+
+/// How an immediate view is brought up to date when a relevant
+/// transaction arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaintenanceStrategy {
+    /// Always run the §5 differential algorithm (the paper's proposal).
+    #[default]
+    AlwaysDifferential,
+    /// Always re-evaluate from scratch (the §1 strawman; useful as a
+    /// baseline and for bulk rebuilds).
+    AlwaysFull,
+    /// Decide per transaction with the §6 cost model
+    /// ([`crate::cost::prefer_differential`]): differential while change
+    /// sets are small, full re-evaluation for wholesale changes.
+    CostBased,
+}
+
+/// When a registered view is brought up to date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefreshPolicy {
+    /// Maintain as part of every transaction commit (§5 assumption).
+    #[default]
+    Immediate,
+    /// Accumulate changes; refresh only on an explicit
+    /// [`ViewManager::refresh`] (§6 snapshot refresh).
+    Deferred,
+    /// Accumulate changes; refresh lazily when the view is queried.
+    OnDemand,
+}
+
+/// Per-view maintenance statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaintenanceStats {
+    /// Transactions that touched at least one operand relation.
+    pub transactions_seen: usize,
+    /// Differential maintenance runs actually executed.
+    pub maintenance_runs: usize,
+    /// Transactions skipped entirely because the relevance filter proved
+    /// every changed tuple irrelevant.
+    pub skipped_by_filter: usize,
+    /// Full re-evaluations chosen by the maintenance strategy.
+    pub full_recomputes: usize,
+    /// Accumulated relevance-filter statistics.
+    pub filter: FilterStats,
+    /// Accumulated differential-engine statistics.
+    pub diff: DiffStats,
+}
+
+/// Change listener: called with the view's delta after maintenance.
+pub type ChangeListener = Arc<dyn Fn(&str, &DeltaRelation) + Send + Sync>;
+
+struct ManagedView {
+    view: MaterializedView,
+    policy: RefreshPolicy,
+    /// Accumulated base-relation deltas since the last refresh (deferred
+    /// policies only), already relevance-filtered.
+    pending: BTreeMap<String, DeltaRelation>,
+    /// Lazily built relevance filters, one per operand relation.
+    filters: HashMap<String, RelevanceFilter>,
+    listeners: Vec<ChangeListener>,
+    stats: MaintenanceStats,
+}
+
+/// A general-algebra view maintained by
+/// [`crate::differential::tree_delta`] (always immediate, no relevance
+/// filtering — there is no SPJ normal form to analyze).
+struct ManagedTreeView {
+    view: crate::differential::MaterializedExpr,
+    base_relations: Vec<String>,
+    listeners: Vec<ChangeListener>,
+    stats: MaintenanceStats,
+}
+
+/// A database plus its registered, automatically maintained views.
+pub struct ViewManager {
+    db: Database,
+    views: BTreeMap<String, ManagedView>,
+    tree_views: BTreeMap<String, ManagedTreeView>,
+    options: DiffOptions,
+    strategy: MaintenanceStrategy,
+    filtering_enabled: bool,
+}
+
+impl ViewManager {
+    /// A manager over an empty database with default engine options.
+    pub fn new() -> Self {
+        ViewManager {
+            db: Database::new(),
+            views: BTreeMap::new(),
+            tree_views: BTreeMap::new(),
+            options: DiffOptions::default(),
+            strategy: MaintenanceStrategy::default(),
+            filtering_enabled: true,
+        }
+    }
+
+    /// Override the differential-engine options.
+    pub fn with_options(mut self, options: DiffOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Override the maintenance strategy for immediate views.
+    pub fn with_strategy(mut self, strategy: MaintenanceStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Disable the §4 relevance filter (ablation: differential maintenance
+    /// runs on every update).
+    pub fn with_filtering(mut self, enabled: bool) -> Self {
+        self.filtering_enabled = enabled;
+        self
+    }
+
+    /// The current database state.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Create a base relation.
+    pub fn create_relation(&mut self, name: impl Into<String>, schema: Schema) -> Result<()> {
+        self.db.create(name, schema)?;
+        Ok(())
+    }
+
+    /// Bulk-load rows. Routed through a transaction so registered views
+    /// stay consistent.
+    pub fn load<T: Into<Tuple>>(
+        &mut self,
+        relation: &str,
+        rows: impl IntoIterator<Item = T>,
+    ) -> Result<()> {
+        let mut txn = Transaction::new();
+        txn.insert_all(relation, rows)?;
+        self.execute(&txn)
+    }
+
+    /// Register and materialize a view.
+    pub fn register_view(
+        &mut self,
+        name: impl Into<String>,
+        expr: SpjExpr,
+        policy: RefreshPolicy,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.views.contains_key(&name) || self.tree_views.contains_key(&name) {
+            return Err(IvmError::DuplicateView(name));
+        }
+        let def = ViewDefinition::new(name.clone(), expr)?;
+        let view = MaterializedView::materialize(def, &self.db)?;
+        self.views.insert(
+            name,
+            ManagedView {
+                view,
+                policy,
+                pending: BTreeMap::new(),
+                filters: HashMap::new(),
+                listeners: Vec::new(),
+                stats: MaintenanceStats::default(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Register a general-algebra view (any [`Expr`] tree, including ∪
+    /// and −), maintained immediately via the recursive delta rules of
+    /// [`crate::differential::tree_delta`]. Tree views do not go through
+    /// the relevance filter.
+    pub fn register_tree_view(&mut self, name: impl Into<String>, expr: Expr) -> Result<()> {
+        let name = name.into();
+        if self.views.contains_key(&name) || self.tree_views.contains_key(&name) {
+            return Err(IvmError::DuplicateView(name));
+        }
+        let base_relations = expr.base_relations();
+        let view = crate::differential::MaterializedExpr::materialize(expr, &self.db)?;
+        self.tree_views.insert(
+            name,
+            ManagedTreeView {
+                view,
+                base_relations,
+                listeners: Vec::new(),
+                stats: MaintenanceStats::default(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Subscribe an alerter to a view's changes.
+    pub fn on_change(&mut self, view: &str, listener: ChangeListener) -> Result<()> {
+        if let Some(tv) = self.tree_views.get_mut(view) {
+            tv.listeners.push(listener);
+            return Ok(());
+        }
+        self.managed_mut(view)?.listeners.push(listener);
+        Ok(())
+    }
+
+    fn managed(&self, name: &str) -> Result<&ManagedView> {
+        self.views
+            .get(name)
+            .ok_or_else(|| IvmError::UnknownView(name.to_owned()))
+    }
+
+    fn managed_mut(&mut self, name: &str) -> Result<&mut ManagedView> {
+        self.views
+            .get_mut(name)
+            .ok_or_else(|| IvmError::UnknownView(name.to_owned()))
+    }
+
+    /// Current contents of a view *without* refreshing (deferred views may
+    /// be stale).
+    pub fn view_contents(&self, name: &str) -> Result<&Relation> {
+        if let Some(tv) = self.tree_views.get(name) {
+            return Ok(tv.view.contents());
+        }
+        Ok(self.managed(name)?.view.contents())
+    }
+
+    /// Maintenance statistics for a view.
+    pub fn stats(&self, name: &str) -> Result<MaintenanceStats> {
+        if let Some(tv) = self.tree_views.get(name) {
+            return Ok(tv.stats);
+        }
+        Ok(self.managed(name)?.stats)
+    }
+
+    /// The defining expression of a registered view.
+    pub fn view_expr(&self, name: &str) -> Result<SpjExpr> {
+        Ok(self.managed(name)?.view.definition().expr().clone())
+    }
+
+    /// The refresh policy of a registered (SPJ) view.
+    pub fn view_policy(&self, name: &str) -> Result<RefreshPolicy> {
+        Ok(self.managed(name)?.policy)
+    }
+
+    /// Names of registered views.
+    pub fn view_names(&self) -> impl Iterator<Item = &str> {
+        self.views
+            .keys()
+            .map(String::as_str)
+            .chain(self.tree_views.keys().map(String::as_str))
+    }
+
+    /// Relevance-filter a transaction for one view: returns the filtered
+    /// transaction restricted to the view's operand relations, or `None`
+    /// when nothing relevant remains. Filters are built lazily and cached.
+    fn filter_for_view(
+        db: &Database,
+        mv: &mut ManagedView,
+        txn: &Transaction,
+        filtering_enabled: bool,
+    ) -> Result<Option<Transaction>> {
+        let expr = mv.view.definition().expr().clone();
+        let mut filtered = Transaction::new();
+        let mut any = false;
+        for relation in txn.touched() {
+            if expr.position_of(relation).is_none() {
+                continue;
+            }
+            if !filtering_enabled {
+                for t in txn.inserted(relation) {
+                    filtered.insert(relation, t.clone())?;
+                    any = true;
+                }
+                for t in txn.deleted(relation) {
+                    filtered.delete(relation, t.clone())?;
+                    any = true;
+                }
+                continue;
+            }
+            if !mv.filters.contains_key(relation) {
+                let f = RelevanceFilter::new(&expr, db, relation)?;
+                mv.filters.insert(relation.to_owned(), f);
+            }
+            let f = &mv.filters[relation];
+            for t in txn.inserted(relation) {
+                mv.stats.filter.checked += 1;
+                if f.is_relevant(t)? {
+                    mv.stats.filter.relevant += 1;
+                    filtered.insert(relation, t.clone())?;
+                    any = true;
+                } else {
+                    mv.stats.filter.irrelevant += 1;
+                }
+            }
+            for t in txn.deleted(relation) {
+                mv.stats.filter.checked += 1;
+                if f.is_relevant(t)? {
+                    mv.stats.filter.relevant += 1;
+                    filtered.delete(relation, t.clone())?;
+                    any = true;
+                } else {
+                    mv.stats.filter.irrelevant += 1;
+                }
+            }
+        }
+        Ok(any.then_some(filtered))
+    }
+
+    /// Execute a transaction: validate, maintain immediate views, apply to
+    /// the base relations, and queue changes for deferred views.
+    pub fn execute(&mut self, txn: &Transaction) -> Result<()> {
+        self.db.validate(txn)?;
+        // Phase 1: compute deltas for immediate views against the
+        // pre-transaction state. `None` marks a view scheduled for full
+        // re-evaluation after the base update (strategy decision).
+        let mut deltas: Vec<(String, Option<DeltaRelation>)> = Vec::new();
+        for (name, mv) in &mut self.views {
+            let touches = txn
+                .touched()
+                .iter()
+                .any(|r| mv.view.definition().expr().position_of(r).is_some());
+            if !touches {
+                continue;
+            }
+            mv.stats.transactions_seen += 1;
+            match mv.policy {
+                RefreshPolicy::Immediate => {
+                    let filtered =
+                        Self::filter_for_view(&self.db, mv, txn, self.filtering_enabled)?;
+                    match filtered {
+                        None => mv.stats.skipped_by_filter += 1,
+                        Some(ftxn) => {
+                            let use_full = match self.strategy {
+                                MaintenanceStrategy::AlwaysDifferential => false,
+                                MaintenanceStrategy::AlwaysFull => true,
+                                MaintenanceStrategy::CostBased => {
+                                    let mut sizes = Vec::new();
+                                    for rel in &mv.view.definition().expr().relations {
+                                        sizes.push(crate::cost::OperandSize {
+                                            old: self.db.relation(rel)?.len() as u64,
+                                            changed: (ftxn.inserted(rel).count()
+                                                + ftxn.deleted(rel).count())
+                                                as u64,
+                                        });
+                                    }
+                                    !crate::cost::prefer_differential(&sizes)
+                                }
+                            };
+                            if use_full {
+                                mv.stats.full_recomputes += 1;
+                                deltas.push((name.clone(), None));
+                            } else {
+                                let result = differential_delta(
+                                    mv.view.definition().expr(),
+                                    &self.db,
+                                    &ftxn,
+                                    &self.options,
+                                )?;
+                                mv.stats.maintenance_runs += 1;
+                                mv.stats.diff += result.stats;
+                                deltas.push((name.clone(), Some(result.delta)));
+                            }
+                        }
+                    }
+                }
+                RefreshPolicy::Deferred | RefreshPolicy::OnDemand => {
+                    let filtered =
+                        Self::filter_for_view(&self.db, mv, txn, self.filtering_enabled)?;
+                    let Some(ftxn) = filtered else {
+                        mv.stats.skipped_by_filter += 1;
+                        continue;
+                    };
+                    for relation in ftxn.touched() {
+                        let schema = self.db.schema(relation)?.clone();
+                        let delta = ftxn.delta(relation, &schema)?;
+                        match mv.pending.get_mut(relation) {
+                            Some(acc) => acc.merge(&delta)?,
+                            None => {
+                                mv.pending.insert(relation.to_owned(), delta);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Phase 1b: tree views (always immediate; read-only against the
+        // pre-transaction state).
+        let mut tree_deltas: Vec<(String, DeltaRelation)> = Vec::new();
+        for (name, tv) in &mut self.tree_views {
+            let touches = txn
+                .touched()
+                .iter()
+                .any(|r| tv.base_relations.iter().any(|b| b == r));
+            if !touches {
+                continue;
+            }
+            tv.stats.transactions_seen += 1;
+            let delta = crate::differential::tree_delta(tv.view.expr(), &self.db, txn)?;
+            tv.stats.maintenance_runs += 1;
+            tree_deltas.push((name.clone(), delta));
+        }
+        // Phase 2: apply to base relations.
+        self.db.apply(txn)?;
+        // Phase 3: apply view deltas (or full recomputations) and notify
+        // listeners.
+        for (name, delta) in deltas {
+            let mv = self.views.get_mut(&name).expect("view exists");
+            let delta = match delta {
+                Some(d) => {
+                    mv.view.apply(&d)?;
+                    d
+                }
+                None => {
+                    // Full re-evaluation against the new state; the delta
+                    // is still derived so listeners see a change stream.
+                    let new_contents =
+                        crate::full_reval::recompute(mv.view.definition().expr(), &self.db)?;
+                    let mut d = new_contents.to_delta();
+                    for (t, c) in mv.view.contents().iter() {
+                        d.add(t.clone(), -(c as i64));
+                    }
+                    mv.view.replace(new_contents);
+                    d
+                }
+            };
+            if !delta.is_empty() {
+                for l in &mv.listeners {
+                    l(&name, &delta);
+                }
+            }
+        }
+        for (name, delta) in tree_deltas {
+            let tv = self.tree_views.get_mut(&name).expect("tree view exists");
+            tv.view.apply(&delta)?;
+            if !delta.is_empty() {
+                for l in &tv.listeners {
+                    l(&name, &delta);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Refresh a deferred/on-demand view by folding in its accumulated
+    /// changes with one differential pass (snapshot refresh, §6). No-op for
+    /// immediate views or when nothing is pending.
+    pub fn refresh(&mut self, name: &str) -> Result<()> {
+        if self.tree_views.contains_key(name) {
+            return Ok(()); // tree views are maintained immediately
+        }
+        let options = self.options;
+        let mv = self.managed_mut(name)?;
+        if mv.pending.is_empty() {
+            return Ok(());
+        }
+        let pending = std::mem::take(&mut mv.pending);
+        // Reconstruct only the *changed* operands as of the last refresh
+        // (old = current − pending); untouched operands are borrowed from
+        // the live database.
+        //
+        // Soundness note: `pending` is relevance-filtered, so the
+        // reconstructed state differs from the true old state by exactly
+        // the irrelevant tuples. By Theorem 4.1 those tuples cannot appear
+        // in any view tuple (their substituted condition is unsatisfiable
+        // in every state), so V(reconstructed) = V(true old) and the
+        // differential below is computed against an equivalent baseline.
+        let expr = mv.view.definition().expr().clone();
+        let mut reconstructed: HashMap<&str, Relation> = HashMap::new();
+        for (relation, delta) in &pending {
+            let mut rel = self.db.relation(relation)?.clone();
+            rel.apply_delta(&delta.negated())?;
+            reconstructed.insert(relation.as_str(), rel);
+        }
+        let mut old: Vec<&Relation> = Vec::with_capacity(expr.arity());
+        let mut updates = Vec::with_capacity(expr.arity());
+        for relation in &expr.relations {
+            match reconstructed.get(relation.as_str()) {
+                Some(rel) => {
+                    old.push(rel);
+                    let delta = &pending[relation];
+                    let mut inserts = Relation::empty(rel.schema().clone());
+                    let mut deletes = Relation::empty(rel.schema().clone());
+                    for (t, c) in delta.iter() {
+                        debug_assert!(c.abs() == 1, "base relations are sets");
+                        if c > 0 {
+                            inserts.insert(t.clone(), 1)?;
+                        } else {
+                            deletes.insert(t.clone(), 1)?;
+                        }
+                    }
+                    updates.push(Some(crate::differential::OperandUpdate {
+                        inserts,
+                        deletes,
+                    }));
+                }
+                None => {
+                    old.push(self.db.relation(relation)?);
+                    updates.push(None);
+                }
+            }
+        }
+        let result =
+            crate::differential::differential_delta_parts(&expr, &old, &updates, &options)?;
+        let mv = self.managed_mut(name)?;
+        mv.stats.maintenance_runs += 1;
+        mv.stats.diff += result.stats;
+        mv.view.apply(&result.delta)?;
+        if !result.delta.is_empty() {
+            let listeners = mv.listeners.clone();
+            let delta = result.delta;
+            for l in &listeners {
+                l(name, &delta);
+            }
+        }
+        Ok(())
+    }
+
+    /// Query a view: refreshes first for [`RefreshPolicy::OnDemand`]
+    /// views, then returns a clone of the contents.
+    pub fn query(&mut self, name: &str) -> Result<Relation> {
+        if let Some(tv) = self.tree_views.get(name) {
+            return Ok(tv.view.contents().clone());
+        }
+        if self.managed(name)?.policy == RefreshPolicy::OnDemand {
+            self.refresh(name)?;
+        }
+        Ok(self.managed(name)?.view.contents().clone())
+    }
+
+    /// Check every view against a full re-evaluation (test/debug helper).
+    /// Deferred views are compared after an implicit refresh.
+    pub fn verify_consistency(&mut self) -> Result<()> {
+        let names: Vec<String> = self.views.keys().cloned().collect();
+        for name in names {
+            self.refresh(&name)?;
+            let mv = self.managed(&name)?;
+            if !mv.view.consistent_with(&self.db)? {
+                return Err(IvmError::UnsupportedView(format!(
+                    "view {name} diverged from full re-evaluation"
+                )));
+            }
+        }
+        for (name, tv) in &self.tree_views {
+            if !tv.view.consistent_with(&self.db)? {
+                return Err(IvmError::UnsupportedView(format!(
+                    "tree view {name} diverged from full re-evaluation"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for ViewManager {
+    fn default() -> Self {
+        ViewManager::new()
+    }
+}
+
+/// A clonable, thread-safe handle around a [`ViewManager`]
+/// (`parking_lot::RwLock`), for concurrent alerter-style consumers.
+#[derive(Clone)]
+pub struct SharedViewManager {
+    inner: Arc<RwLock<ViewManager>>,
+}
+
+impl SharedViewManager {
+    /// Wrap a manager.
+    pub fn new(manager: ViewManager) -> Self {
+        SharedViewManager {
+            inner: Arc::new(RwLock::new(manager)),
+        }
+    }
+
+    /// Execute a transaction under the write lock.
+    pub fn execute(&self, txn: &Transaction) -> Result<()> {
+        self.inner.write().execute(txn)
+    }
+
+    /// Query a view (may refresh on-demand views; takes the write lock).
+    pub fn query(&self, name: &str) -> Result<Relation> {
+        self.inner.write().query(name)
+    }
+
+    /// Read-only access to the manager.
+    pub fn read<T>(&self, f: impl FnOnce(&ViewManager) -> T) -> T {
+        f(&self.inner.read())
+    }
+
+    /// Exclusive access to the manager.
+    pub fn write<T>(&self, f: impl FnOnce(&mut ViewManager) -> T) -> T {
+        f(&mut self.inner.write())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_relational::predicate::{Atom, Condition};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn manager_with_data() -> ViewManager {
+        let mut m = ViewManager::new();
+        m.create_relation("R", Schema::new(["A", "B"]).unwrap())
+            .unwrap();
+        m.create_relation("S", Schema::new(["B", "C"]).unwrap())
+            .unwrap();
+        m.load("R", [[1, 10], [2, 20]]).unwrap();
+        m.load("S", [[10, 100], [20, 200]]).unwrap();
+        m
+    }
+
+    fn view_expr() -> SpjExpr {
+        SpjExpr::new(
+            ["R", "S"],
+            Atom::lt_const("A", 10).into(),
+            Some(vec!["A".into(), "C".into()]),
+        )
+    }
+
+    #[test]
+    fn immediate_view_tracks_transactions() {
+        let mut m = manager_with_data();
+        m.register_view("v", view_expr(), RefreshPolicy::Immediate)
+            .unwrap();
+        let mut txn = Transaction::new();
+        txn.insert("R", [3, 10]).unwrap();
+        txn.delete("S", [20, 200]).unwrap();
+        m.execute(&txn).unwrap();
+        m.verify_consistency().unwrap();
+        let v = m.view_contents("v").unwrap();
+        assert!(v.contains(&Tuple::from([3, 100])));
+        assert!(!v.contains(&Tuple::from([2, 200])));
+    }
+
+    #[test]
+    fn filter_skips_irrelevant_transactions() {
+        let mut m = manager_with_data();
+        m.register_view("v", view_expr(), RefreshPolicy::Immediate)
+            .unwrap();
+        // A = 50 violates A < 10: provably irrelevant.
+        let mut txn = Transaction::new();
+        txn.insert("R", [50, 10]).unwrap();
+        m.execute(&txn).unwrap();
+        let s = m.stats("v").unwrap();
+        assert_eq!(s.skipped_by_filter, 1);
+        assert_eq!(s.maintenance_runs, 0);
+        assert_eq!(s.filter.irrelevant, 1);
+        m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn filtering_can_be_disabled() {
+        let mut m = manager_with_data().with_filtering(false);
+        m.register_view("v", view_expr(), RefreshPolicy::Immediate)
+            .unwrap();
+        let mut txn = Transaction::new();
+        txn.insert("R", [50, 10]).unwrap();
+        m.execute(&txn).unwrap();
+        let s = m.stats("v").unwrap();
+        assert_eq!(s.skipped_by_filter, 0);
+        assert_eq!(s.maintenance_runs, 1);
+        m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn deferred_view_is_stale_until_refresh() {
+        let mut m = manager_with_data();
+        m.register_view("v", view_expr(), RefreshPolicy::Deferred)
+            .unwrap();
+        let mut txn = Transaction::new();
+        txn.insert("R", [3, 10]).unwrap();
+        m.execute(&txn).unwrap();
+        assert!(!m
+            .view_contents("v")
+            .unwrap()
+            .contains(&Tuple::from([3, 100])));
+        m.refresh("v").unwrap();
+        assert!(m
+            .view_contents("v")
+            .unwrap()
+            .contains(&Tuple::from([3, 100])));
+        m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn deferred_accumulates_and_cancels() {
+        let mut m = manager_with_data();
+        m.register_view("v", view_expr(), RefreshPolicy::Deferred)
+            .unwrap();
+        let mut t1 = Transaction::new();
+        t1.insert("R", [3, 10]).unwrap();
+        m.execute(&t1).unwrap();
+        let mut t2 = Transaction::new();
+        t2.delete("R", [3, 10]).unwrap();
+        m.execute(&t2).unwrap();
+        m.refresh("v").unwrap();
+        // Net no-op: view unchanged, and the refresh had nothing to do.
+        assert!(!m
+            .view_contents("v")
+            .unwrap()
+            .contains(&Tuple::from([3, 100])));
+        m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn on_demand_refreshes_at_query() {
+        let mut m = manager_with_data();
+        m.register_view("v", view_expr(), RefreshPolicy::OnDemand)
+            .unwrap();
+        let mut txn = Transaction::new();
+        txn.insert("R", [3, 10]).unwrap();
+        m.execute(&txn).unwrap();
+        let v = m.query("v").unwrap();
+        assert!(v.contains(&Tuple::from([3, 100])));
+    }
+
+    #[test]
+    fn listeners_fire_with_deltas() {
+        let mut m = manager_with_data();
+        m.register_view("v", view_expr(), RefreshPolicy::Immediate)
+            .unwrap();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        m.on_change(
+            "v",
+            Arc::new(move |_name, delta| {
+                h.fetch_add(delta.len(), Ordering::SeqCst);
+            }),
+        )
+        .unwrap();
+        let mut txn = Transaction::new();
+        txn.insert("R", [3, 10]).unwrap();
+        m.execute(&txn).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        // Irrelevant change: no notification.
+        let mut txn = Transaction::new();
+        txn.insert("R", [99, 10]).unwrap();
+        m.execute(&txn).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_views() {
+        let mut m = manager_with_data();
+        m.register_view("v", view_expr(), RefreshPolicy::Immediate)
+            .unwrap();
+        assert!(matches!(
+            m.register_view("v", view_expr(), RefreshPolicy::Immediate),
+            Err(IvmError::DuplicateView(_))
+        ));
+        assert!(matches!(m.refresh("zzz"), Err(IvmError::UnknownView(_))));
+    }
+
+    #[test]
+    fn multiple_views_one_transaction() {
+        let mut m = manager_with_data();
+        m.register_view("v1", view_expr(), RefreshPolicy::Immediate)
+            .unwrap();
+        m.register_view(
+            "v2",
+            SpjExpr::new(["S"], Atom::gt_const("C", 150).into(), None),
+            RefreshPolicy::Immediate,
+        )
+        .unwrap();
+        let mut txn = Transaction::new();
+        txn.insert("S", [10, 300]).unwrap();
+        m.execute(&txn).unwrap();
+        m.verify_consistency().unwrap();
+        assert!(m
+            .view_contents("v2")
+            .unwrap()
+            .contains(&Tuple::from([10, 300])));
+        assert!(m
+            .view_contents("v1")
+            .unwrap()
+            .contains(&Tuple::from([1, 300])));
+    }
+
+    #[test]
+    fn shared_manager_roundtrip() {
+        let shared = SharedViewManager::new(manager_with_data());
+        shared
+            .write(|m| m.register_view("v", view_expr(), RefreshPolicy::Immediate))
+            .unwrap();
+        let mut txn = Transaction::new();
+        txn.insert("R", [3, 10]).unwrap();
+        shared.execute(&txn).unwrap();
+        let v = shared.query("v").unwrap();
+        assert!(v.contains(&Tuple::from([3, 100])));
+        let count = shared.read(|m| m.view_names().count());
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn always_full_strategy_recomputes() {
+        let mut m = manager_with_data().with_strategy(MaintenanceStrategy::AlwaysFull);
+        m.register_view("v", view_expr(), RefreshPolicy::Immediate)
+            .unwrap();
+        let mut txn = Transaction::new();
+        txn.insert("R", [3, 10]).unwrap();
+        m.execute(&txn).unwrap();
+        let s = m.stats("v").unwrap();
+        assert_eq!(s.full_recomputes, 1);
+        assert_eq!(s.maintenance_runs, 0);
+        assert!(m
+            .view_contents("v")
+            .unwrap()
+            .contains(&Tuple::from([3, 100])));
+        m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn full_strategy_still_notifies_listeners() {
+        let mut m = manager_with_data().with_strategy(MaintenanceStrategy::AlwaysFull);
+        m.register_view("v", view_expr(), RefreshPolicy::Immediate)
+            .unwrap();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        m.on_change(
+            "v",
+            Arc::new(move |_, d| {
+                h.fetch_add(d.len(), Ordering::SeqCst);
+            }),
+        )
+        .unwrap();
+        let mut txn = Transaction::new();
+        txn.insert("R", [3, 10]).unwrap();
+        m.execute(&txn).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn cost_based_strategy_picks_differential_for_small_changes() {
+        let mut m = manager_with_data().with_strategy(MaintenanceStrategy::CostBased);
+        m.register_view("v", view_expr(), RefreshPolicy::Immediate)
+            .unwrap();
+        let mut txn = Transaction::new();
+        txn.insert("R", [3, 10]).unwrap();
+        m.execute(&txn).unwrap();
+        let s = m.stats("v").unwrap();
+        assert_eq!(s.maintenance_runs, 1);
+        assert_eq!(s.full_recomputes, 0);
+        m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn cost_based_strategy_picks_full_for_wholesale_changes() {
+        let mut m = ViewManager::new().with_strategy(MaintenanceStrategy::CostBased);
+        m.create_relation("R", Schema::new(["A", "B"]).unwrap())
+            .unwrap();
+        m.create_relation("S", Schema::new(["B", "C"]).unwrap())
+            .unwrap();
+        m.load("R", (0..100i64).map(|i| [i, i % 10]).collect::<Vec<_>>())
+            .unwrap();
+        m.load("S", (0..10i64).map(|i| [i, i * 7]).collect::<Vec<_>>())
+            .unwrap();
+        m.register_view(
+            "v",
+            SpjExpr::new(["R", "S"], Condition::always_true(), None),
+            RefreshPolicy::Immediate,
+        )
+        .unwrap();
+        // Replace nearly the whole of R in one transaction.
+        let mut txn = Transaction::new();
+        for i in 0..100i64 {
+            txn.delete("R", [i, i % 10]).unwrap();
+            txn.insert("R", [1000 + i, i % 10]).unwrap();
+        }
+        m.execute(&txn).unwrap();
+        let s = m.stats("v").unwrap();
+        assert_eq!(
+            s.full_recomputes, 1,
+            "wholesale change must trigger full re-eval"
+        );
+        assert_eq!(s.maintenance_runs, 0);
+        m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn tree_view_maintained_through_manager() {
+        let mut m = manager_with_data();
+        // (R ⋈ S) ∪ (R ⋈ S with C > 150): counted union over a join.
+        let joined =
+            ivm_relational::expr::Expr::base("R").join(ivm_relational::expr::Expr::base("S"));
+        let expr = joined
+            .clone()
+            .union(joined.select(Atom::gt_const("C", 150)));
+        m.register_tree_view("t", expr).unwrap();
+        assert_eq!(m.view_contents("t").unwrap().total_count(), 3); // 2 + 1
+
+        let mut txn = Transaction::new();
+        txn.insert("R", [3, 20]).unwrap(); // joins (20,200): counts in both branches
+        txn.delete("S", [10, 100]).unwrap();
+        m.execute(&txn).unwrap();
+        m.verify_consistency().unwrap();
+        let t = m.view_contents("t").unwrap();
+        assert_eq!(t.count(&Tuple::from([3, 20, 200])), 2);
+        assert!(!t.contains(&Tuple::from([1, 10, 100])));
+        let s = m.stats("t").unwrap();
+        assert_eq!(s.maintenance_runs, 1);
+    }
+
+    #[test]
+    fn tree_view_listener_and_query() {
+        let mut m = manager_with_data();
+        m.register_tree_view("t", ivm_relational::expr::Expr::base("R").project(["B"]))
+            .unwrap();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        m.on_change(
+            "t",
+            Arc::new(move |_, d| {
+                h.fetch_add(d.len(), Ordering::SeqCst);
+            }),
+        )
+        .unwrap();
+        let mut txn = Transaction::new();
+        txn.insert("R", [9, 90]).unwrap();
+        m.execute(&txn).unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        let q = m.query("t").unwrap();
+        assert!(q.contains(&Tuple::from([90])));
+        // Names include both kinds; duplicate names rejected across kinds.
+        assert_eq!(m.view_names().count(), 1);
+        assert!(matches!(
+            m.register_view("t", view_expr(), RefreshPolicy::Immediate),
+            Err(IvmError::DuplicateView(_))
+        ));
+        assert!(matches!(
+            m.register_tree_view("t", ivm_relational::expr::Expr::base("R")),
+            Err(IvmError::DuplicateView(_))
+        ));
+    }
+
+    #[test]
+    fn load_after_registration_maintains_view() {
+        let mut m = ViewManager::new();
+        m.create_relation("R", Schema::new(["A"]).unwrap()).unwrap();
+        m.register_view(
+            "v",
+            SpjExpr::new(["R"], Atom::lt_const("A", 10).into(), None),
+            RefreshPolicy::Immediate,
+        )
+        .unwrap();
+        m.load("R", [[1], [20]]).unwrap();
+        let v = m.view_contents("v").unwrap();
+        assert!(v.contains(&Tuple::from([1])));
+        assert!(!v.contains(&Tuple::from([20])));
+        m.verify_consistency().unwrap();
+    }
+}

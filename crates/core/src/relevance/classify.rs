@@ -1,0 +1,210 @@
+//! Formula classification and variable mapping (Definition 4.2).
+//!
+//! Given the scheme `R` of the updated relation, every atomic formula of
+//! the (normalized) condition falls into one of three classes:
+//!
+//! * **invariant** — mentions no attribute of `R`; unchanged by
+//!   substitution,
+//! * **variant evaluable** — all its variables are in `R`; substitution
+//!   turns it into a constant comparison `c op d`,
+//! * **variant non-evaluable** — some but not all variables in `R`;
+//!   substitution leaves a one-variable formula `z op c`.
+//!
+//! The classification drives Algorithm 4.1: the invariant subexpression's
+//! constraint graph is built once, the variant formulae are substituted per
+//! tuple.
+
+use std::collections::BTreeMap;
+
+use ivm_relational::attribute::AttrName;
+use ivm_relational::predicate::{Atom as RelAtom, CompOp, Condition, Conjunction, Rhs};
+use ivm_relational::schema::Schema;
+use ivm_satisfiability::atom::{Atom as SatAtom, Op};
+
+/// Mapping from the condition's attribute variables (`Y = α(C)`) to dense
+/// satisfiability-variable indices.
+#[derive(Debug, Clone, Default)]
+pub struct VarMap {
+    index: BTreeMap<AttrName, usize>,
+}
+
+impl VarMap {
+    /// Build the map from a condition's variable set (deterministic:
+    /// attributes sorted by name).
+    pub fn from_condition(cond: &Condition) -> Self {
+        let mut index = BTreeMap::new();
+        for v in cond.vars() {
+            let next = index.len();
+            index.entry(v).or_insert(next);
+        }
+        VarMap { index }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the condition mentions no variables.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Index of an attribute, if it participates in the condition.
+    pub fn get(&self, attr: &AttrName) -> Option<usize> {
+        self.index.get(attr).copied()
+    }
+
+    /// Iterate `(attribute, index)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&AttrName, usize)> {
+        self.index.iter().map(|(a, &i)| (a, i))
+    }
+}
+
+/// Translate a comparison operator.
+pub fn to_sat_op(op: CompOp) -> Op {
+    match op {
+        CompOp::Eq => Op::Eq,
+        CompOp::Lt => Op::Lt,
+        CompOp::Gt => Op::Gt,
+        CompOp::Le => Op::Le,
+        CompOp::Ge => Op::Ge,
+    }
+}
+
+/// Translate a relational atom into a satisfiability atom under a variable
+/// map. Panics if the atom mentions a variable outside the map (callers
+/// build the map from the same condition).
+pub fn to_sat_atom(atom: &RelAtom, vars: &VarMap) -> SatAtom {
+    let x = vars
+        .get(&atom.left)
+        .expect("condition variable present in VarMap");
+    match &atom.rhs {
+        Rhs::Const(c) => SatAtom::var_const(x, to_sat_op(atom.op), *c),
+        Rhs::AttrPlus(a, c) => {
+            let y = vars.get(a).expect("condition variable present in VarMap");
+            SatAtom::var_var(x, to_sat_op(atom.op), y, *c)
+        }
+    }
+}
+
+/// The Definition 4.2 class of a formula with respect to an updated
+/// relation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormulaClass {
+    /// Mentions no attribute of the updated relation.
+    Invariant,
+    /// Every variable is an attribute of the updated relation.
+    VariantEvaluable,
+    /// Some, but not all, variables are attributes of the updated relation.
+    VariantNonEvaluable,
+}
+
+/// Classify one atom against the updated relation's scheme.
+pub fn classify_atom(atom: &RelAtom, updated: &Schema) -> FormulaClass {
+    let total = atom.vars().count();
+    let in_scheme = atom.vars().filter(|a| updated.contains(a)).count();
+    if in_scheme == 0 {
+        FormulaClass::Invariant
+    } else if in_scheme == total {
+        FormulaClass::VariantEvaluable
+    } else {
+        FormulaClass::VariantNonEvaluable
+    }
+}
+
+/// Split a conjunction into `(invariant, variant)` atom lists — the
+/// `C_INV ∧ C_VEVAL ∧ C_VNEVAL` decomposition of Algorithm 4.1 step 2
+/// (both variant classes are handled uniformly by substitution, so they
+/// are returned together).
+pub fn split_conjunction<'a>(
+    conj: &'a Conjunction,
+    updated: &Schema,
+) -> (Vec<&'a RelAtom>, Vec<&'a RelAtom>) {
+    let mut invariant = Vec::new();
+    let mut variant = Vec::new();
+    for atom in &conj.atoms {
+        match classify_atom(atom, updated) {
+            FormulaClass::Invariant => invariant.push(atom),
+            _ => variant.push(atom),
+        }
+    }
+    (invariant, variant)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_relational::predicate::Atom;
+
+    fn r_schema() -> Schema {
+        Schema::new(["A", "B"]).unwrap()
+    }
+
+    /// Example 4.1's condition: (A < 10) ∧ (C > 5) ∧ (B = C).
+    fn cond() -> Condition {
+        Condition::conjunction([
+            Atom::lt_const("A", 10),
+            Atom::gt_const("C", 5),
+            Atom::eq_attr("B", "C"),
+        ])
+    }
+
+    #[test]
+    fn varmap_is_deterministic_and_complete() {
+        let m = VarMap::from_condition(&cond());
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(&"A".into()), Some(0));
+        assert_eq!(m.get(&"B".into()), Some(1));
+        assert_eq!(m.get(&"C".into()), Some(2));
+        assert_eq!(m.get(&"Z".into()), None);
+    }
+
+    #[test]
+    fn classify_example_41_for_update_on_r() {
+        // Updating R(A, B): (A<10) is variant evaluable, (C>5) invariant,
+        // (B=C) variant non-evaluable.
+        let s = r_schema();
+        assert_eq!(
+            classify_atom(&Atom::lt_const("A", 10), &s),
+            FormulaClass::VariantEvaluable
+        );
+        assert_eq!(
+            classify_atom(&Atom::gt_const("C", 5), &s),
+            FormulaClass::Invariant
+        );
+        assert_eq!(
+            classify_atom(&Atom::eq_attr("B", "C"), &s),
+            FormulaClass::VariantNonEvaluable
+        );
+    }
+
+    #[test]
+    fn split_partitions() {
+        let c = cond();
+        let (inv, var) = split_conjunction(&c.disjuncts[0], &r_schema());
+        assert_eq!(inv.len(), 1);
+        assert_eq!(var.len(), 2);
+    }
+
+    #[test]
+    fn to_sat_atom_round_trip_semantics() {
+        let m = VarMap::from_condition(&cond());
+        // (B = C) with B=x1, C=x2.
+        let a = to_sat_atom(&Atom::eq_attr("B", "C"), &m);
+        assert_eq!(a, SatAtom::var_var(1, Op::Eq, 2, 0));
+        let a = to_sat_atom(&Atom::lt_const("A", 10), &m);
+        assert_eq!(a, SatAtom::var_const(0, Op::Lt, 10));
+    }
+
+    #[test]
+    fn classify_with_offset_atoms() {
+        // (A ≤ C + 3) w.r.t. R(A,B): one of two vars in scheme.
+        let s = r_schema();
+        let a = Atom::cmp_attr("A", CompOp::Le, "C", 3);
+        assert_eq!(classify_atom(&a, &s), FormulaClass::VariantNonEvaluable);
+        // (A ≤ B + 3): both in scheme.
+        let a = Atom::cmp_attr("A", CompOp::Le, "B", 3);
+        assert_eq!(classify_atom(&a, &s), FormulaClass::VariantEvaluable);
+    }
+}

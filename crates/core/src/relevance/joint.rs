@@ -1,0 +1,164 @@
+//! Multi-tuple joint irrelevance — Theorem 4.2 / Definition 4.3.
+//!
+//! Theorem 4.2 generalizes substitution to *combinations* of tuples, one
+//! per updated relation: substituting `t₁, …, t_k` simultaneously, the
+//! combination is irrelevant iff `C(t₁, …, t_k, Y₂)` is unsatisfiable.
+//! The paper positions this not as an implementation of the per-update
+//! filter but as showing "the detection of irrelevant updates can be taken
+//! further by considering combinations of tuples from different relations"
+//! — concretely, a differential engine may skip a truth-table row's
+//! `i_{r₁} ⋈ … ⋈ i_{r_k}` contribution for any combination that is
+//! jointly irrelevant.
+
+use std::collections::HashMap;
+
+use ivm_relational::database::Database;
+use ivm_relational::expr::SpjExpr;
+use ivm_relational::tuple::Tuple;
+use ivm_satisfiability::conjunctive::{ConjunctiveFormula, Solver};
+
+use crate::error::{IvmError, Result};
+use crate::relevance::classify::{to_sat_atom, VarMap};
+
+/// Decide whether a combination of tuples — one per distinct updated
+/// relation — is jointly relevant to the view (Theorem 4.2).
+///
+/// `updates` pairs relation names with the tuple inserted into (or deleted
+/// from) each. If two tuples bind a shared (natural-join) attribute to
+/// *different* values, the combination can never produce a joined tuple
+/// and is reported irrelevant immediately.
+pub fn combination_relevant(
+    view: &SpjExpr,
+    db: &Database,
+    updates: &[(&str, &Tuple)],
+) -> Result<bool> {
+    let varmap = VarMap::from_condition(&view.condition);
+    // Gather bindings across all tuples; detect shared-attribute conflicts.
+    let mut bound: HashMap<usize, i64> = HashMap::new();
+    for &(relation, tuple) in updates {
+        if view.position_of(relation).is_none() {
+            return Err(IvmError::RelationNotInView {
+                relation: relation.to_owned(),
+                view: view.to_string(),
+            });
+        }
+        let schema = db.schema(relation)?;
+        tuple.check_arity(schema)?;
+        for (pos, attr) in schema.attrs().iter().enumerate() {
+            if let Some(var) = varmap.get(attr) {
+                let Some(v) = tuple.at(pos).as_int() else {
+                    return Err(ivm_relational::error::RelError::TypeError(format!(
+                        "attribute {attr} of {relation} holds a non-integer value"
+                    ))
+                    .into());
+                };
+                match bound.insert(var, v) {
+                    Some(prev) if prev != v => {
+                        // Conflicting values for a shared join attribute:
+                        // this combination can never emerge from the join.
+                        return Ok(false);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    let bindings: Vec<(usize, i64)> = bound.into_iter().collect();
+    for conj in &view.condition.disjuncts {
+        let formula = ConjunctiveFormula::with_atoms(
+            varmap.len(),
+            conj.atoms.iter().map(|a| to_sat_atom(a, &varmap)),
+        )?;
+        if formula
+            .substitute(&bindings)
+            .is_satisfiable(Solver::BellmanFord)
+        {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_relational::predicate::{Atom, CompOp, Condition};
+    use ivm_relational::schema::Schema;
+
+    /// Disjoint schemes, as in Definition 4.3: R(A,B), S(C,D),
+    /// C = (A < C) ∧ (B = D).
+    fn setup() -> (Database, SpjExpr) {
+        let mut db = Database::new();
+        db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+        db.create("S", Schema::new(["C", "D"]).unwrap()).unwrap();
+        let view = SpjExpr::new(
+            ["R", "S"],
+            Condition::conjunction([
+                Atom::cmp_attr("A", CompOp::Lt, "C", 0),
+                Atom::eq_attr("B", "D"),
+            ]),
+            None,
+        );
+        (db, view)
+    }
+
+    #[test]
+    fn jointly_relevant_pair() {
+        let (db, view) = setup();
+        // (1, 5) into R and (2, 5) into S: A=1 < C=2 and B=5 = D=5.
+        let r = Tuple::from([1, 5]);
+        let s = Tuple::from([2, 5]);
+        assert!(combination_relevant(&view, &db, &[("R", &r), ("S", &s)]).unwrap());
+    }
+
+    #[test]
+    fn jointly_irrelevant_pair_despite_individual_relevance() {
+        let (db, view) = setup();
+        // Each tuple alone is relevant, but together A=5 < C=2 fails.
+        let r = Tuple::from([5, 7]);
+        let s = Tuple::from([2, 7]);
+        assert!(combination_relevant(&view, &db, &[("R", &r)]).unwrap());
+        assert!(combination_relevant(&view, &db, &[("S", &s)]).unwrap());
+        assert!(!combination_relevant(&view, &db, &[("R", &r), ("S", &s)]).unwrap());
+    }
+
+    #[test]
+    fn single_tuple_matches_theorem_41() {
+        let (db, view) = setup();
+        // Matches the single-tuple filter semantics.
+        let r = Tuple::from([5, 7]);
+        assert!(combination_relevant(&view, &db, &[("R", &r)]).unwrap());
+    }
+
+    #[test]
+    fn shared_attribute_conflict_is_irrelevant() {
+        // Natural-join view R(A,B) ⋈ S(B,C): inserting tuples with
+        // different B values can never produce a joint tuple.
+        let mut db = Database::new();
+        db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+        db.create("S", Schema::new(["B", "C"]).unwrap()).unwrap();
+        let view = SpjExpr::new(["R", "S"], Atom::gt_const("B", 0).into(), None);
+        let r = Tuple::from([1, 5]);
+        let s_match = Tuple::from([5, 9]);
+        let s_clash = Tuple::from([6, 9]);
+        assert!(combination_relevant(&view, &db, &[("R", &r), ("S", &s_match)]).unwrap());
+        assert!(!combination_relevant(&view, &db, &[("R", &r), ("S", &s_clash)]).unwrap());
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let (mut db, view) = setup();
+        db.create("T", Schema::new(["E"]).unwrap()).unwrap();
+        let t = Tuple::from([1]);
+        assert!(matches!(
+            combination_relevant(&view, &db, &[("T", &t)]).unwrap_err(),
+            IvmError::RelationNotInView { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_combination_is_condition_satisfiability() {
+        let (db, view) = setup();
+        assert!(combination_relevant(&view, &db, &[]).unwrap());
+    }
+}

@@ -1,0 +1,24 @@
+//! Relevant and irrelevant updates (§4).
+//!
+//! "In certain cases, a set of updates to a base relation has no effect on
+//! the state of a view. When this occurs independently of the database
+//! state, we call the set of updates irrelevant." This module implements:
+//!
+//! * the **formula classification** of Definition 4.2
+//!   ([`classify::classify_atom`]),
+//! * **Algorithm 4.1** — the batch relevance filter with a prebuilt
+//!   invariant constraint graph ([`filter::RelevanceFilter`]),
+//! * the constructive **witness** of Theorem 4.1's completeness direction
+//!   ([`witness::relevance_witness`]),
+//! * **Theorem 4.2** joint (multi-tuple) irrelevance
+//!   ([`joint::combination_relevant`]).
+
+pub mod classify;
+pub mod filter;
+pub mod joint;
+pub mod witness;
+
+pub use classify::{classify_atom, FormulaClass, VarMap};
+pub use filter::{FilterStats, RelevanceFilter};
+pub use joint::combination_relevant;
+pub use witness::relevance_witness;

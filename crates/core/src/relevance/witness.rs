@@ -1,0 +1,206 @@
+//! Witness construction — the constructive "only if" direction of
+//! Theorem 4.1.
+//!
+//! If `C(t, Y₂)` is satisfiable, the proof builds a database instance `D₀`
+//! in which the update involving `t` visibly changes the view: for every
+//! other operand relation `R_j` construct a single tuple `t_j` where
+//!
+//! 1. attributes shared with the updated relation's scheme take `t`'s
+//!    values,
+//! 2. attributes participating in the condition (`Y₂`) take values from a
+//!    model of the substituted condition,
+//! 3. all other attributes take an arbitrary value ("say one").
+//!
+//! `D₀` holds exactly those singleton relations and an *empty* updated
+//! relation, so the view is empty; inserting `t` produces exactly one view
+//! tuple. This module builds `D₀` so the property tests can verify filter
+//! completeness mechanically: every tuple the filter keeps really does
+//! affect the view in *some* state.
+
+use ivm_relational::database::Database;
+use ivm_relational::expr::SpjExpr;
+use ivm_relational::tuple::Tuple;
+use ivm_relational::value::Value;
+use ivm_satisfiability::conjunctive::ConjunctiveFormula;
+
+use crate::error::Result;
+use crate::relevance::classify::{to_sat_atom, VarMap};
+
+/// Build the Theorem 4.1 witness instance for an update of `tuple` on
+/// `relation`, or `None` when the update is irrelevant (no disjunct of the
+/// substituted condition is satisfiable).
+///
+/// The returned database contains every operand relation of `view` with
+/// the schemes taken from `db`; the updated relation is empty and each
+/// other operand holds the single constructed tuple. Inserting (or
+/// deleting) `tuple` against it changes the view from ∅ to one tuple (or
+/// back).
+pub fn relevance_witness(
+    view: &SpjExpr,
+    db: &Database,
+    relation: &str,
+    tuple: &Tuple,
+) -> Result<Option<Database>> {
+    let updated_schema = db.schema(relation)?.clone();
+    tuple.check_arity(&updated_schema)?;
+    let varmap = VarMap::from_condition(&view.condition);
+
+    // Y₁ substitution values from the tuple.
+    let mut bindings: Vec<(usize, i64)> = Vec::new();
+    for (pos, attr) in updated_schema.attrs().iter().enumerate() {
+        if let Some(var) = varmap.get(attr) {
+            let Some(v) = tuple.at(pos).as_int() else {
+                return Err(ivm_relational::error::RelError::TypeError(format!(
+                    "attribute {attr} of {relation} holds a non-integer value"
+                ))
+                .into());
+            };
+            bindings.push((var, v));
+        }
+    }
+
+    // Find a model of some substituted disjunct.
+    let mut model: Option<Vec<i64>> = None;
+    for conj in &view.condition.disjuncts {
+        let formula = ConjunctiveFormula::with_atoms(
+            varmap.len(),
+            conj.atoms.iter().map(|a| to_sat_atom(a, &varmap)),
+        )?;
+        if let Some(m) = formula.substitute(&bindings).solve() {
+            model = Some(m);
+            break;
+        }
+    }
+    let Some(model) = model else {
+        return Ok(None);
+    };
+
+    // Construct D₀.
+    let mut witness = Database::new();
+    for name in &view.relations {
+        if witness.contains_relation(name) {
+            continue; // self-join: one instance per distinct name
+        }
+        let schema = db.schema(name)?.clone();
+        witness.create(name.clone(), schema.clone())?;
+        if name == relation {
+            continue; // the updated relation stays empty
+        }
+        let values: Vec<Value> = schema
+            .attrs()
+            .iter()
+            .map(|attr| {
+                if let Some(pos) = updated_schema.position(attr) {
+                    // Rule (i): shared with the updated scheme → t's value.
+                    tuple.at(pos).clone()
+                } else if let Some(var) = varmap.get(attr) {
+                    // Rule (iii): condition attribute → model value.
+                    Value::Int(model[var])
+                } else {
+                    // Rule (ii): anything else → "say one".
+                    Value::Int(1)
+                }
+            })
+            .collect();
+        witness.load(name, [Tuple::from(values)])?;
+    }
+    Ok(Some(witness))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_relational::predicate::{Atom, Condition};
+    use ivm_relational::schema::Schema;
+    use ivm_relational::transaction::Transaction;
+
+    fn setup() -> (Database, SpjExpr) {
+        let mut db = Database::new();
+        db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+        db.create("S", Schema::new(["C", "D"]).unwrap()).unwrap();
+        let view = SpjExpr::new(
+            ["R", "S"],
+            Condition::conjunction([
+                Atom::lt_const("A", 10),
+                Atom::gt_const("C", 5),
+                Atom::eq_attr("B", "C"),
+            ]),
+            Some(vec!["A".into(), "D".into()]),
+        );
+        (db, view)
+    }
+
+    #[test]
+    fn witness_for_relevant_insert_changes_view() {
+        let (db, view) = setup();
+        let t = Tuple::from([9, 10]);
+        let w = relevance_witness(&view, &db, "R", &t).unwrap().unwrap();
+        // Before the insert the view is empty…
+        assert!(view.eval(&w).unwrap().is_empty());
+        // …after it, exactly one tuple appears.
+        let mut after = w.clone();
+        let mut txn = Transaction::new();
+        txn.insert("R", t).unwrap();
+        after.apply(&txn).unwrap();
+        assert_eq!(view.eval(&after).unwrap().total_count(), 1);
+    }
+
+    #[test]
+    fn witness_absent_for_irrelevant_insert() {
+        let (db, view) = setup();
+        assert!(relevance_witness(&view, &db, "R", &Tuple::from([11, 10]))
+            .unwrap()
+            .is_none());
+        assert!(relevance_witness(&view, &db, "R", &Tuple::from([5, 3]))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn witness_for_other_relation() {
+        let (db, view) = setup();
+        let t = Tuple::from([8, 42]);
+        let w = relevance_witness(&view, &db, "S", &t).unwrap().unwrap();
+        let mut after = w.clone();
+        let mut txn = Transaction::new();
+        txn.insert("S", t).unwrap();
+        after.apply(&txn).unwrap();
+        assert_eq!(view.eval(&after).unwrap().total_count(), 1);
+    }
+
+    #[test]
+    fn witness_single_relation_view() {
+        let mut db = Database::new();
+        db.create("R", Schema::new(["A"]).unwrap()).unwrap();
+        let view = SpjExpr::new(["R"], Atom::lt_const("A", 10).into(), None);
+        let w = relevance_witness(&view, &db, "R", &Tuple::from([5]))
+            .unwrap()
+            .unwrap();
+        assert!(view.eval(&w).unwrap().is_empty());
+        let mut after = w;
+        let mut txn = Transaction::new();
+        txn.insert("R", [5]).unwrap();
+        after.apply(&txn).unwrap();
+        assert_eq!(view.eval(&after).unwrap().total_count(), 1);
+    }
+
+    #[test]
+    fn witness_respects_natural_join_attributes() {
+        // Natural-join view: R(A,B) ⋈ S(B,C) — shared B must take t(B).
+        let mut db = Database::new();
+        db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+        db.create("S", Schema::new(["B", "C"]).unwrap()).unwrap();
+        let view = SpjExpr::new(["R", "S"], Atom::gt_const("C", 0).into(), None);
+        let t = Tuple::from([1, 77]);
+        let w = relevance_witness(&view, &db, "R", &t).unwrap().unwrap();
+        // The S tuple must carry B = 77 so the join succeeds.
+        let s = w.relation("S").unwrap();
+        let (s_tuple, _) = s.sorted().into_iter().next().unwrap();
+        assert_eq!(s_tuple.at(0).as_int(), Some(77));
+        let mut after = w;
+        let mut txn = Transaction::new();
+        txn.insert("R", t).unwrap();
+        after.apply(&txn).unwrap();
+        assert_eq!(view.eval(&after).unwrap().total_count(), 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Instrumentation counters for maintenance runs.
+//!
+//! The paper's efficiency arguments ("it is cheaper to update the view by
+//! the above sequence of operations than recomputing the expression from
+//! scratch", §5.1) are about work proportional to change-set size versus
+//! base-relation size. These counters expose that work so the experiments
+//! can report it alongside wall-clock times.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Work counters for one differential (or full) maintenance pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiffStats {
+    /// Truth-table rows evaluated (§5.3; ≤ 2^k − 1 for k updated
+    /// relations).
+    pub rows_evaluated: usize,
+    /// Binary join operations performed across all rows.
+    pub joins_performed: usize,
+    /// Join operations skipped thanks to prefix sharing or empty-operand
+    /// pruning.
+    pub joins_skipped: usize,
+    /// Tuples (counted with multiplicity) fed into row evaluations.
+    pub operand_tuples: u64,
+    /// Net inserted tuple occurrences in the produced view delta.
+    pub output_inserts: u64,
+    /// Net deleted tuple occurrences in the produced view delta.
+    pub output_deletes: u64,
+}
+
+impl DiffStats {
+    /// Total net change magnitude.
+    pub fn output_changes(&self) -> u64 {
+        self.output_inserts + self.output_deletes
+    }
+}
+
+impl AddAssign for DiffStats {
+    fn add_assign(&mut self, o: DiffStats) {
+        self.rows_evaluated += o.rows_evaluated;
+        self.joins_performed += o.joins_performed;
+        self.joins_skipped += o.joins_skipped;
+        self.operand_tuples += o.operand_tuples;
+        self.output_inserts += o.output_inserts;
+        self.output_deletes += o.output_deletes;
+    }
+}
+
+impl fmt::Display for DiffStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rows={} joins={} (skipped {}) operand_tuples={} out=+{}/-{}",
+            self.rows_evaluated,
+            self.joins_performed,
+            self.joins_skipped,
+            self.operand_tuples,
+            self.output_inserts,
+            self.output_deletes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = DiffStats {
+            rows_evaluated: 1,
+            joins_performed: 2,
+            joins_skipped: 1,
+            operand_tuples: 10,
+            output_inserts: 3,
+            output_deletes: 4,
+        };
+        a += a;
+        assert_eq!(a.rows_evaluated, 2);
+        assert_eq!(a.operand_tuples, 20);
+        assert_eq!(a.output_changes(), 14);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let s = DiffStats::default().to_string();
+        assert!(s.contains("rows=0"));
+    }
+}

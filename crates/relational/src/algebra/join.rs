@@ -1,0 +1,277 @@
+//! Natural join ⋈, redefined for counters (§5.2) and tags (§5.3).
+//!
+//! The counter redefinition: the joined tuple's counter is the *product* of
+//! the operand counters (`t(N) = u(N) * v(N)`). The tag of a joined tuple
+//! follows the §5.3 combination table; `insert ⋈ delete` combinations are
+//! dropped. Implementation is a hash join on the shared attributes — when
+//! the schemes share no attribute the join degenerates to a cross product,
+//! exactly as in the algebra.
+
+use std::collections::HashMap;
+
+use crate::attribute::AttrName;
+use crate::delta::DeltaRelation;
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tagged::{Tag, TaggedRelation};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Positions of the shared (join-key) attributes in each operand, plus the
+/// positions of the right operand's non-shared attributes (the part
+/// appended to the left tuple in the output layout `R ∪ (S − R)`).
+pub fn join_key_positions(l: &Schema, r: &Schema) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    let shared: Vec<AttrName> = l.intersection(r);
+    let l_key = shared
+        .iter()
+        .map(|a| l.position(a).expect("shared attr in left"))
+        .collect();
+    let r_key = shared
+        .iter()
+        .map(|a| r.position(a).expect("shared attr in right"))
+        .collect();
+    let r_rest = r
+        .attrs()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !l.contains(a))
+        .map(|(i, _)| i)
+        .collect();
+    (l_key, r_key, r_rest)
+}
+
+fn key_of(tuple: &Tuple, positions: &[usize]) -> Vec<Value> {
+    positions.iter().map(|&p| tuple.at(p).clone()).collect()
+}
+
+fn joined_tuple(lt: &Tuple, rt: &Tuple, r_rest: &[usize]) -> Tuple {
+    let mut values: Vec<Value> = lt.values().to_vec();
+    values.extend(r_rest.iter().map(|&p| rt.at(p).clone()));
+    Tuple::from(values)
+}
+
+/// `l ⋈ r` over plain counted relations.
+///
+/// Hash join; the index is always built over the *smaller* operand, which
+/// matters in the differential engine where a tiny change set routinely
+/// joins a large old relation.
+pub fn natural_join(l: &Relation, r: &Relation) -> Result<Relation> {
+    let schema = l.schema().join(r.schema());
+    let (l_key, r_key, r_rest) = join_key_positions(l.schema(), r.schema());
+    let mut out = Relation::empty(schema);
+    if l.len() <= r.len() {
+        // Index the left side, probe from the right.
+        let mut index: HashMap<Vec<Value>, Vec<(&Tuple, u64)>> = HashMap::new();
+        for (lt, lc) in l.iter() {
+            index.entry(key_of(lt, &l_key)).or_default().push((lt, lc));
+        }
+        for (rt, rc) in r.iter() {
+            if let Some(matches) = index.get(&key_of(rt, &r_key)) {
+                for (lt, lc) in matches {
+                    out.insert(joined_tuple(lt, rt, &r_rest), lc * rc)?;
+                }
+            }
+        }
+    } else {
+        let mut index: HashMap<Vec<Value>, Vec<(&Tuple, u64)>> = HashMap::new();
+        for (rt, rc) in r.iter() {
+            index.entry(key_of(rt, &r_key)).or_default().push((rt, rc));
+        }
+        for (lt, lc) in l.iter() {
+            if let Some(matches) = index.get(&key_of(lt, &l_key)) {
+                for (rt, rc) in matches {
+                    out.insert(joined_tuple(lt, rt, &r_rest), lc * rc)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `l ⋈ r` over signed deltas (bilinear in the signed counts). Indexes
+/// the smaller operand.
+pub fn natural_join_delta(l: &DeltaRelation, r: &DeltaRelation) -> Result<DeltaRelation> {
+    let schema = l.schema().join(r.schema());
+    let (l_key, r_key, r_rest) = join_key_positions(l.schema(), r.schema());
+    let mut out = DeltaRelation::empty(schema);
+    if l.len() <= r.len() {
+        let mut index: HashMap<Vec<Value>, Vec<(&Tuple, i64)>> = HashMap::new();
+        for (lt, lc) in l.iter() {
+            index.entry(key_of(lt, &l_key)).or_default().push((lt, lc));
+        }
+        for (rt, rc) in r.iter() {
+            if let Some(matches) = index.get(&key_of(rt, &r_key)) {
+                for (lt, lc) in matches {
+                    out.add(joined_tuple(lt, rt, &r_rest), lc * rc);
+                }
+            }
+        }
+    } else {
+        let mut index: HashMap<Vec<Value>, Vec<(&Tuple, i64)>> = HashMap::new();
+        for (rt, rc) in r.iter() {
+            index.entry(key_of(rt, &r_key)).or_default().push((rt, rc));
+        }
+        for (lt, lc) in l.iter() {
+            if let Some(matches) = index.get(&key_of(lt, &l_key)) {
+                for (rt, rc) in matches {
+                    out.add(joined_tuple(lt, rt, &r_rest), lc * rc);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `l ⋈ r` over tagged relations; tags combine via [`Tag::combine`], and
+/// `insert ⋈ delete` pairs are dropped. Indexes the smaller operand.
+pub fn natural_join_tagged(l: &TaggedRelation, r: &TaggedRelation) -> Result<TaggedRelation> {
+    let schema = l.schema().join(r.schema());
+    let (l_key, r_key, r_rest) = join_key_positions(l.schema(), r.schema());
+    let mut out = TaggedRelation::empty(schema);
+    if l.len() <= r.len() {
+        let mut index: HashMap<Vec<Value>, Vec<(&Tuple, Tag, u64)>> = HashMap::new();
+        for (lt, ltag, lc) in l.iter() {
+            index
+                .entry(key_of(lt, &l_key))
+                .or_default()
+                .push((lt, ltag, lc));
+        }
+        for (rt, rtag, rc) in r.iter() {
+            if let Some(matches) = index.get(&key_of(rt, &r_key)) {
+                for (lt, ltag, lc) in matches {
+                    if let Some(tag) = ltag.combine(rtag) {
+                        out.add(joined_tuple(lt, rt, &r_rest), tag, lc * rc);
+                    }
+                }
+            }
+        }
+    } else {
+        let mut index: HashMap<Vec<Value>, Vec<(&Tuple, Tag, u64)>> = HashMap::new();
+        for (rt, rtag, rc) in r.iter() {
+            index
+                .entry(key_of(rt, &r_key))
+                .or_default()
+                .push((rt, rtag, rc));
+        }
+        for (lt, ltag, lc) in l.iter() {
+            if let Some(matches) = index.get(&key_of(lt, &l_key)) {
+                for (rt, rtag, rc) in matches {
+                    if let Some(tag) = ltag.combine(*rtag) {
+                        out.add(joined_tuple(lt, rt, &r_rest), tag, lc * rc);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{product, union};
+
+    fn ab() -> Schema {
+        Schema::new(["A", "B"]).unwrap()
+    }
+
+    fn bc() -> Schema {
+        Schema::new(["B", "C"]).unwrap()
+    }
+
+    #[test]
+    fn natural_join_on_shared_attribute() {
+        // r = {(1,10), (2,20)}, s = {(10,100), (10,200), (30,300)}
+        let r = Relation::from_rows(ab(), [[1, 10], [2, 20]]).unwrap();
+        let s = Relation::from_rows(bc(), [[10, 100], [10, 200], [30, 300]]).unwrap();
+        let j = natural_join(&r, &s).unwrap();
+        assert_eq!(j.schema().attrs(), &["A".into(), "B".into(), "C".into()]);
+        assert!(j.contains(&Tuple::from([1, 10, 100])));
+        assert!(j.contains(&Tuple::from([1, 10, 200])));
+        assert!(!j.contains(&Tuple::from([2, 20, 300])));
+        assert_eq!(j.total_count(), 2);
+    }
+
+    #[test]
+    fn join_counters_multiply() {
+        let r = Relation::from_rows(ab(), [[1, 10], [1, 10]]).unwrap(); // x2
+        let s = Relation::from_rows(bc(), [[10, 7], [10, 7], [10, 7]]).unwrap(); // x3
+        let j = natural_join(&r, &s).unwrap();
+        assert_eq!(j.count(&Tuple::from([1, 10, 7])), 6);
+    }
+
+    #[test]
+    fn disjoint_schemes_degenerate_to_product() {
+        let r = Relation::from_rows(ab(), [[1, 2]]).unwrap();
+        let s = Relation::from_rows(Schema::new(["C", "D"]).unwrap(), [[3, 4]]).unwrap();
+        assert_eq!(natural_join(&r, &s).unwrap(), product(&r, &s).unwrap());
+    }
+
+    #[test]
+    fn join_distributes_over_union() {
+        // (r ∪ i) ⋈ s = (r ⋈ s) ∪ (i ⋈ s) — the §5.3 identity.
+        let r = Relation::from_rows(ab(), [[1, 10], [2, 20]]).unwrap();
+        let i = Relation::from_rows(ab(), [[3, 10]]).unwrap();
+        let s = Relation::from_rows(bc(), [[10, 5], [20, 6]]).unwrap();
+        let lhs = natural_join(&union(&r, &i).unwrap(), &s).unwrap();
+        let rhs = union(
+            &natural_join(&r, &s).unwrap(),
+            &natural_join(&i, &s).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn delta_join_is_bilinear() {
+        let mut dl = DeltaRelation::empty(ab());
+        dl.add(Tuple::from([1, 10]), 2);
+        dl.add(Tuple::from([2, 10]), -1);
+        let mut dr = DeltaRelation::empty(bc());
+        dr.add(Tuple::from([10, 5]), -3);
+        let j = natural_join_delta(&dl, &dr).unwrap();
+        assert_eq!(j.count(&Tuple::from([1, 10, 5])), -6);
+        assert_eq!(j.count(&Tuple::from([2, 10, 5])), 3);
+    }
+
+    #[test]
+    fn tagged_join_example_54_cases() {
+        // Example 5.4's six cases, driven through one tagged join.
+        // keep(r)={(1,10)}, d_r={(2,10)}, i_r={(3,10)};
+        // keep(s)={(10,100)}, d_s={(10,200)}, i_s={(10,300)}.
+        let mut l = TaggedRelation::empty(ab());
+        l.add(Tuple::from([1, 10]), Tag::Old, 1);
+        l.add(Tuple::from([2, 10]), Tag::Delete, 1);
+        l.add(Tuple::from([3, 10]), Tag::Insert, 1);
+        let mut r = TaggedRelation::empty(bc());
+        r.add(Tuple::from([10, 100]), Tag::Old, 1);
+        r.add(Tuple::from([10, 200]), Tag::Delete, 1);
+        r.add(Tuple::from([10, 300]), Tag::Insert, 1);
+        let j = natural_join_tagged(&l, &r).unwrap();
+        // Case 6: old ⋈ old → old.
+        assert_eq!(j.count(&Tuple::from([1, 10, 100]), Tag::Old), 1);
+        // Case 3: insert ⋈ old → insert.
+        assert_eq!(j.count(&Tuple::from([3, 10, 100]), Tag::Insert), 1);
+        // Case 1: insert ⋈ insert → insert.
+        assert_eq!(j.count(&Tuple::from([3, 10, 300]), Tag::Insert), 1);
+        // Case 5: delete ⋈ old → delete.
+        assert_eq!(j.count(&Tuple::from([2, 10, 100]), Tag::Delete), 1);
+        // Case 4: delete ⋈ delete → delete.
+        assert_eq!(j.count(&Tuple::from([2, 10, 200]), Tag::Delete), 1);
+        // Case 2: insert ⋈ delete → ignored entirely.
+        assert_eq!(j.count(&Tuple::from([3, 10, 200]), Tag::Insert), 0);
+        assert_eq!(j.count(&Tuple::from([3, 10, 200]), Tag::Delete), 0);
+        assert_eq!(j.count(&Tuple::from([3, 10, 200]), Tag::Old), 0);
+        // And old ⋈ insert → insert (symmetric of case 3).
+        assert_eq!(j.count(&Tuple::from([1, 10, 300]), Tag::Insert), 1);
+    }
+
+    #[test]
+    fn join_key_positions_shapes() {
+        let (lk, rk, rr) = join_key_positions(&ab(), &bc());
+        assert_eq!(lk, vec![1]); // B in {A,B}
+        assert_eq!(rk, vec![0]); // B in {B,C}
+        assert_eq!(rr, vec![1]); // C appended
+    }
+}

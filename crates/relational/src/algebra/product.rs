@@ -1,0 +1,113 @@
+//! Cross product ×.
+//!
+//! The §4 normal form `π_X(σ_C(R₁ × … × R_p))` is built on cross products
+//! of relations with *disjoint* schemes. Counters multiply (§5.2's join
+//! redefinition restricted to an empty join key), and tags combine via the
+//! §5.3 table.
+
+use crate::delta::DeltaRelation;
+use crate::error::Result;
+use crate::relation::Relation;
+use crate::tagged::TaggedRelation;
+
+/// `l × r` over plain counted relations (schemes must be disjoint).
+pub fn product(l: &Relation, r: &Relation) -> Result<Relation> {
+    let schema = l.schema().product(r.schema())?;
+    let mut out = Relation::empty(schema);
+    for (lt, lc) in l.iter() {
+        for (rt, rc) in r.iter() {
+            out.insert(lt.concat(rt), lc * rc)?;
+        }
+    }
+    Ok(out)
+}
+
+/// `l × r` over signed deltas (signed counts multiply; bilinear).
+pub fn product_delta(l: &DeltaRelation, r: &DeltaRelation) -> Result<DeltaRelation> {
+    let schema = l.schema().product(r.schema())?;
+    let mut out = DeltaRelation::empty(schema);
+    for (lt, lc) in l.iter() {
+        for (rt, rc) in r.iter() {
+            out.add(lt.concat(rt), lc * rc);
+        }
+    }
+    Ok(out)
+}
+
+/// `l × r` over tagged relations; `insert × delete` pairs are dropped
+/// ("do not emerge", §5.3).
+pub fn product_tagged(l: &TaggedRelation, r: &TaggedRelation) -> Result<TaggedRelation> {
+    let schema = l.schema().product(r.schema())?;
+    let mut out = TaggedRelation::empty(schema);
+    for (lt, ltag, lc) in l.iter() {
+        for (rt, rtag, rc) in r.iter() {
+            if let Some(tag) = ltag.combine(rtag) {
+                out.add(lt.concat(rt), tag, lc * rc);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tagged::Tag;
+    use crate::tuple::Tuple;
+
+    fn ab() -> Schema {
+        Schema::new(["A", "B"]).unwrap()
+    }
+
+    fn cd() -> Schema {
+        Schema::new(["C", "D"]).unwrap()
+    }
+
+    #[test]
+    fn product_concatenates_and_multiplies_counts() {
+        let l = Relation::from_rows(ab(), [[1, 2], [1, 2]]).unwrap(); // count 2
+        let r = Relation::from_rows(cd(), [[3, 4], [3, 4], [3, 4]]).unwrap(); // count 3
+        let p = product(&l, &r).unwrap();
+        assert_eq!(p.count(&Tuple::from([1, 2, 3, 4])), 6);
+        assert_eq!(p.schema().attrs().len(), 4);
+    }
+
+    #[test]
+    fn product_rejects_overlapping_schemes() {
+        let l = Relation::empty(ab());
+        let r = Relation::empty(Schema::new(["B", "C"]).unwrap());
+        assert!(product(&l, &r).is_err());
+    }
+
+    #[test]
+    fn product_with_empty_is_empty() {
+        let l = Relation::from_rows(ab(), [[1, 2]]).unwrap();
+        let r = Relation::empty(cd());
+        assert!(product(&l, &r).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delta_product_multiplies_signs() {
+        let mut l = DeltaRelation::empty(ab());
+        l.add(Tuple::from([1, 2]), -2);
+        let mut r = DeltaRelation::empty(cd());
+        r.add(Tuple::from([3, 4]), 3);
+        let p = product_delta(&l, &r).unwrap();
+        assert_eq!(p.count(&Tuple::from([1, 2, 3, 4])), -6);
+    }
+
+    #[test]
+    fn tagged_product_applies_combination_table() {
+        let mut l = TaggedRelation::empty(ab());
+        l.add(Tuple::from([1, 2]), Tag::Insert, 1);
+        let mut r = TaggedRelation::empty(cd());
+        r.add(Tuple::from([3, 4]), Tag::Delete, 1);
+        r.add(Tuple::from([5, 6]), Tag::Old, 1);
+        let p = product_tagged(&l, &r).unwrap();
+        // insert × delete vanished; insert × old survives as insert.
+        assert_eq!(p.count(&Tuple::from([1, 2, 3, 4]), Tag::Insert), 0);
+        assert_eq!(p.count(&Tuple::from([1, 2, 3, 4]), Tag::Delete), 0);
+        assert_eq!(p.count(&Tuple::from([1, 2, 5, 6]), Tag::Insert), 1);
+    }
+}

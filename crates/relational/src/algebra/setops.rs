@@ -1,0 +1,87 @@
+//! Union and difference over counted relations.
+//!
+//! §5.1 updates a select view by `v ∪ σ_C(i_r) − σ_C(d_r)`; with §5.2's
+//! counters, union *adds* and difference *subtracts* multiplicities. A
+//! difference that would drive a counter negative is an error — under the
+//! paper's assumptions (`d_r ⊆ r`, views consistent with their bases) it
+//! cannot happen, so surfacing it loudly catches maintenance bugs.
+
+use crate::error::Result;
+use crate::relation::Relation;
+
+/// `l ∪ r` with counter addition.
+pub fn union(l: &Relation, r: &Relation) -> Result<Relation> {
+    l.schema().require_same(r.schema())?;
+    let mut out = l.clone();
+    for (t, c) in r.iter() {
+        out.insert(t.clone(), c)?;
+    }
+    Ok(out)
+}
+
+/// `l − r` with counter subtraction; errors if any counter would go
+/// negative.
+pub fn difference(l: &Relation, r: &Relation) -> Result<Relation> {
+    l.schema().require_same(r.schema())?;
+    let mut out = l.clone();
+    for (t, c) in r.iter() {
+        out.remove(t, c)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::RelError;
+    use crate::schema::Schema;
+    use crate::tuple::Tuple;
+
+    fn ab() -> Schema {
+        Schema::new(["A", "B"]).unwrap()
+    }
+
+    #[test]
+    fn union_adds_counters() {
+        let l = Relation::from_rows(ab(), [[1, 2], [1, 2]]).unwrap();
+        let r = Relation::from_rows(ab(), [[1, 2], [3, 4]]).unwrap();
+        let u = union(&l, &r).unwrap();
+        assert_eq!(u.count(&Tuple::from([1, 2])), 3);
+        assert_eq!(u.count(&Tuple::from([3, 4])), 1);
+    }
+
+    #[test]
+    fn difference_subtracts_counters() {
+        let l = Relation::from_rows(ab(), [[1, 2], [1, 2], [3, 4]]).unwrap();
+        let r = Relation::from_rows(ab(), [[1, 2]]).unwrap();
+        let d = difference(&l, &r).unwrap();
+        assert_eq!(d.count(&Tuple::from([1, 2])), 1);
+        assert_eq!(d.count(&Tuple::from([3, 4])), 1);
+    }
+
+    #[test]
+    fn difference_rejects_negative() {
+        let l = Relation::from_rows(ab(), [[1, 2]]).unwrap();
+        let r = Relation::from_rows(ab(), [[1, 2], [1, 2]]).unwrap();
+        assert!(matches!(
+            difference(&l, &r).unwrap_err(),
+            RelError::NegativeCount(_)
+        ));
+    }
+
+    #[test]
+    fn set_ops_require_same_scheme() {
+        let l = Relation::empty(ab());
+        let r = Relation::empty(Schema::new(["X", "Y"]).unwrap());
+        assert!(union(&l, &r).is_err());
+        assert!(difference(&l, &r).is_err());
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let l = Relation::from_rows(ab(), [[1, 2]]).unwrap();
+        let e = Relation::empty(ab());
+        assert_eq!(union(&l, &e).unwrap(), l);
+        assert_eq!(difference(&l, &e).unwrap(), l);
+    }
+}

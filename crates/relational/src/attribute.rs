@@ -1,0 +1,94 @@
+//! Attribute names.
+//!
+//! The paper treats attributes as globally named variables (`A`, `B`, `C`,
+//! …) shared between relation schemes and selection conditions. We model an
+//! attribute name as a cheap-to-clone interned string.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// The name of an attribute (a "variable" in the paper's §4 terminology).
+///
+/// Clones are cheap (`Arc<str>` internally), and names compare by string
+/// content, so attribute identity is purely nominal — two relations that
+/// mention attribute `B` share that attribute, which is what makes natural
+/// joins and cross-scheme selection conditions (`B = C`) work.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrName(Arc<str>);
+
+impl AttrName {
+    /// Create an attribute name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        AttrName(Arc::from(name.as_ref()))
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Derive a qualified name, e.g. `qualify("S")` on `B` yields `S.B`.
+    ///
+    /// Used when renaming apart the shared attributes of a natural join so
+    /// the view can be put in the cross-product normal form of §4.
+    pub fn qualify(&self, prefix: &str) -> AttrName {
+        AttrName(Arc::from(format!("{prefix}.{}", self.0).as_str()))
+    }
+}
+
+impl From<&str> for AttrName {
+    fn from(s: &str) -> Self {
+        AttrName::new(s)
+    }
+}
+
+impl From<String> for AttrName {
+    fn from(s: String) -> Self {
+        AttrName::new(s)
+    }
+}
+
+impl Borrow<str> for AttrName {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for AttrName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equality_is_nominal() {
+        assert_eq!(AttrName::new("B"), AttrName::from("B"));
+        assert_ne!(AttrName::new("B"), AttrName::new("C"));
+    }
+
+    #[test]
+    fn borrow_str_lookup() {
+        let mut set = HashSet::new();
+        set.insert(AttrName::new("price"));
+        assert!(set.contains("price"));
+        assert!(!set.contains("cost"));
+    }
+
+    #[test]
+    fn qualify_builds_dotted_name() {
+        assert_eq!(AttrName::new("B").qualify("S").as_str(), "S.B");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![AttrName::new("C"), AttrName::new("A"), AttrName::new("B")];
+        v.sort();
+        assert_eq!(v, vec!["A".into(), "B".into(), "C".into()]);
+    }
+}

@@ -1,0 +1,454 @@
+//! SPJ expressions.
+//!
+//! The paper considers views defined by *SPJ expressions* — combinations of
+//! selections, projections and joins (§3) — and its algorithms work on the
+//! normal form `π_X(σ_C(R₁ ⋈ R₂ ⋈ … ⋈ R_p))` (§4 uses × of
+//! disjoint-scheme relations, §5.3 uses ⋈; with nominal attribute identity
+//! ⋈ degenerates to × exactly when the schemes are disjoint, so
+//! [`SpjExpr`] covers both).
+//!
+//! A general expression tree [`Expr`] is also provided for ad-hoc queries
+//! and for the full re-evaluation baseline; [`Expr::normalize`] rewrites a
+//! pure select/project/join tree into an [`SpjExpr`] by pulling selections
+//! up and composing projections (the identities σ and π commute with ⋈
+//! when attribute names are nominal and projections keep the needed
+//! attributes — we only normalize trees where that is legal, and return
+//! `None` otherwise).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::algebra;
+use crate::attribute::AttrName;
+use crate::database::Database;
+use crate::delta::DeltaRelation;
+use crate::error::{RelError, Result};
+use crate::predicate::Condition;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tagged::TaggedRelation;
+
+/// A view definition in the paper's normal form
+/// `π_X(σ_C(R₁ ⋈ … ⋈ R_p))`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpjExpr {
+    /// Names of the base relations `R₁ … R_p`, in join order.
+    pub relations: Vec<String>,
+    /// The selection condition `C(Y)` in DNF.
+    pub condition: Condition,
+    /// The projection list `X`; `None` projects every attribute.
+    pub projection: Option<Vec<AttrName>>,
+}
+
+impl SpjExpr {
+    /// Build an SPJ expression.
+    pub fn new<R: Into<String>>(
+        relations: impl IntoIterator<Item = R>,
+        condition: Condition,
+        projection: Option<Vec<AttrName>>,
+    ) -> Self {
+        SpjExpr {
+            relations: relations.into_iter().map(Into::into).collect(),
+            condition,
+            projection,
+        }
+    }
+
+    /// Number of operand relations (`p`).
+    pub fn arity(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Position of a base relation in the operand list.
+    pub fn position_of(&self, relation: &str) -> Option<usize> {
+        self.relations.iter().position(|r| r == relation)
+    }
+
+    /// Scheme of the join `R₁ ⋈ … ⋈ R_p` before projection.
+    pub fn join_schema(&self, db: &Database) -> Result<Schema> {
+        let mut schema: Option<Schema> = None;
+        for name in &self.relations {
+            let s = db.relation(name)?.schema().clone();
+            schema = Some(match schema {
+                None => s,
+                Some(acc) => acc.join(&s),
+            });
+        }
+        schema.ok_or_else(|| RelError::UnknownRelation("<empty SPJ expression>".into()))
+    }
+
+    /// Scheme of the view this expression defines.
+    pub fn output_schema(&self, db: &Database) -> Result<Schema> {
+        let joined = self.join_schema(db)?;
+        match &self.projection {
+            None => Ok(joined),
+            Some(attrs) => joined.project(attrs.iter()),
+        }
+    }
+
+    /// Check the expression is well formed against a database: relations
+    /// exist, condition variables and projection attributes are in the
+    /// joined scheme.
+    pub fn validate(&self, db: &Database) -> Result<()> {
+        let joined = self.join_schema(db)?;
+        for v in self.condition.vars() {
+            joined.require(&v)?;
+        }
+        if let Some(attrs) = &self.projection {
+            for a in attrs {
+                joined.require(a)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Full evaluation against the database (the paper's "complete
+    /// re-evaluation" baseline).
+    pub fn eval(&self, db: &Database) -> Result<Relation> {
+        let inputs: Vec<&Relation> = self
+            .relations
+            .iter()
+            .map(|n| db.relation(n))
+            .collect::<Result<_>>()?;
+        self.eval_with(&inputs)
+    }
+
+    /// Evaluate with explicit positional operands (used by the differential
+    /// engines, which substitute change sets for some operands).
+    pub fn eval_with(&self, inputs: &[&Relation]) -> Result<Relation> {
+        assert_eq!(inputs.len(), self.relations.len(), "operand count mismatch");
+        let mut iter = inputs.iter();
+        let first = *iter
+            .next()
+            .ok_or_else(|| RelError::UnknownRelation("<empty SPJ expression>".into()))?;
+        let mut acc = first.clone();
+        for rel in iter {
+            acc = algebra::natural_join(&acc, rel)?;
+        }
+        let selected = algebra::select(&acc, &self.condition)?;
+        match &self.projection {
+            None => Ok(selected),
+            Some(attrs) => algebra::project(&selected, attrs),
+        }
+    }
+
+    /// Evaluate with tagged operands — the §5.3/§5.4 pipeline: tagged
+    /// joins (tag-combination table), then σ and π which preserve tags.
+    pub fn eval_with_tagged(&self, inputs: &[&TaggedRelation]) -> Result<TaggedRelation> {
+        assert_eq!(inputs.len(), self.relations.len(), "operand count mismatch");
+        let mut iter = inputs.iter();
+        let first = *iter
+            .next()
+            .ok_or_else(|| RelError::UnknownRelation("<empty SPJ expression>".into()))?;
+        let mut acc = first.clone();
+        for rel in iter {
+            acc = algebra::natural_join_tagged(&acc, rel)?;
+        }
+        let selected = algebra::select_tagged(&acc, &self.condition)?;
+        match &self.projection {
+            None => Ok(selected),
+            Some(attrs) => algebra::project_tagged(&selected, attrs),
+        }
+    }
+
+    /// Evaluate with signed-delta operands (bilinear join; used by the
+    /// signed-count engine's inclusion–exclusion rows).
+    pub fn eval_with_delta(&self, inputs: &[&DeltaRelation]) -> Result<DeltaRelation> {
+        assert_eq!(inputs.len(), self.relations.len(), "operand count mismatch");
+        let mut iter = inputs.iter();
+        let first = *iter
+            .next()
+            .ok_or_else(|| RelError::UnknownRelation("<empty SPJ expression>".into()))?;
+        let mut acc = first.clone();
+        for rel in iter {
+            acc = algebra::natural_join_delta(&acc, rel)?;
+        }
+        let selected = algebra::select_delta(&acc, &self.condition)?;
+        match &self.projection {
+            None => Ok(selected),
+            Some(attrs) => algebra::project_delta(&selected, attrs),
+        }
+    }
+}
+
+impl fmt::Display for SpjExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(attrs) = &self.projection {
+            write!(f, "π[")?;
+            for (i, a) in attrs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, "](")?;
+        }
+        write!(f, "σ[{}](", self.condition)?;
+        for (i, r) in self.relations.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ⋈ ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, ")")?;
+        if self.projection.is_some() {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// A general relational-algebra expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A named base relation.
+    Base(String),
+    /// σ_C(input)
+    Select {
+        /// Operand.
+        input: Box<Expr>,
+        /// Selection condition.
+        cond: Condition,
+    },
+    /// π_X(input)
+    Project {
+        /// Operand.
+        input: Box<Expr>,
+        /// Projection attributes.
+        attrs: Vec<AttrName>,
+    },
+    /// Natural join of two subexpressions.
+    Join(Box<Expr>, Box<Expr>),
+    /// Union (schemes must match).
+    Union(Box<Expr>, Box<Expr>),
+    /// Difference (schemes must match; counters subtract).
+    Difference(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// A base-relation leaf.
+    pub fn base(name: impl Into<String>) -> Expr {
+        Expr::Base(name.into())
+    }
+
+    /// Wrap in a selection.
+    pub fn select(self, cond: impl Into<Condition>) -> Expr {
+        Expr::Select {
+            input: Box::new(self),
+            cond: cond.into(),
+        }
+    }
+
+    /// Wrap in a projection.
+    pub fn project<A: Into<AttrName>>(self, attrs: impl IntoIterator<Item = A>) -> Expr {
+        Expr::Project {
+            input: Box::new(self),
+            attrs: attrs.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Natural join with another expression.
+    pub fn join(self, other: Expr) -> Expr {
+        Expr::Join(Box::new(self), Box::new(other))
+    }
+
+    /// Union with another expression.
+    pub fn union(self, other: Expr) -> Expr {
+        Expr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Difference with another expression.
+    pub fn difference(self, other: Expr) -> Expr {
+        Expr::Difference(Box::new(self), Box::new(other))
+    }
+
+    /// Names of the base relations mentioned, in first-occurrence order.
+    pub fn base_relations(&self) -> Vec<String> {
+        fn walk(e: &Expr, seen: &mut BTreeSet<String>, out: &mut Vec<String>) {
+            match e {
+                Expr::Base(n) => {
+                    if seen.insert(n.clone()) {
+                        out.push(n.clone());
+                    }
+                }
+                Expr::Select { input, .. } | Expr::Project { input, .. } => walk(input, seen, out),
+                Expr::Join(l, r) | Expr::Union(l, r) | Expr::Difference(l, r) => {
+                    walk(l, seen, out);
+                    walk(r, seen, out);
+                }
+            }
+        }
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        walk(self, &mut seen, &mut out);
+        out
+    }
+
+    /// Evaluate against a database.
+    pub fn eval(&self, db: &Database) -> Result<Relation> {
+        match self {
+            Expr::Base(n) => Ok(db.relation(n)?.clone()),
+            Expr::Select { input, cond } => algebra::select(&input.eval(db)?, cond),
+            Expr::Project { input, attrs } => algebra::project(&input.eval(db)?, attrs),
+            Expr::Join(l, r) => algebra::natural_join(&l.eval(db)?, &r.eval(db)?),
+            Expr::Union(l, r) => algebra::union(&l.eval(db)?, &r.eval(db)?),
+            Expr::Difference(l, r) => algebra::difference(&l.eval(db)?, &r.eval(db)?),
+        }
+    }
+
+    /// Rewrite a pure select/project/join tree into SPJ normal form.
+    ///
+    /// Selections are conjoined; only an outermost projection is kept (the
+    /// paper's normal form allows a single π). Returns `None` when the tree
+    /// contains ∪/−, an inner projection (which would change join
+    /// semantics), or no base relation.
+    pub fn normalize(&self) -> Option<SpjExpr> {
+        fn collect(e: &Expr, rels: &mut Vec<String>, cond: &mut Condition) -> bool {
+            match e {
+                Expr::Base(n) => {
+                    rels.push(n.clone());
+                    true
+                }
+                Expr::Select { input, cond: c } => {
+                    if !collect(input, rels, cond) {
+                        return false;
+                    }
+                    *cond = cond.and(c);
+                    true
+                }
+                Expr::Join(l, r) => collect(l, rels, cond) && collect(r, rels, cond),
+                Expr::Project { .. } | Expr::Union(..) | Expr::Difference(..) => false,
+            }
+        }
+
+        let (inner, projection) = match self {
+            Expr::Project { input, attrs } => (input.as_ref(), Some(attrs.clone())),
+            other => (other, None),
+        };
+        let mut rels = Vec::new();
+        let mut cond = Condition::always_true();
+        if !collect(inner, &mut rels, &mut cond) || rels.is_empty() {
+            return None;
+        }
+        Some(SpjExpr {
+            relations: rels,
+            condition: cond,
+            projection,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Atom;
+    use crate::tuple::Tuple;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+        db.create("S", Schema::new(["B", "C"]).unwrap()).unwrap();
+        db.load("R", [[1, 10], [2, 20], [11, 10]]).unwrap();
+        db.load("S", [[10, 6], [20, 3]]).unwrap();
+        db
+    }
+
+    fn spj() -> SpjExpr {
+        // π_{A,C}( σ_{A<10}( R ⋈ S ) )
+        SpjExpr::new(
+            ["R", "S"],
+            Atom::lt_const("A", 10).into(),
+            Some(vec!["A".into(), "C".into()]),
+        )
+    }
+
+    #[test]
+    fn spj_eval_joins_selects_projects() {
+        let v = spj().eval(&db()).unwrap();
+        assert!(v.contains(&Tuple::from([1, 6])));
+        assert!(v.contains(&Tuple::from([2, 3])));
+        assert!(!v.contains(&Tuple::from([11, 6])), "A<10 filtered");
+        assert_eq!(v.total_count(), 2);
+    }
+
+    #[test]
+    fn spj_schema_and_validation() {
+        let d = db();
+        let e = spj();
+        assert_eq!(
+            e.output_schema(&d).unwrap(),
+            Schema::new(["A", "C"]).unwrap()
+        );
+        e.validate(&d).unwrap();
+        let bad = SpjExpr::new(["R", "S"], Atom::lt_const("Z", 1).into(), None);
+        assert!(bad.validate(&d).is_err());
+    }
+
+    #[test]
+    fn spj_display() {
+        let s = spj().to_string();
+        assert!(s.contains("π[A, C]"), "{s}");
+        assert!(s.contains("R ⋈ S"), "{s}");
+    }
+
+    #[test]
+    fn expr_tree_eval_matches_spj() {
+        let d = db();
+        let tree = Expr::base("R")
+            .join(Expr::base("S"))
+            .select(Atom::lt_const("A", 10))
+            .project(["A", "C"]);
+        assert_eq!(tree.eval(&d).unwrap(), spj().eval(&d).unwrap());
+    }
+
+    #[test]
+    fn normalize_pure_spj_tree() {
+        let tree = Expr::base("R")
+            .select(Atom::gt_const("B", 0))
+            .join(Expr::base("S"))
+            .select(Atom::lt_const("A", 10))
+            .project(["A", "C"]);
+        let n = tree.normalize().unwrap();
+        assert_eq!(n.relations, vec!["R".to_string(), "S".to_string()]);
+        assert_eq!(n.projection, Some(vec!["A".into(), "C".into()]));
+        // Both selections got conjoined.
+        assert_eq!(n.condition.disjuncts.len(), 1);
+        assert_eq!(n.condition.disjuncts[0].atoms.len(), 2);
+        // And the normalized form evaluates identically.
+        let d = db();
+        assert_eq!(n.eval(&d).unwrap(), tree.eval(&d).unwrap());
+    }
+
+    #[test]
+    fn normalize_rejects_union_and_inner_projection() {
+        assert!(Expr::base("R").union(Expr::base("R")).normalize().is_none());
+        let inner_proj = Expr::base("R").project(["A"]).join(Expr::base("S"));
+        assert!(inner_proj.normalize().is_none());
+    }
+
+    #[test]
+    fn base_relations_dedup_in_order() {
+        let tree = Expr::base("S").join(Expr::base("R")).join(Expr::base("S"));
+        assert_eq!(
+            tree.base_relations(),
+            vec!["S".to_string(), "R".to_string()]
+        );
+    }
+
+    #[test]
+    fn union_difference_eval() {
+        let mut d = Database::new();
+        d.create("X", Schema::new(["A"]).unwrap()).unwrap();
+        d.create("Y", Schema::new(["A"]).unwrap()).unwrap();
+        d.load("X", [[1], [2]]).unwrap();
+        d.load("Y", [[2]]).unwrap();
+        let u = Expr::base("X").union(Expr::base("Y")).eval(&d).unwrap();
+        assert_eq!(u.count(&Tuple::from([2])), 2);
+        let m = Expr::base("X")
+            .difference(Expr::base("Y"))
+            .eval(&d)
+            .unwrap();
+        assert_eq!(m.count(&Tuple::from([2])), 0);
+        assert_eq!(m.count(&Tuple::from([1])), 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Relational substrate for the reproduction of *Efficiently Updating
+//! Materialized Views* (Blakeley, Larson & Tompa, SIGMOD 1986).
+//!
+//! This crate implements everything the paper assumes from its database
+//! environment (§3, §5.2–5.3 redefinitions):
+//!
+//! * values on discrete ordered domains ([`value::Value`]),
+//! * relation schemes and tuples ([`schema::Schema`], [`tuple::Tuple`]),
+//! * **counted multiset relations** — every tuple carries a multiplicity
+//!   counter as required by the §5.2 redefinition of projection
+//!   ([`relation::Relation`]),
+//! * signed deltas ([`delta::DeltaRelation`]) and **tagged relations**
+//!   implementing the §5.3 insert/delete/old tag algebra
+//!   ([`tagged::TaggedRelation`]),
+//! * the SPJ algebra with counter- and tag-aware σ, π, ⋈, ×, ∪, −
+//!   ([`algebra`]),
+//! * selection conditions in the Rosenkrantz–Hunt class
+//!   ([`predicate::Condition`]),
+//! * SPJ expressions and their normal form `π_X(σ_C(R₁ ⋈ … ⋈ R_p))`
+//!   ([`expr::SpjExpr`], [`expr::Expr`]),
+//! * net-effect transactions and an atomic in-memory database
+//!   ([`transaction::Transaction`], [`database::Database`]).
+//!
+//! The paper's actual contribution — irrelevant-update detection and
+//! differential re-evaluation — lives in the `ivm` crate, built on top of
+//! this one.
+//!
+//! # Example
+//!
+//! ```
+//! use ivm_relational::prelude::*;
+//!
+//! let mut db = Database::new();
+//! db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+//! db.create("S", Schema::new(["B", "C"]).unwrap()).unwrap();
+//! db.load("R", [[1, 10], [2, 20]]).unwrap();
+//! db.load("S", [[10, 100]]).unwrap();
+//!
+//! // π_{A,C}(σ_{A<10}(R ⋈ S))
+//! let view = SpjExpr::new(
+//!     ["R", "S"],
+//!     Atom::lt_const("A", 10).into(),
+//!     Some(vec!["A".into(), "C".into()]),
+//! );
+//! let v = view.eval(&db).unwrap();
+//! assert_eq!(v.total_count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod algebra;
+pub mod attribute;
+pub mod database;
+pub mod delta;
+pub mod error;
+pub mod expr;
+pub mod parser;
+pub mod predicate;
+pub mod relation;
+pub mod schema;
+pub mod tagged;
+pub mod transaction;
+pub mod tuple;
+pub mod value;
+
+/// Convenient glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::attribute::AttrName;
+    pub use crate::database::Database;
+    pub use crate::delta::DeltaRelation;
+    pub use crate::error::{RelError, Result};
+    pub use crate::expr::{Expr, SpjExpr};
+    pub use crate::parser::{parse_atom, parse_condition, parse_schema, parse_tuple};
+    pub use crate::predicate::{Atom, CompOp, Condition, Conjunction, Rhs};
+    pub use crate::relation::Relation;
+    pub use crate::schema::Schema;
+    pub use crate::tagged::{Tag, TaggedRelation};
+    pub use crate::transaction::Transaction;
+    pub use crate::tuple::Tuple;
+    pub use crate::value::Value;
+}

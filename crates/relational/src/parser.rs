@@ -1,0 +1,317 @@
+//! Text parsers for schemas, tuples and selection conditions.
+//!
+//! A small, hand-rolled surface syntax so that views and updates can be
+//! written down in examples, tests and the interactive shell without
+//! building ASTs by hand:
+//!
+//! * schema:    `A, B, C` (parentheses optional)
+//! * tuple:     `(1, -2, widget, "two words")` — integers or strings
+//! * condition: DNF text over the Rosenkrantz–Hunt atom shapes, e.g.
+//!   `A < 10 and B = C or D >= E + 2`; `and` binds tighter than `or`;
+//!   the constants `true` / `false` are accepted. Operators:
+//!   `=`, `<`, `>`, `<=`, `>=` (no `!=`, per §4).
+
+use crate::attribute::AttrName;
+use crate::error::{RelError, Result};
+use crate::predicate::{Atom, CompOp, Condition, Conjunction, Rhs};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+fn err(msg: impl Into<String>) -> RelError {
+    RelError::Parse(msg.into())
+}
+
+/// Parse a comma-separated attribute list, with or without surrounding
+/// parentheses: `A, B` or `(A, B)`.
+pub fn parse_schema(text: &str) -> Result<Schema> {
+    let inner = strip_parens(text.trim());
+    if inner.is_empty() {
+        return Schema::new(Vec::<AttrName>::new());
+    }
+    let attrs: Vec<&str> = inner.split(',').map(str::trim).collect();
+    if attrs.iter().any(|a| a.is_empty() || !is_ident(a)) {
+        return Err(err(format!("invalid attribute list: {text:?}")));
+    }
+    Schema::new(attrs)
+}
+
+/// Parse a tuple literal: `(1, 2, widget)`. Fields are integers when they
+/// parse as `i64`, double-quoted strings verbatim, and bare strings
+/// otherwise.
+pub fn parse_tuple(text: &str) -> Result<Tuple> {
+    let inner = strip_parens(text.trim());
+    if inner.is_empty() {
+        return Ok(Tuple::new(Vec::<Value>::new()));
+    }
+    let mut values = Vec::new();
+    for field in split_top_level(inner) {
+        let field = field.trim();
+        if field.is_empty() {
+            return Err(err(format!("empty field in tuple {text:?}")));
+        }
+        if let Some(stripped) = field.strip_prefix('"') {
+            let Some(body) = stripped.strip_suffix('"') else {
+                return Err(err(format!("unterminated string in tuple {text:?}")));
+            };
+            values.push(Value::str(body));
+        } else if let Ok(i) = field.parse::<i64>() {
+            values.push(Value::Int(i));
+        } else if is_ident(field) {
+            values.push(Value::str(field));
+        } else {
+            return Err(err(format!("invalid tuple field {field:?}")));
+        }
+    }
+    Ok(Tuple::new(values))
+}
+
+/// Parse a DNF condition: conjunctions of atoms joined by `and`, the
+/// conjunctions joined by `or` (case-insensitive keywords).
+pub fn parse_condition(text: &str) -> Result<Condition> {
+    let text = text.trim();
+    if text.eq_ignore_ascii_case("true") || text.is_empty() {
+        return Ok(Condition::always_true());
+    }
+    if text.eq_ignore_ascii_case("false") {
+        return Ok(Condition::always_false());
+    }
+    let mut disjuncts = Vec::new();
+    for disjunct in split_keyword(text, "or") {
+        let mut atoms = Vec::new();
+        for atom_text in split_keyword(&disjunct, "and") {
+            atoms.push(parse_atom(atom_text.trim())?);
+        }
+        disjuncts.push(Conjunction::new(atoms));
+    }
+    Ok(Condition::dnf(disjuncts))
+}
+
+/// Parse one atom: `IDENT op (IDENT ((+|-) INT)? | INT)`.
+pub fn parse_atom(text: &str) -> Result<Atom> {
+    let (op, op_pos, op_len) =
+        find_op(text).ok_or_else(|| err(format!("no comparison operator in atom {text:?}")))?;
+    let left = text[..op_pos].trim();
+    let right = text[op_pos + op_len..].trim();
+    if !is_ident(left) {
+        return Err(err(format!(
+            "left side of an atom must be an attribute, got {left:?}"
+        )));
+    }
+    if right.is_empty() {
+        return Err(err(format!("missing right side in atom {text:?}")));
+    }
+    // Right side: integer constant?
+    if let Ok(c) = right.parse::<i64>() {
+        return Ok(Atom {
+            left: left.into(),
+            op,
+            rhs: Rhs::Const(c),
+        });
+    }
+    // Variable with optional offset: Y, Y + 3, Y - 3.
+    let (var, offset) = match right.find(['+', '-'].as_ref()) {
+        // A leading sign was already handled by the i64 parse above, so a
+        // sign here separates the variable from the offset.
+        Some(pos) if pos > 0 => {
+            let var = right[..pos].trim();
+            let sign = if right.as_bytes()[pos] == b'+' { 1 } else { -1 };
+            let num = right[pos + 1..].trim();
+            let c: i64 = num
+                .parse()
+                .map_err(|_| err(format!("invalid offset {num:?} in atom {text:?}")))?;
+            (var, sign * c)
+        }
+        _ => (right, 0),
+    };
+    if !is_ident(var) {
+        return Err(err(format!(
+            "right side of an atom must be an attribute or constant, got {right:?}"
+        )));
+    }
+    Ok(Atom {
+        left: left.into(),
+        op,
+        rhs: Rhs::AttrPlus(var.into(), offset),
+    })
+}
+
+fn strip_parens(text: &str) -> &str {
+    let t = text.trim();
+    if let Some(inner) = t.strip_prefix('(').and_then(|s| s.strip_suffix(')')) {
+        inner.trim()
+    } else {
+        t
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+        && s.chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+}
+
+/// Split on commas that are not inside double quotes.
+fn split_top_level(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for ch in text.chars() {
+        match ch {
+            '"' => {
+                in_str = !in_str;
+                cur.push(ch);
+            }
+            ',' if !in_str => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(ch),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+/// Split on a lowercase/uppercase keyword delimited by whitespace.
+fn split_keyword(text: &str, keyword: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for token in text.split_whitespace() {
+        if token.eq_ignore_ascii_case(keyword) {
+            out.push(std::mem::take(&mut cur));
+        } else {
+            if !cur.is_empty() {
+                cur.push(' ');
+            }
+            cur.push_str(token);
+        }
+    }
+    out.push(cur);
+    out
+}
+
+/// Find the comparison operator in an atom, preferring the two-character
+/// forms.
+fn find_op(text: &str) -> Option<(CompOp, usize, usize)> {
+    for (sym, op) in [("<=", CompOp::Le), (">=", CompOp::Ge)] {
+        if let Some(pos) = text.find(sym) {
+            return Some((op, pos, 2));
+        }
+    }
+    for (sym, op) in [("=", CompOp::Eq), ("<", CompOp::Lt), (">", CompOp::Gt)] {
+        if let Some(pos) = text.find(sym) {
+            return Some((op, pos, 1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_with_and_without_parens() {
+        assert_eq!(
+            parse_schema("A, B").unwrap(),
+            Schema::new(["A", "B"]).unwrap()
+        );
+        assert_eq!(
+            parse_schema("(A,B)").unwrap(),
+            Schema::new(["A", "B"]).unwrap()
+        );
+        assert!(parse_schema("A, 1B").is_err());
+        assert!(parse_schema("A,,B").is_err());
+        assert_eq!(parse_schema("()").unwrap().arity(), 0);
+    }
+
+    #[test]
+    fn tuple_ints_and_strings() {
+        assert_eq!(parse_tuple("(1, -2, 3)").unwrap(), Tuple::from([1, -2, 3]));
+        let t = parse_tuple("(1, widget, \"two words, really\")").unwrap();
+        assert_eq!(t.at(0), &Value::Int(1));
+        assert_eq!(t.at(1), &Value::str("widget"));
+        assert_eq!(t.at(2), &Value::str("two words, really"));
+        assert!(parse_tuple("(1, )").is_err());
+        assert!(parse_tuple("(\"open").is_err());
+    }
+
+    #[test]
+    fn atoms_all_shapes() {
+        assert_eq!(parse_atom("A < 10").unwrap(), Atom::lt_const("A", 10));
+        assert_eq!(parse_atom("A<=-3").unwrap(), Atom::le_const("A", -3));
+        assert_eq!(parse_atom("B = C").unwrap(), Atom::eq_attr("B", "C"));
+        assert_eq!(
+            parse_atom("A >= B + 2").unwrap(),
+            Atom::cmp_attr("A", CompOp::Ge, "B", 2)
+        );
+        assert_eq!(
+            parse_atom("A > B - 5").unwrap(),
+            Atom::cmp_attr("A", CompOp::Gt, "B", -5)
+        );
+        assert!(parse_atom("A ! B").is_err());
+        assert!(parse_atom("3 < A").is_err());
+        assert!(parse_atom("A < ").is_err());
+    }
+
+    #[test]
+    fn conditions_dnf_structure() {
+        let c = parse_condition("A < 10 and B = C or D >= 5").unwrap();
+        assert_eq!(c.disjuncts.len(), 2);
+        assert_eq!(c.disjuncts[0].atoms.len(), 2);
+        assert_eq!(c.disjuncts[1].atoms.len(), 1);
+        assert_eq!(c.disjuncts[0].atoms[0], Atom::lt_const("A", 10));
+    }
+
+    #[test]
+    fn condition_keywords_case_insensitive() {
+        let c = parse_condition("A < 1 AND B > 2 OR C = 3").unwrap();
+        assert_eq!(c.disjuncts.len(), 2);
+        assert!(parse_condition("TRUE").unwrap().is_trivially_true());
+        assert_eq!(parse_condition("false").unwrap(), Condition::always_false());
+        assert!(parse_condition("").unwrap().is_trivially_true());
+    }
+
+    #[test]
+    fn parsed_condition_evaluates_like_built_one() {
+        let s = Schema::new(["A", "B", "C"]).unwrap();
+        let parsed = parse_condition("A < 10 and C > 5 and B = C").unwrap();
+        let built = Condition::conjunction([
+            Atom::lt_const("A", 10),
+            Atom::gt_const("C", 5),
+            Atom::eq_attr("B", "C"),
+        ]);
+        for a in 0..12 {
+            for b in 0..12 {
+                for c in 0..12 {
+                    let t = Tuple::from([a, b, c]);
+                    assert_eq!(parsed.eval(&s, &t).unwrap(), built.eval(&s, &t).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qualified_attribute_names_allowed() {
+        let a = parse_atom("R.A < S.B + 1").unwrap();
+        assert_eq!(a.left, AttrName::new("R.A"));
+        assert_eq!(a.rhs, Rhs::AttrPlus("S.B".into(), 1));
+    }
+
+    #[test]
+    fn roundtrip_display_reparse() {
+        // Atom display text parses back to the same atom.
+        for atom in [
+            Atom::lt_const("A", 10),
+            Atom::cmp_attr("A", CompOp::Le, "B", -2),
+            Atom::cmp_attr("X", CompOp::Ge, "Y", 3),
+            Atom::eq_attr("B", "C"),
+        ] {
+            let text = atom.to_string();
+            assert_eq!(parse_atom(&text).unwrap(), atom, "{text}");
+        }
+    }
+}

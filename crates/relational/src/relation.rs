@@ -1,0 +1,277 @@
+//! Counted multiset relations.
+//!
+//! §5.2 of the paper extends every relation and view with a hidden
+//! multiplicity-counter attribute `N` so that projection distributes over
+//! difference. We adopt that counted-multiset semantics pervasively: a
+//! [`Relation`] maps each distinct tuple to a strictly positive count. For
+//! base relations every count is 1 (the paper: "this attribute need not be
+//! explicitly stored since its value in every tuple is always one"); views
+//! accumulate genuine counts through the redefined π and ⋈.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::delta::DeltaRelation;
+use crate::error::{RelError, Result};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// A relation: a scheme plus a counted multiset of tuples.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Schema,
+    tuples: HashMap<Tuple, u64>,
+}
+
+impl Relation {
+    /// An empty relation over a scheme.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            tuples: HashMap::new(),
+        }
+    }
+
+    /// Build a relation from set-style rows (each with count 1).
+    ///
+    /// Duplicate rows accumulate counts, matching multiset semantics.
+    pub fn from_rows<I, T>(schema: Schema, rows: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<Tuple>,
+    {
+        let mut rel = Relation::empty(schema);
+        for row in rows {
+            rel.insert(row.into(), 1)?;
+        }
+        Ok(rel)
+    }
+
+    /// The relation's scheme.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of *distinct* tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Sum of multiplicity counters (the multiset cardinality).
+    pub fn total_count(&self) -> u64 {
+        self.tuples.values().sum()
+    }
+
+    /// Multiplicity of a tuple (0 when absent).
+    pub fn count(&self, tuple: &Tuple) -> u64 {
+        self.tuples.get(tuple).copied().unwrap_or(0)
+    }
+
+    /// True when the tuple occurs at least once.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains_key(tuple)
+    }
+
+    /// Add `count` occurrences of a tuple (arity-checked).
+    pub fn insert(&mut self, tuple: Tuple, count: u64) -> Result<()> {
+        tuple.check_arity(&self.schema)?;
+        if count > 0 {
+            *self.tuples.entry(tuple).or_insert(0) += count;
+        }
+        Ok(())
+    }
+
+    /// Remove `count` occurrences; the tuple disappears when its counter
+    /// reaches zero (§5.2 alternative 1). Errors if the counter would go
+    /// negative.
+    pub fn remove(&mut self, tuple: &Tuple, count: u64) -> Result<()> {
+        let Some(current) = self.tuples.get_mut(tuple) else {
+            return Err(RelError::NegativeCount(format!(
+                "removing {count} of absent tuple {tuple}"
+            )));
+        };
+        if *current < count {
+            return Err(RelError::NegativeCount(format!(
+                "removing {count} of tuple {tuple} with count {current}"
+            )));
+        }
+        *current -= count;
+        if *current == 0 {
+            self.tuples.remove(tuple);
+        }
+        Ok(())
+    }
+
+    /// Iterate over `(tuple, count)` pairs in hash order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, u64)> {
+        self.tuples.iter().map(|(t, &c)| (t, c))
+    }
+
+    /// `(tuple, count)` pairs sorted by tuple, for deterministic output.
+    pub fn sorted(&self) -> Vec<(Tuple, u64)> {
+        let mut v: Vec<(Tuple, u64)> = self.tuples.iter().map(|(t, &c)| (t.clone(), c)).collect();
+        v.sort();
+        v
+    }
+
+    /// Apply a signed delta: positive counts are inserted, negative counts
+    /// removed. Errors (leaving the relation partially updated is avoided by
+    /// pre-checking) if any counter would go negative.
+    pub fn apply_delta(&mut self, delta: &DeltaRelation) -> Result<()> {
+        self.schema.require_same(delta.schema())?;
+        // Pre-check so a failed apply leaves the relation untouched.
+        for (tuple, count) in delta.iter() {
+            if count < 0 {
+                let need = count.unsigned_abs();
+                let have = self.count(tuple);
+                if have < need {
+                    return Err(RelError::NegativeCount(format!(
+                        "delta removes {need} of tuple {tuple} with count {have}"
+                    )));
+                }
+            }
+        }
+        for (tuple, count) in delta.iter() {
+            if count > 0 {
+                self.insert(tuple.clone(), count as u64)?;
+            } else if count < 0 {
+                self.remove(tuple, count.unsigned_abs())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The relation as a signed delta (every tuple positive). Used to seed
+    /// inclusion-exclusion pipelines.
+    pub fn to_delta(&self) -> DeltaRelation {
+        let mut d = DeltaRelation::empty(self.schema.clone());
+        for (t, c) in self.iter() {
+            d.add(t.clone(), c as i64);
+        }
+        d
+    }
+
+    /// Multiset equality: same scheme, same tuples, same counters.
+    pub fn same_contents(&self, other: &Relation) -> bool {
+        self.schema.same_as(&other.schema) && self.tuples == other.tuples
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_contents(other)
+    }
+}
+
+impl Eq for Relation {}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{} tuples]", self.schema, self.total_count())?;
+        for (t, c) in self.sorted() {
+            if c == 1 {
+                writeln!(f, "  {t}")?;
+            } else {
+                writeln!(f, "  {t} x{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Schema {
+        Schema::new(["A", "B"]).unwrap()
+    }
+
+    #[test]
+    fn from_rows_accumulates_duplicates() {
+        let r = Relation::from_rows(ab(), [[1, 2], [1, 2], [3, 4]]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.total_count(), 3);
+        assert_eq!(r.count(&Tuple::from([1, 2])), 2);
+        assert_eq!(r.count(&Tuple::from([3, 4])), 1);
+        assert_eq!(r.count(&Tuple::from([9, 9])), 0);
+    }
+
+    #[test]
+    fn insert_checks_arity() {
+        let mut r = Relation::empty(ab());
+        assert!(r.insert(Tuple::from([1]), 1).is_err());
+        assert!(r.insert(Tuple::from([1, 2]), 0).is_ok());
+        assert!(r.is_empty(), "count-0 insert is a no-op");
+    }
+
+    #[test]
+    fn remove_decrements_and_erases_at_zero() {
+        let mut r = Relation::from_rows(ab(), [[1, 2], [1, 2]]).unwrap();
+        r.remove(&Tuple::from([1, 2]), 1).unwrap();
+        assert_eq!(r.count(&Tuple::from([1, 2])), 1);
+        r.remove(&Tuple::from([1, 2]), 1).unwrap();
+        assert!(!r.contains(&Tuple::from([1, 2])));
+        assert!(r.remove(&Tuple::from([1, 2]), 1).is_err());
+    }
+
+    #[test]
+    fn remove_rejects_negative_counter() {
+        let mut r = Relation::from_rows(ab(), [[1, 2]]).unwrap();
+        assert!(matches!(
+            r.remove(&Tuple::from([1, 2]), 2).unwrap_err(),
+            RelError::NegativeCount(_)
+        ));
+    }
+
+    #[test]
+    fn apply_delta_roundtrip() {
+        let mut r = Relation::from_rows(ab(), [[1, 2], [3, 4]]).unwrap();
+        let mut d = DeltaRelation::empty(ab());
+        d.add(Tuple::from([5, 6]), 2);
+        d.add(Tuple::from([1, 2]), -1);
+        r.apply_delta(&d).unwrap();
+        assert_eq!(r.count(&Tuple::from([5, 6])), 2);
+        assert!(!r.contains(&Tuple::from([1, 2])));
+        assert_eq!(r.count(&Tuple::from([3, 4])), 1);
+    }
+
+    #[test]
+    fn apply_delta_failure_leaves_relation_untouched() {
+        let mut r = Relation::from_rows(ab(), [[1, 2]]).unwrap();
+        let mut d = DeltaRelation::empty(ab());
+        d.add(Tuple::from([7, 8]), 1);
+        d.add(Tuple::from([3, 4]), -1); // not present: must fail
+        let before = r.clone();
+        assert!(r.apply_delta(&d).is_err());
+        assert_eq!(r, before);
+    }
+
+    #[test]
+    fn equality_is_count_sensitive() {
+        let a = Relation::from_rows(ab(), [[1, 2], [1, 2]]).unwrap();
+        let b = Relation::from_rows(ab(), [[1, 2]]).unwrap();
+        assert_ne!(a, b);
+        let c = Relation::from_rows(ab(), [[1, 2], [1, 2]]).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let r = Relation::from_rows(ab(), [[3, 4], [1, 2], [2, 9]]).unwrap();
+        let order: Vec<Tuple> = r.sorted().into_iter().map(|(t, _)| t).collect();
+        assert_eq!(
+            order,
+            vec![
+                Tuple::from([1, 2]),
+                Tuple::from([2, 9]),
+                Tuple::from([3, 4])
+            ]
+        );
+    }
+}

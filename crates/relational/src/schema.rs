@@ -1,0 +1,268 @@
+//! Relation schemes.
+//!
+//! A scheme is an ordered list of distinct attribute names (the paper's
+//! `R = {A, B}`). Order matters only for tuple layout; all set-style
+//! operations (intersection with a condition's variables, disjointness for
+//! cross products, the `Y₁ = R ∩ Y` split of Definition 4.1) treat the
+//! scheme as a set.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::attribute::AttrName;
+use crate::error::{RelError, Result};
+
+/// An ordered relation scheme with O(1) attribute lookup.
+///
+/// Cheap to clone: the attribute list and index are shared behind an `Arc`.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+#[derive(Debug)]
+struct SchemaInner {
+    attrs: Vec<AttrName>,
+    index: HashMap<AttrName, usize>,
+}
+
+impl Schema {
+    /// Build a scheme from attribute names, rejecting duplicates.
+    pub fn new<I, A>(attrs: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<AttrName>,
+    {
+        let attrs: Vec<AttrName> = attrs.into_iter().map(Into::into).collect();
+        let mut index = HashMap::with_capacity(attrs.len());
+        for (i, a) in attrs.iter().enumerate() {
+            if index.insert(a.clone(), i).is_some() {
+                return Err(RelError::DuplicateAttribute(a.clone()));
+            }
+        }
+        Ok(Schema {
+            inner: Arc::new(SchemaInner { attrs, index }),
+        })
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.inner.attrs.len()
+    }
+
+    /// True when the scheme has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.inner.attrs.is_empty()
+    }
+
+    /// The attributes in declaration order.
+    pub fn attrs(&self) -> &[AttrName] {
+        &self.inner.attrs
+    }
+
+    /// Position of an attribute in the tuple layout.
+    pub fn position(&self, attr: &AttrName) -> Option<usize> {
+        self.inner.index.get(attr).copied()
+    }
+
+    /// Position of an attribute, as an error if absent.
+    pub fn require(&self, attr: &AttrName) -> Result<usize> {
+        self.position(attr)
+            .ok_or_else(|| RelError::UnknownAttribute {
+                attr: attr.clone(),
+                scheme: self.to_string(),
+            })
+    }
+
+    /// True when the scheme contains the attribute.
+    pub fn contains(&self, attr: &AttrName) -> bool {
+        self.inner.index.contains_key(attr)
+    }
+
+    /// Attributes shared with another scheme, in this scheme's order.
+    pub fn intersection(&self, other: &Schema) -> Vec<AttrName> {
+        self.inner
+            .attrs
+            .iter()
+            .filter(|a| other.contains(a))
+            .cloned()
+            .collect()
+    }
+
+    /// True when the two schemes share no attribute.
+    pub fn is_disjoint(&self, other: &Schema) -> bool {
+        self.inner.attrs.iter().all(|a| !other.contains(a))
+    }
+
+    /// Concatenate two disjoint schemes (cross-product scheme, §4 normal
+    /// form). Errors with the shared attributes if they overlap.
+    pub fn product(&self, other: &Schema) -> Result<Schema> {
+        let shared = self.intersection(other);
+        if !shared.is_empty() {
+            return Err(RelError::SchemesNotDisjoint(shared));
+        }
+        Schema::new(self.attrs().iter().chain(other.attrs()).cloned())
+    }
+
+    /// Scheme of the natural join `R ⋈ S`: `R ∪ S`, with `R`'s attributes
+    /// first and `S`'s non-shared attributes appended in order.
+    pub fn join(&self, other: &Schema) -> Schema {
+        let attrs: Vec<AttrName> = self
+            .attrs()
+            .iter()
+            .chain(other.attrs().iter().filter(|a| !self.contains(a)))
+            .cloned()
+            .collect();
+        Schema::new(attrs).expect("join of valid schemes cannot duplicate attributes")
+    }
+
+    /// Sub-scheme for a projection `π_X`; preserves the order given in `X`.
+    pub fn project<'a, I>(&self, attrs: I) -> Result<Schema>
+    where
+        I: IntoIterator<Item = &'a AttrName>,
+    {
+        let mut picked = Vec::new();
+        for a in attrs {
+            self.require(a)?;
+            picked.push(a.clone());
+        }
+        Schema::new(picked)
+    }
+
+    /// True when both schemes list the same attributes in the same order
+    /// (required by union/difference).
+    pub fn same_as(&self, other: &Schema) -> bool {
+        self.attrs() == other.attrs()
+    }
+
+    /// Require identical schemes, for union/difference operands.
+    pub fn require_same(&self, other: &Schema) -> Result<()> {
+        if self.same_as(other) {
+            Ok(())
+        } else {
+            Err(RelError::SchemeMismatch {
+                left: self.to_string(),
+                right: other.to_string(),
+            })
+        }
+    }
+
+    /// Rename every attribute through `f`, preserving order.
+    pub fn rename(&self, f: impl Fn(&AttrName) -> AttrName) -> Result<Schema> {
+        Schema::new(self.attrs().iter().map(f))
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_as(other)
+    }
+}
+
+impl Eq for Schema {}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.attrs().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> Schema {
+        Schema::new(["A", "B"]).unwrap()
+    }
+
+    fn bc() -> Schema {
+        Schema::new(["B", "C"]).unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert_eq!(
+            Schema::new(["A", "A"]).unwrap_err(),
+            RelError::DuplicateAttribute("A".into())
+        );
+    }
+
+    #[test]
+    fn positions_follow_declaration_order() {
+        let s = ab();
+        assert_eq!(s.position(&"A".into()), Some(0));
+        assert_eq!(s.position(&"B".into()), Some(1));
+        assert_eq!(s.position(&"Z".into()), None);
+        assert_eq!(s.arity(), 2);
+    }
+
+    #[test]
+    fn require_reports_scheme() {
+        let err = ab().require(&"Z".into()).unwrap_err();
+        assert!(err.to_string().contains("{A, B}"));
+    }
+
+    #[test]
+    fn intersection_and_disjointness() {
+        assert_eq!(ab().intersection(&bc()), vec![AttrName::new("B")]);
+        assert!(!ab().is_disjoint(&bc()));
+        let cd = Schema::new(["C", "D"]).unwrap();
+        assert!(ab().is_disjoint(&cd));
+    }
+
+    #[test]
+    fn product_requires_disjoint() {
+        let cd = Schema::new(["C", "D"]).unwrap();
+        let p = ab().product(&cd).unwrap();
+        assert_eq!(p.attrs(), &["A".into(), "B".into(), "C".into(), "D".into()]);
+        assert!(matches!(
+            ab().product(&bc()).unwrap_err(),
+            RelError::SchemesNotDisjoint(_)
+        ));
+    }
+
+    #[test]
+    fn join_scheme_unions_attributes() {
+        let j = ab().join(&bc());
+        assert_eq!(j.attrs(), &["A".into(), "B".into(), "C".into()]);
+    }
+
+    #[test]
+    fn project_preserves_requested_order() {
+        let abc = ab().join(&bc());
+        let p = abc.project(&["C".into(), "A".into()]).unwrap();
+        assert_eq!(p.attrs(), &["C".into(), "A".into()]);
+        assert!(abc.project(&["Z".into()]).is_err());
+    }
+
+    #[test]
+    fn equality_requires_same_order() {
+        let ba = Schema::new(["B", "A"]).unwrap();
+        assert_ne!(ab(), ba);
+        assert!(ab().require_same(&ba).is_err());
+        assert_eq!(ab(), Schema::new(["A", "B"]).unwrap());
+    }
+
+    #[test]
+    fn rename_qualifies() {
+        let s = ab().rename(|a| a.qualify("R")).unwrap();
+        assert_eq!(s.attrs(), &["R.A".into(), "R.B".into()]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ab().to_string(), "{A, B}");
+        assert_eq!(
+            Schema::new(Vec::<AttrName>::new()).unwrap().to_string(),
+            "{}"
+        );
+    }
+}

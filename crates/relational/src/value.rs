@@ -1,0 +1,158 @@
+//! Attribute values.
+//!
+//! The paper (§3) assumes every attribute is defined on a *discrete and
+//! finite domain* that can be mapped onto a subset of the natural numbers,
+//! and all of its examples use integers. We therefore make [`Value::Int`]
+//! the primary value kind; [`Value::Str`] is provided so that example
+//! applications can carry human-readable payload columns. Selection
+//! conditions that participate in relevance analysis (§4) are restricted to
+//! integer-valued attributes — see `ivm::relevance`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single attribute value.
+///
+/// Values are totally ordered (integers sort before strings) so relations
+/// can be displayed and compared deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// An integer on a discrete, ordered domain (§3 of the paper).
+    Int(i64),
+    /// An opaque string payload. Cheap to clone; never used in arithmetic.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The integer inside, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// The string inside, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+
+    /// True when the value is an integer.
+    pub fn is_int(&self) -> bool {
+        matches!(self, Value::Int(_))
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (Value::Int(_), Value::Str(_)) => Ordering::Less,
+            (Value::Str(_), Value::Int(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_accessors() {
+        let v = Value::Int(42);
+        assert_eq!(v.as_int(), Some(42));
+        assert_eq!(v.as_str(), None);
+        assert!(v.is_int());
+    }
+
+    #[test]
+    fn str_accessors() {
+        let v = Value::str("widget");
+        assert_eq!(v.as_str(), Some("widget"));
+        assert_eq!(v.as_int(), None);
+        assert!(!v.is_int());
+    }
+
+    #[test]
+    fn total_order_ints_before_strings() {
+        let mut vs = vec![
+            Value::str("b"),
+            Value::Int(3),
+            Value::str("a"),
+            Value::Int(-1),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Int(-1),
+                Value::Int(3),
+                Value::str("a"),
+                Value::str("b")
+            ]
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(7i64), Value::Int(7));
+        assert_eq!(Value::from(7i32), Value::Int(7));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(String::from("x")), Value::str("x"));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-5).to_string(), "-5");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+    }
+}

@@ -1,0 +1,104 @@
+//! Parser robustness: round-trips for well-formed inputs, graceful errors
+//! (never panics) for arbitrary garbage.
+
+use proptest::prelude::*;
+
+use ivm_relational::parser::{parse_atom, parse_condition, parse_schema, parse_tuple};
+use ivm_relational::predicate::{Atom, CompOp, Condition, Conjunction};
+
+fn arb_op() -> impl Strategy<Value = CompOp> {
+    prop_oneof![
+        Just(CompOp::Eq),
+        Just(CompOp::Lt),
+        Just(CompOp::Gt),
+        Just(CompOp::Le),
+        Just(CompOp::Ge),
+    ]
+}
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_]{0,6}"
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (
+        arb_ident(),
+        arb_op(),
+        prop_oneof![
+            (-999i64..1000).prop_map(|c| (None, c)),
+            (arb_ident(), -99i64..100).prop_map(|(v, c)| (Some(v), c)),
+        ],
+    )
+        .prop_map(|(left, op, rhs)| match rhs {
+            (None, c) => Atom::cmp_const(left.as_str(), op, c),
+            (Some(v), c) => Atom::cmp_attr(left.as_str(), op, v.as_str(), c),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Display → parse round-trips for atoms.
+    #[test]
+    fn atom_roundtrip(atom in arb_atom()) {
+        let text = atom.to_string();
+        let parsed = parse_atom(&text).unwrap();
+        prop_assert_eq!(parsed, atom, "{}", text);
+    }
+
+    /// Display → parse round-trips for whole DNF conditions.
+    #[test]
+    fn condition_roundtrip(
+        disjuncts in prop::collection::vec(
+            prop::collection::vec(arb_atom(), 1..4), 1..4)
+    ) {
+        let cond = Condition::dnf(disjuncts.into_iter().map(Conjunction::new));
+        // Render in the shell's surface syntax.
+        let text = cond
+            .disjuncts
+            .iter()
+            .map(|c| {
+                c.atoms
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" and ")
+            })
+            .collect::<Vec<_>>()
+            .join(" or ");
+        let parsed = parse_condition(&text).unwrap();
+        prop_assert_eq!(parsed, cond, "{}", text);
+    }
+
+    /// Arbitrary input never panics any parser.
+    #[test]
+    fn garbage_never_panics(text in ".{0,64}") {
+        let _ = parse_atom(&text);
+        let _ = parse_condition(&text);
+        let _ = parse_schema(&text);
+        let _ = parse_tuple(&text);
+    }
+
+    /// Tuples of integers round-trip through Display-style rendering.
+    #[test]
+    fn tuple_roundtrip(vals in prop::collection::vec(-1000i64..1000, 0..8)) {
+        let text = format!(
+            "({})",
+            vals.iter().map(i64::to_string).collect::<Vec<_>>().join(", ")
+        );
+        let parsed = parse_tuple(&text).unwrap();
+        prop_assert_eq!(parsed, ivm_relational::tuple::Tuple::new(vals));
+    }
+
+    /// Schemas round-trip through Display (minus the braces).
+    #[test]
+    fn schema_roundtrip(attrs in prop::collection::hash_set("[A-Za-z][A-Za-z0-9_]{0,5}", 1..6)) {
+        let attrs: Vec<String> = attrs.into_iter().collect();
+        let text = attrs.join(", ");
+        let parsed = parse_schema(&text).unwrap();
+        prop_assert_eq!(
+            parsed.attrs().iter().map(|a| a.as_str().to_string()).collect::<Vec<_>>(),
+            attrs
+        );
+    }
+}

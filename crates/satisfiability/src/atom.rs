@@ -1,0 +1,283 @@
+//! Atomic formulae of the Rosenkrantz–Hunt class (§4).
+//!
+//! The class consists of conjunctions of atoms of the forms `x op y`,
+//! `x op c` and `x op y + c`, with `op ∈ {=, <, >, ≤, ≥}`, over variables
+//! on *discrete infinite* ordered domains (we use ℤ). The operator `≠` is
+//! excluded — "the improved efficiency arises from not allowing the
+//! operator ≠ in op".
+//!
+//! A third shape, `c op d` over two constants, arises when tuple values are
+//! substituted for variables (Definition 4.2 calls these *variant evaluable*
+//! formulae); it is represented here so a substituted conjunction remains a
+//! first-class formula.
+
+use std::fmt;
+
+/// Comparison operator (`≠` deliberately absent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `≤`
+    Le,
+    /// `≥`
+    Ge,
+}
+
+impl Op {
+    /// Evaluate the comparison on integers.
+    pub fn eval(self, l: i64, r: i64) -> bool {
+        match self {
+            Op::Eq => l == r,
+            Op::Lt => l < r,
+            Op::Gt => l > r,
+            Op::Le => l <= r,
+            Op::Ge => l >= r,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Op::Eq => "=",
+            Op::Lt => "<",
+            Op::Gt => ">",
+            Op::Le => "<=",
+            Op::Ge => ">=",
+        })
+    }
+}
+
+/// An atomic formula over variable indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// `x op y + c`
+    VarVar {
+        /// Left variable index.
+        x: usize,
+        /// Operator.
+        op: Op,
+        /// Right variable index.
+        y: usize,
+        /// Constant offset `c` (0 for the plain `x op y`).
+        c: i64,
+    },
+    /// `x op c`
+    VarConst {
+        /// Variable index.
+        x: usize,
+        /// Operator.
+        op: Op,
+        /// Constant.
+        c: i64,
+    },
+    /// `a op b` — a *variant evaluable* formula (Definition 4.2), produced
+    /// by substituting values for both variables of an atom.
+    ConstConst {
+        /// Left constant.
+        a: i64,
+        /// Operator.
+        op: Op,
+        /// Right constant.
+        b: i64,
+    },
+}
+
+impl Atom {
+    /// `x op y + c`
+    pub fn var_var(x: usize, op: Op, y: usize, c: i64) -> Atom {
+        Atom::VarVar { x, op, y, c }
+    }
+
+    /// `x op c`
+    pub fn var_const(x: usize, op: Op, c: i64) -> Atom {
+        Atom::VarConst { x, op, c }
+    }
+
+    /// `a op b`
+    pub fn const_const(a: i64, op: Op, b: i64) -> Atom {
+        Atom::ConstConst { a, op, b }
+    }
+
+    /// Largest variable index mentioned, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        match self {
+            Atom::VarVar { x, y, .. } => Some((*x).max(*y)),
+            Atom::VarConst { x, .. } => Some(*x),
+            Atom::ConstConst { .. } => None,
+        }
+    }
+
+    /// Evaluate under an assignment (`assignment[i]` is the value of
+    /// variable `i`).
+    pub fn eval(&self, assignment: &[i64]) -> bool {
+        match *self {
+            Atom::VarVar { x, op, y, c } => op.eval(assignment[x], assignment[y].saturating_add(c)),
+            Atom::VarConst { x, op, c } => op.eval(assignment[x], c),
+            Atom::ConstConst { a, op, b } => op.eval(a, b),
+        }
+    }
+
+    /// Substitute a value for a variable, if this atom mentions it.
+    ///
+    /// This is the engine behind Definition 4.1's `C(t, Y₂)`: substituting
+    /// `value` for variable `var` turns `VarVar` atoms into `VarConst` (a
+    /// *variant non-evaluable* formula) or `ConstConst` (when both sides
+    /// collapse), and `VarConst` atoms into `ConstConst`.
+    pub fn substitute(&self, var: usize, value: i64) -> Atom {
+        match *self {
+            Atom::VarVar { x, op, y, c } => {
+                let xv = (x == var).then_some(value);
+                let yv = (y == var).then_some(value);
+                match (xv, yv) {
+                    (Some(a), Some(b)) => Atom::ConstConst {
+                        a,
+                        op,
+                        b: b.saturating_add(c),
+                    },
+                    // value op y + c  ⟺  y + c flipped-op value ⟺ y flipped-op value − c
+                    (Some(a), None) => Atom::VarConst {
+                        x: y,
+                        op: flip(op),
+                        c: a.saturating_sub(c),
+                    },
+                    (None, Some(b)) => Atom::VarConst {
+                        x,
+                        op,
+                        c: b.saturating_add(c),
+                    },
+                    (None, None) => *self,
+                }
+            }
+            Atom::VarConst { x, op, c } if x == var => Atom::ConstConst { a: value, op, b: c },
+            other => other,
+        }
+    }
+
+    /// True when the atom mentions no variables (is variant evaluable).
+    pub fn is_evaluable(&self) -> bool {
+        matches!(self, Atom::ConstConst { .. })
+    }
+}
+
+/// `x op y` ⟺ `y flip(op) x`.
+fn flip(op: Op) -> Op {
+    match op {
+        Op::Eq => Op::Eq,
+        Op::Lt => Op::Gt,
+        Op::Gt => Op::Lt,
+        Op::Le => Op::Ge,
+        Op::Ge => Op::Le,
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Atom::VarVar { x, op, y, c: 0 } => write!(f, "x{x} {op} x{y}"),
+            Atom::VarVar { x, op, y, c } if c > 0 => write!(f, "x{x} {op} x{y}+{c}"),
+            Atom::VarVar { x, op, y, c } => write!(f, "x{x} {op} x{y}{c}"),
+            Atom::VarConst { x, op, c } => write!(f, "x{x} {op} {c}"),
+            Atom::ConstConst { a, op, b } => write!(f, "{a} {op} {b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_shapes() {
+        let a = Atom::var_var(0, Op::Le, 1, 2); // x0 <= x1 + 2
+        assert!(a.eval(&[3, 1]));
+        assert!(!a.eval(&[4, 1]));
+        let b = Atom::var_const(0, Op::Gt, 5);
+        assert!(b.eval(&[6, 0]));
+        assert!(!Atom::const_const(3, Op::Eq, 4).eval(&[]));
+    }
+
+    #[test]
+    fn substitute_var_const() {
+        // (x0 < 10)[x0 := 9]  →  9 < 10 (true)
+        let a = Atom::var_const(0, Op::Lt, 10).substitute(0, 9);
+        assert_eq!(a, Atom::const_const(9, Op::Lt, 10));
+        assert!(a.eval(&[]));
+    }
+
+    #[test]
+    fn substitute_left_of_var_var_flips() {
+        // (x0 <= x1 + 2)[x0 := 7]  →  7 <= x1 + 2  ⟺  x1 >= 5
+        let a = Atom::var_var(0, Op::Le, 1, 2).substitute(0, 7);
+        assert_eq!(a, Atom::var_const(1, Op::Ge, 5));
+        // Semantics preserved for a few x1 values.
+        for x1 in 0..10 {
+            assert_eq!(
+                Atom::var_var(0, Op::Le, 1, 2).eval(&[7, x1]),
+                a.eval(&[0, x1])
+            );
+        }
+    }
+
+    #[test]
+    fn substitute_right_of_var_var() {
+        // (x0 = x1)[x1 := 10]  →  x0 = 10
+        let a = Atom::var_var(0, Op::Eq, 1, 0).substitute(1, 10);
+        assert_eq!(a, Atom::var_const(0, Op::Eq, 10));
+    }
+
+    #[test]
+    fn substitute_both_sides() {
+        // (x0 < x0 + 1)[x0 := 4]  →  4 < 5
+        let a = Atom::var_var(0, Op::Lt, 0, 1).substitute(0, 4);
+        assert_eq!(a, Atom::const_const(4, Op::Lt, 5));
+        assert!(a.eval(&[]));
+    }
+
+    #[test]
+    fn substitute_unrelated_var_is_identity() {
+        let a = Atom::var_var(0, Op::Le, 1, 0);
+        assert_eq!(a.substitute(7, 99), a);
+    }
+
+    #[test]
+    fn substitution_preserves_semantics_exhaustively() {
+        // For every op and small values: substituting x0 := v into
+        // (x0 op x1 + c) must agree with direct evaluation.
+        for op in [Op::Eq, Op::Lt, Op::Gt, Op::Le, Op::Ge] {
+            for c in -2..=2 {
+                for v in -3..=3 {
+                    for x1 in -3..=3 {
+                        let orig = Atom::var_var(0, op, 1, c);
+                        let sub = orig.substitute(0, v);
+                        assert_eq!(
+                            orig.eval(&[v, x1]),
+                            sub.eval(&[i64::MIN, x1]),
+                            "op={op:?} c={c} v={v} x1={x1}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_var() {
+        assert_eq!(Atom::var_var(2, Op::Eq, 5, 0).max_var(), Some(5));
+        assert_eq!(Atom::var_const(3, Op::Eq, 0).max_var(), Some(3));
+        assert_eq!(Atom::const_const(1, Op::Eq, 1).max_var(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Atom::var_var(0, Op::Le, 1, 0).to_string(), "x0 <= x1");
+        assert_eq!(Atom::var_var(0, Op::Lt, 1, -2).to_string(), "x0 < x1-2");
+        assert_eq!(Atom::var_const(0, Op::Ge, 9).to_string(), "x0 >= 9");
+        assert_eq!(Atom::const_const(1, Op::Gt, 2).to_string(), "1 > 2");
+    }
+}

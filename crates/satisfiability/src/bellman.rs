@@ -1,0 +1,119 @@
+//! Bellman–Ford negative-cycle detection.
+//!
+//! An O(n·e) alternative to Floyd's O(n³) algorithm for the satisfiability
+//! test. Constraint graphs produced from view conditions are typically
+//! sparse (a handful of atoms over many variables), where Bellman–Ford
+//! wins; the two are cross-checked against each other in the test suite and
+//! raced in the `satisfiability` bench (experiment E4).
+
+use crate::graph::ConstraintGraph;
+
+/// True iff the graph contains a negative-weight cycle.
+///
+/// Uses the virtual-source formulation: start every node at distance 0
+/// (equivalent to a fresh source with 0-weight edges to all nodes) and
+/// relax all edges `n` times; a relaxation succeeding on the n-th pass
+/// proves a negative cycle.
+pub fn has_negative_cycle(graph: &ConstraintGraph) -> bool {
+    let n = graph.num_nodes();
+    let edges: Vec<(usize, usize, i64)> = graph.edges().collect();
+    let mut dist = vec![0i64; n];
+    for pass in 0..n {
+        let mut relaxed = false;
+        for &(u, v, w) in &edges {
+            let cand = dist[u].saturating_add(w);
+            if cand < dist[v] {
+                dist[v] = cand;
+                relaxed = true;
+            }
+        }
+        if !relaxed {
+            return false;
+        }
+        if pass == n - 1 {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{DiffConstraint, Node};
+    use crate::floyd::floyd_warshall;
+
+    fn c(x: Node, y: Node, w: i64) -> DiffConstraint {
+        DiffConstraint { x, y, c: w }
+    }
+
+    #[test]
+    fn agrees_with_floyd_on_simple_cases() {
+        // Negative 2-cycle.
+        let mut g = ConstraintGraph::new(2);
+        g.add_constraint(&c(Node::Var(0), Node::Var(1), -1));
+        g.add_constraint(&c(Node::Var(1), Node::Var(0), 0));
+        assert!(has_negative_cycle(&g));
+        assert!(floyd_warshall(&g).has_negative_cycle);
+
+        // Zero 2-cycle.
+        let mut g = ConstraintGraph::new(2);
+        g.add_constraint(&c(Node::Var(0), Node::Var(1), 0));
+        g.add_constraint(&c(Node::Var(1), Node::Var(0), 0));
+        assert!(!has_negative_cycle(&g));
+        assert!(!floyd_warshall(&g).has_negative_cycle);
+    }
+
+    #[test]
+    fn empty_graph_has_no_cycle() {
+        assert!(!has_negative_cycle(&ConstraintGraph::new(5)));
+    }
+
+    #[test]
+    fn long_negative_cycle() {
+        // 0 → 1 → 2 → 3 → 0 with total weight −1.
+        let mut g = ConstraintGraph::new(4);
+        g.add_constraint(&c(Node::Var(0), Node::Var(1), 5));
+        g.add_constraint(&c(Node::Var(1), Node::Var(2), -3));
+        g.add_constraint(&c(Node::Var(2), Node::Var(3), -3));
+        g.add_constraint(&c(Node::Var(3), Node::Var(0), 0));
+        assert!(has_negative_cycle(&g));
+    }
+
+    #[test]
+    fn negative_edge_without_cycle() {
+        let mut g = ConstraintGraph::new(3);
+        g.add_constraint(&c(Node::Var(0), Node::Var(1), -100));
+        g.add_constraint(&c(Node::Var(1), Node::Var(2), -100));
+        assert!(!has_negative_cycle(&g));
+    }
+
+    #[test]
+    fn randomized_agreement_with_floyd() {
+        // Deterministic pseudo-random graphs; both algorithms must agree.
+        let mut seed: u64 = 0x1986_5150;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as i64
+        };
+        for _ in 0..200 {
+            let n_vars = 2 + (next() % 5).unsigned_abs() as usize;
+            let mut g = ConstraintGraph::new(n_vars);
+            let n_edges = (next() % 10).unsigned_abs() as usize;
+            for _ in 0..n_edges {
+                let a = (next().unsigned_abs() as usize) % (n_vars + 1);
+                let b = (next().unsigned_abs() as usize) % (n_vars + 1);
+                let w = next() % 7 - 3;
+                let node = |i: usize| if i == 0 { Node::Zero } else { Node::Var(i - 1) };
+                g.add_constraint(&c(node(a), node(b), w));
+            }
+            assert_eq!(
+                has_negative_cycle(&g),
+                floyd_warshall(&g).has_negative_cycle,
+                "disagreement on a random graph"
+            );
+        }
+    }
+}

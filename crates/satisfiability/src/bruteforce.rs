@@ -1,0 +1,137 @@
+//! Brute-force model search over bounded integer ranges.
+//!
+//! A slow oracle used only by tests and property checks: enumerate every
+//! assignment in `[-bound, bound]^n` and evaluate the formula directly.
+//! For the *unsat* direction this is a sound refutation check within the
+//! bound; for the *sat* direction the graph algorithm's own witness
+//! ([`crate::conjunctive::ConjunctiveFormula::solve`]) is verified by
+//! evaluation, so together the two directions cross-check the decision
+//! procedure end to end.
+
+use crate::conjunctive::ConjunctiveFormula;
+use crate::dnf::DnfFormula;
+
+/// Search `[-bound, bound]^n` for a model of a conjunctive formula.
+pub fn find_model_conj(f: &ConjunctiveFormula, bound: i64) -> Option<Vec<i64>> {
+    let n = f.num_vars();
+    let mut assignment = vec![-bound; n];
+    if n == 0 {
+        return f.eval(&assignment).then_some(assignment);
+    }
+    loop {
+        if f.eval(&assignment) {
+            return Some(assignment);
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return None;
+            }
+            if assignment[i] < bound {
+                assignment[i] += 1;
+                break;
+            }
+            assignment[i] = -bound;
+            i += 1;
+        }
+    }
+}
+
+/// Search `[-bound, bound]^n` for a model of a DNF formula.
+pub fn find_model_dnf(f: &DnfFormula, bound: i64) -> Option<Vec<i64>> {
+    let n = f.num_vars();
+    let mut assignment = vec![-bound; n];
+    if n == 0 {
+        return f.eval(&assignment).then_some(assignment);
+    }
+    loop {
+        if f.eval(&assignment) {
+            return Some(assignment);
+        }
+        let mut i = 0;
+        loop {
+            if i == n {
+                return None;
+            }
+            if assignment[i] < bound {
+                assignment[i] += 1;
+                break;
+            }
+            assignment[i] = -bound;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, Op};
+    use crate::conjunctive::Solver;
+
+    #[test]
+    fn finds_obvious_model() {
+        let f = ConjunctiveFormula::with_atoms(2, [Atom::var_var(0, Op::Eq, 1, 1)]).unwrap();
+        let m = find_model_conj(&f, 2).unwrap();
+        assert_eq!(m[0], m[1] + 1);
+    }
+
+    #[test]
+    fn reports_unsat_within_bound() {
+        let f = ConjunctiveFormula::with_atoms(
+            1,
+            [Atom::var_const(0, Op::Gt, 1), Atom::var_const(0, Op::Lt, 1)],
+        )
+        .unwrap();
+        assert!(find_model_conj(&f, 5).is_none());
+    }
+
+    #[test]
+    fn zero_var_formula() {
+        let t = ConjunctiveFormula::with_atoms(0, [Atom::const_const(1, Op::Lt, 2)]).unwrap();
+        assert!(find_model_conj(&t, 1).is_some());
+        let f = ConjunctiveFormula::with_atoms(0, [Atom::const_const(2, Op::Lt, 1)]).unwrap();
+        assert!(find_model_conj(&f, 1).is_none());
+    }
+
+    #[test]
+    fn agreement_with_graph_decision_on_grid() {
+        // Exhaustive small formulas: x0 op1 x1 + c1 ∧ x1 op2 c2 ∧ x0 op3 c3.
+        // Constants small enough that every satisfiable instance has a
+        // model within the brute-force bound.
+        let ops = [Op::Eq, Op::Lt, Op::Gt, Op::Le, Op::Ge];
+        for &op1 in &ops {
+            for &op2 in &ops {
+                for &op3 in &ops {
+                    for c1 in [-1i64, 0, 1] {
+                        for c2 in [-1i64, 0, 2] {
+                            let f = ConjunctiveFormula::with_atoms(
+                                2,
+                                [
+                                    Atom::var_var(0, op1, 1, c1),
+                                    Atom::var_const(1, op2, c2),
+                                    Atom::var_const(0, op3, 0),
+                                ],
+                            )
+                            .unwrap();
+                            let graph_sat = f.is_satisfiable(Solver::FloydWarshall);
+                            // Bound: |c| sums to ≤ 4; 8 is comfortably
+                            // beyond any tight witness.
+                            let brute = find_model_conj(&f, 8);
+                            assert_eq!(
+                                graph_sat,
+                                brute.is_some(),
+                                "{f} graph={graph_sat} brute={brute:?}"
+                            );
+                            if graph_sat {
+                                let w = f.solve().unwrap();
+                                assert!(f.eval(&w), "witness fails: {w:?} for {f}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

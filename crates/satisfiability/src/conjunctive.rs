@@ -1,0 +1,296 @@
+//! Conjunctive formulae and their satisfiability test (§4).
+//!
+//! A [`ConjunctiveFormula`] is `f₁ ∧ f₂ ∧ … ∧ f_n` over a declared number
+//! of integer variables. The satisfiability test is the paper's three-step
+//! algorithm: (1) normalize every atom to `≤`/`≥` difference form, (2)
+//! build the directed weighted constraint graph, (3) the formula is
+//! unsatisfiable iff the graph contains a negative-weight cycle.
+
+use std::fmt;
+
+use crate::atom::Atom;
+use crate::bellman;
+use crate::constraint::{normalize_atom, Normalized};
+use crate::error::{Result, SatError};
+use crate::floyd;
+use crate::graph::ConstraintGraph;
+
+/// Which negative-cycle algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Solver {
+    /// Floyd's O(n³) all-pairs algorithm — the one the paper cites \[F62\].
+    #[default]
+    FloydWarshall,
+    /// Bellman–Ford, O(n·e); faster on the sparse graphs real conditions
+    /// produce.
+    BellmanFord,
+}
+
+/// A conjunction of atoms over `num_vars` integer variables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConjunctiveFormula {
+    num_vars: usize,
+    atoms: Vec<Atom>,
+}
+
+impl ConjunctiveFormula {
+    /// The empty (always-true) conjunction over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        ConjunctiveFormula {
+            num_vars,
+            atoms: Vec::new(),
+        }
+    }
+
+    /// Build from atoms, validating variable ranges.
+    pub fn with_atoms(num_vars: usize, atoms: impl IntoIterator<Item = Atom>) -> Result<Self> {
+        let mut f = ConjunctiveFormula::new(num_vars);
+        for a in atoms {
+            f.push(a)?;
+        }
+        Ok(f)
+    }
+
+    /// Append an atom, validating its variable indices.
+    pub fn push(&mut self, atom: Atom) -> Result<()> {
+        if let Some(v) = atom.max_var() {
+            if v >= self.num_vars {
+                return Err(SatError::VarOutOfRange {
+                    var: v,
+                    num_vars: self.num_vars,
+                });
+            }
+        }
+        self.atoms.push(atom);
+        Ok(())
+    }
+
+    /// Declared number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The atoms.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Evaluate under a full assignment.
+    pub fn eval(&self, assignment: &[i64]) -> bool {
+        self.atoms.iter().all(|a| a.eval(assignment))
+    }
+
+    /// Substitute values for variables (Definition 4.1 / 4.3), returning
+    /// the modified formula `C(t, Y₂)`.
+    pub fn substitute(&self, bindings: &[(usize, i64)]) -> ConjunctiveFormula {
+        let atoms = self
+            .atoms
+            .iter()
+            .map(|a| {
+                bindings
+                    .iter()
+                    .fold(*a, |acc, &(var, value)| acc.substitute(var, value))
+            })
+            .collect();
+        ConjunctiveFormula {
+            num_vars: self.num_vars,
+            atoms,
+        }
+    }
+
+    /// Build the constraint graph; `None` when a variant evaluable atom is
+    /// already false (trivially unsatisfiable — no graph needed).
+    pub fn build_graph(&self) -> Option<ConstraintGraph> {
+        let mut g = ConstraintGraph::new(self.num_vars);
+        for atom in &self.atoms {
+            match normalize_atom(atom) {
+                Normalized::False => return None,
+                Normalized::Constraints(cs) => g.add_constraints(cs.iter()),
+            }
+        }
+        Some(g)
+    }
+
+    /// The §4 satisfiability test.
+    pub fn is_satisfiable(&self, solver: Solver) -> bool {
+        match self.build_graph() {
+            None => false,
+            Some(g) => match solver {
+                Solver::FloydWarshall => !floyd::floyd_warshall(&g).has_negative_cycle,
+                Solver::BellmanFord => !bellman::has_negative_cycle(&g),
+            },
+        }
+    }
+
+    /// Produce a satisfying integer assignment, or `None` when
+    /// unsatisfiable. (Used to build the witness database instances of
+    /// Theorem 4.1's "only if" direction.)
+    pub fn solve(&self) -> Option<Vec<i64>> {
+        let g = self.build_graph()?;
+        let v = floyd::solve(&g)?;
+        debug_assert!(
+            self.eval(&v),
+            "solver returned a non-model: {v:?} for {self}"
+        );
+        Some(v)
+    }
+}
+
+impl fmt::Display for ConjunctiveFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return f.write_str("true");
+        }
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" AND ")?;
+            }
+            write!(f, "({a})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Op;
+
+    /// Example 4.1's condition with variables A=x0, B=x1, C=x2:
+    /// (A < 10) ∧ (C > 5) ∧ (B = C).
+    fn example_41() -> ConjunctiveFormula {
+        ConjunctiveFormula::with_atoms(
+            3,
+            [
+                Atom::var_const(0, Op::Lt, 10),
+                Atom::var_const(2, Op::Gt, 5),
+                Atom::var_var(1, Op::Eq, 2, 0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_41_relevant_insert() {
+        // Substituting (A,B) := (9,10): C(9,10,C) = (9<10) ∧ (C>5) ∧ (10=C)
+        // — satisfiable (C = 10).
+        let sub = example_41().substitute(&[(0, 9), (1, 10)]);
+        assert!(sub.is_satisfiable(Solver::FloydWarshall));
+        assert!(sub.is_satisfiable(Solver::BellmanFord));
+        let model = sub.solve().unwrap();
+        assert_eq!(model[2], 10);
+    }
+
+    #[test]
+    fn example_41_irrelevant_insert() {
+        // Substituting (A,B) := (11,10): (11<10) is false — unsatisfiable
+        // regardless of the database state.
+        let sub = example_41().substitute(&[(0, 11), (1, 10)]);
+        assert!(!sub.is_satisfiable(Solver::FloydWarshall));
+        assert!(!sub.is_satisfiable(Solver::BellmanFord));
+        assert!(sub.solve().is_none());
+    }
+
+    #[test]
+    fn var_range_validated() {
+        let mut f = ConjunctiveFormula::new(2);
+        assert!(f.push(Atom::var_const(2, Op::Eq, 0)).is_err());
+        assert!(f.push(Atom::var_const(1, Op::Eq, 0)).is_ok());
+    }
+
+    #[test]
+    fn empty_formula_is_satisfiable() {
+        let f = ConjunctiveFormula::new(4);
+        assert!(f.is_satisfiable(Solver::FloydWarshall));
+        assert_eq!(f.solve().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn contradictory_bounds_unsat() {
+        // x0 ≥ 10 ∧ x0 < 10
+        let f = ConjunctiveFormula::with_atoms(
+            1,
+            [
+                Atom::var_const(0, Op::Ge, 10),
+                Atom::var_const(0, Op::Lt, 10),
+            ],
+        )
+        .unwrap();
+        assert!(!f.is_satisfiable(Solver::FloydWarshall));
+        assert!(!f.is_satisfiable(Solver::BellmanFord));
+    }
+
+    #[test]
+    fn integer_gap_unsat() {
+        // 5 < x0 < 6 has no integer solution — the −1 normalization
+        // catches it.
+        let f = ConjunctiveFormula::with_atoms(
+            1,
+            [Atom::var_const(0, Op::Gt, 5), Atom::var_const(0, Op::Lt, 6)],
+        )
+        .unwrap();
+        assert!(!f.is_satisfiable(Solver::FloydWarshall));
+    }
+
+    #[test]
+    fn chain_of_equalities() {
+        // x0 = x1 + 1, x1 = x2 + 1, x2 = 5 ⇒ model (7, 6, 5).
+        let f = ConjunctiveFormula::with_atoms(
+            3,
+            [
+                Atom::var_var(0, Op::Eq, 1, 1),
+                Atom::var_var(1, Op::Eq, 2, 1),
+                Atom::var_const(2, Op::Eq, 5),
+            ],
+        )
+        .unwrap();
+        assert_eq!(f.solve().unwrap(), vec![7, 6, 5]);
+    }
+
+    #[test]
+    fn inconsistent_cycle_of_inequalities() {
+        // x0 < x1, x1 < x2, x2 < x0: unsatisfiable.
+        let f = ConjunctiveFormula::with_atoms(
+            3,
+            [
+                Atom::var_var(0, Op::Lt, 1, 0),
+                Atom::var_var(1, Op::Lt, 2, 0),
+                Atom::var_var(2, Op::Lt, 0, 0),
+            ],
+        )
+        .unwrap();
+        assert!(!f.is_satisfiable(Solver::FloydWarshall));
+        assert!(!f.is_satisfiable(Solver::BellmanFord));
+    }
+
+    #[test]
+    fn consistent_cycle_of_le() {
+        // x0 ≤ x1, x1 ≤ x2, x2 ≤ x0: satisfiable (all equal).
+        let f = ConjunctiveFormula::with_atoms(
+            3,
+            [
+                Atom::var_var(0, Op::Le, 1, 0),
+                Atom::var_var(1, Op::Le, 2, 0),
+                Atom::var_var(2, Op::Le, 0, 0),
+            ],
+        )
+        .unwrap();
+        let m = f.solve().unwrap();
+        assert!(m[0] == m[1] && m[1] == m[2]);
+    }
+
+    #[test]
+    fn substitute_all_vars_becomes_evaluable() {
+        let sub = example_41().substitute(&[(0, 9), (1, 10), (2, 10)]);
+        assert!(sub.atoms().iter().all(Atom::is_evaluable));
+        assert!(sub.is_satisfiable(Solver::FloydWarshall));
+        let sub = example_41().substitute(&[(0, 9), (1, 10), (2, 4)]);
+        assert!(!sub.is_satisfiable(Solver::FloydWarshall));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ConjunctiveFormula::new(1).to_string(), "true");
+        assert!(example_41().to_string().contains("x0 < 10"));
+    }
+}

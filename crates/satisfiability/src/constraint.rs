@@ -1,0 +1,192 @@
+//! Normalization of atoms into difference constraints (§4).
+//!
+//! The paper's normalization procedure "takes a conjunctive expression and
+//! transforms it into an equivalent one where each atomic formula has as
+//! comparison operator either ≤ or ≥": over integer domains,
+//!
+//! * `x < y + c`  ⟶  `x ≤ y + c − 1`
+//! * `x > y + c`  ⟶  `x ≥ y + c + 1`
+//! * `x = y + c`  ⟶  `x ≤ y + c` ∧ `x ≥ y + c`
+//!
+//! and a `≥` atom is the flipped `≤` atom. Every normalized atom is thus a
+//! *difference constraint* `x − y ≤ c`, where either side may be the
+//! distinguished node `0` (value 0) standing in for constants:
+//! `x ≤ c ⟺ x − 0 ≤ c` and `x ≥ c ⟺ 0 − x ≤ −c`.
+//!
+//! Edge convention: we orient the edge for `x − y ≤ c` from `x` to `y` with
+//! weight `c`, matching the paper's rule "(x ≤ y + c) translates to the
+//! edge (x, y, c)". Summing the constraints around any directed cycle
+//! telescopes to `0 ≤ Σ weights`, so a negative-weight cycle is a
+//! contradiction; Rosenkrantz & Hunt show the converse also holds on
+//! discrete infinite domains. (For the var-const rules the paper's edge
+//! table reads `('0', x, c)` for `x ≤ c`; we keep the orientation
+//! consistent with the var-var rule instead — only consistency matters for
+//! cycle detection.)
+
+use crate::atom::{Atom, Op};
+
+/// A node of the constraint graph: a variable or the distinguished `0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// The distinguished node with fixed value 0.
+    Zero,
+    /// Variable `i`.
+    Var(usize),
+}
+
+/// The difference constraint `x − y ≤ c`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffConstraint {
+    /// Left node.
+    pub x: Node,
+    /// Right node.
+    pub y: Node,
+    /// Bound.
+    pub c: i64,
+}
+
+impl DiffConstraint {
+    fn new(x: Node, y: Node, c: i64) -> Self {
+        DiffConstraint { x, y, c }
+    }
+}
+
+/// Result of normalizing one atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Normalized {
+    /// The atom is equivalent to these difference constraints (possibly
+    /// empty, for a trivially true evaluable atom).
+    Constraints(Vec<DiffConstraint>),
+    /// The atom is a false evaluable formula — the whole conjunction is
+    /// unsatisfiable.
+    False,
+}
+
+/// Normalize one atom into difference constraints.
+pub fn normalize_atom(atom: &Atom) -> Normalized {
+    match *atom {
+        Atom::ConstConst { a, op, b } => {
+            if op.eval(a, b) {
+                Normalized::Constraints(vec![])
+            } else {
+                Normalized::False
+            }
+        }
+        Atom::VarVar { x, op, y, c } => {
+            let x = Node::Var(x);
+            let y = Node::Var(y);
+            Normalized::Constraints(le_ge(x, y, c, op))
+        }
+        Atom::VarConst { x, op, c } => {
+            let x = Node::Var(x);
+            Normalized::Constraints(le_ge(x, Node::Zero, c, op))
+        }
+    }
+}
+
+/// Difference constraints for `x op y + c` (where `y` may be `Zero`).
+fn le_ge(x: Node, y: Node, c: i64, op: Op) -> Vec<DiffConstraint> {
+    match op {
+        // x ≤ y + c ⟺ x − y ≤ c
+        Op::Le => vec![DiffConstraint::new(x, y, c)],
+        // x < y + c ⟺ x ≤ y + c − 1 (integer domains)
+        Op::Lt => vec![DiffConstraint::new(x, y, c.saturating_sub(1))],
+        // x ≥ y + c ⟺ y − x ≤ −c
+        Op::Ge => vec![DiffConstraint::new(y, x, c.saturating_neg())],
+        // x > y + c ⟺ x ≥ y + c + 1 ⟺ y − x ≤ −c − 1
+        Op::Gt => vec![DiffConstraint::new(
+            y,
+            x,
+            c.saturating_add(1).saturating_neg(),
+        )],
+        // x = y + c ⟺ both inequalities
+        Op::Eq => vec![
+            DiffConstraint::new(x, y, c),
+            DiffConstraint::new(y, x, c.saturating_neg()),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_equiv(atom: Atom) {
+        // The conjunction of the produced difference constraints must be
+        // semantically equivalent to the atom, over a small grid.
+        let cs = match normalize_atom(&atom) {
+            Normalized::Constraints(cs) => cs,
+            Normalized::False => return,
+        };
+        let eval_node = |n: Node, a: &[i64]| match n {
+            Node::Zero => 0,
+            Node::Var(i) => a[i],
+        };
+        for v0 in -4..=4 {
+            for v1 in -4..=4 {
+                let a = [v0, v1];
+                let atom_holds = atom.eval(&a);
+                let cs_hold = cs
+                    .iter()
+                    .all(|c| eval_node(c.x, &a) - eval_node(c.y, &a) <= c.c);
+                assert_eq!(atom_holds, cs_hold, "{atom} at {a:?} → {cs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn var_var_all_ops_equivalent() {
+        for op in [Op::Eq, Op::Lt, Op::Gt, Op::Le, Op::Ge] {
+            for c in -2..=2 {
+                check_equiv(Atom::var_var(0, op, 1, c));
+            }
+        }
+    }
+
+    #[test]
+    fn var_const_all_ops_equivalent() {
+        for op in [Op::Eq, Op::Lt, Op::Gt, Op::Le, Op::Ge] {
+            for c in -2..=2 {
+                check_equiv(Atom::var_const(0, op, c));
+            }
+        }
+    }
+
+    #[test]
+    fn const_const_evaluates() {
+        assert_eq!(
+            normalize_atom(&Atom::const_const(1, Op::Lt, 2)),
+            Normalized::Constraints(vec![])
+        );
+        assert_eq!(
+            normalize_atom(&Atom::const_const(2, Op::Lt, 1)),
+            Normalized::False
+        );
+        assert_eq!(
+            normalize_atom(&Atom::const_const(9, Op::Eq, 9)),
+            Normalized::Constraints(vec![])
+        );
+    }
+
+    #[test]
+    fn eq_produces_two_constraints() {
+        match normalize_atom(&Atom::var_var(0, Op::Eq, 1, 3)) {
+            Normalized::Constraints(cs) => assert_eq!(cs.len(), 2),
+            Normalized::False => panic!(),
+        }
+    }
+
+    #[test]
+    fn strict_tightens_by_one() {
+        // x < y ⟶ x − y ≤ −1
+        match normalize_atom(&Atom::var_var(0, Op::Lt, 1, 0)) {
+            Normalized::Constraints(cs) => {
+                assert_eq!(
+                    cs,
+                    vec![DiffConstraint::new(Node::Var(0), Node::Var(1), -1)]
+                );
+            }
+            Normalized::False => panic!(),
+        }
+    }
+}

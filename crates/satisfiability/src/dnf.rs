@@ -1,0 +1,194 @@
+//! Disjunctive formulae `C = C₁ ∨ C₂ ∨ … ∨ C_m` (§4).
+//!
+//! "The expression C is satisfiable if and only if at least one of the
+//! conjunctive expressions C_i is satisfiable. … We can apply Rosenkrantz
+//! and Hunt's algorithm to each of the conjunctive expressions; this takes
+//! time O(m·n³) in the worst case."
+
+use std::fmt;
+
+use crate::conjunctive::{ConjunctiveFormula, Solver};
+use crate::error::Result;
+
+/// A disjunction of conjunctive formulae over a shared variable space.
+///
+/// The empty disjunction is `false`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnfFormula {
+    num_vars: usize,
+    disjuncts: Vec<ConjunctiveFormula>,
+}
+
+impl DnfFormula {
+    /// The always-false formula over `num_vars` variables.
+    pub fn always_false(num_vars: usize) -> Self {
+        DnfFormula {
+            num_vars,
+            disjuncts: Vec::new(),
+        }
+    }
+
+    /// Build from disjuncts (each must be declared over the same variable
+    /// count).
+    pub fn new(
+        num_vars: usize,
+        disjuncts: impl IntoIterator<Item = ConjunctiveFormula>,
+    ) -> Result<Self> {
+        let mut f = DnfFormula::always_false(num_vars);
+        for d in disjuncts {
+            f.push(d)?;
+        }
+        Ok(f)
+    }
+
+    /// Append a disjunct.
+    pub fn push(&mut self, disjunct: ConjunctiveFormula) -> Result<()> {
+        // Re-validate atoms against our variable count (the disjunct may
+        // have been declared with a smaller one; that is fine, larger not).
+        for atom in disjunct.atoms() {
+            if let Some(v) = atom.max_var() {
+                if v >= self.num_vars {
+                    return Err(crate::error::SatError::VarOutOfRange {
+                        var: v,
+                        num_vars: self.num_vars,
+                    });
+                }
+            }
+        }
+        self.disjuncts.push(disjunct);
+        Ok(())
+    }
+
+    /// Declared number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The disjuncts.
+    pub fn disjuncts(&self) -> &[ConjunctiveFormula] {
+        &self.disjuncts
+    }
+
+    /// Evaluate under a full assignment (OR of disjuncts).
+    pub fn eval(&self, assignment: &[i64]) -> bool {
+        self.disjuncts.iter().any(|d| d.eval(assignment))
+    }
+
+    /// Substitute values for variables in every disjunct.
+    pub fn substitute(&self, bindings: &[(usize, i64)]) -> DnfFormula {
+        DnfFormula {
+            num_vars: self.num_vars,
+            disjuncts: self
+                .disjuncts
+                .iter()
+                .map(|d| d.substitute(bindings))
+                .collect(),
+        }
+    }
+
+    /// Satisfiable iff some disjunct is satisfiable — O(m·n³) with
+    /// Floyd–Warshall.
+    pub fn is_satisfiable(&self, solver: Solver) -> bool {
+        self.disjuncts.iter().any(|d| d.is_satisfiable(solver))
+    }
+
+    /// A model of the first satisfiable disjunct, if any.
+    pub fn solve(&self) -> Option<Vec<i64>> {
+        self.disjuncts.iter().find_map(ConjunctiveFormula::solve)
+    }
+}
+
+impl fmt::Display for DnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.disjuncts.is_empty() {
+            return f.write_str("false");
+        }
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" OR ")?;
+            }
+            write!(f, "[{d}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, Op};
+
+    fn conj(num_vars: usize, atoms: Vec<Atom>) -> ConjunctiveFormula {
+        ConjunctiveFormula::with_atoms(num_vars, atoms).unwrap()
+    }
+
+    #[test]
+    fn empty_dnf_is_unsat() {
+        assert!(!DnfFormula::always_false(2).is_satisfiable(Solver::FloydWarshall));
+        assert!(DnfFormula::always_false(2).solve().is_none());
+    }
+
+    #[test]
+    fn sat_iff_some_disjunct_sat() {
+        let unsat = conj(
+            1,
+            vec![Atom::var_const(0, Op::Lt, 0), Atom::var_const(0, Op::Gt, 0)],
+        );
+        let sat = conj(1, vec![Atom::var_const(0, Op::Eq, 7)]);
+        let f = DnfFormula::new(1, [unsat.clone(), sat]).unwrap();
+        assert!(f.is_satisfiable(Solver::FloydWarshall));
+        assert_eq!(f.solve().unwrap(), vec![7]);
+        let g = DnfFormula::new(1, [unsat.clone(), unsat]).unwrap();
+        assert!(!g.is_satisfiable(Solver::BellmanFord));
+    }
+
+    #[test]
+    fn substitution_distributes_over_disjuncts() {
+        // (x0 < 10) ∨ (x0 > 20), substitute x0 := 15 → both false.
+        let f = DnfFormula::new(
+            1,
+            [
+                conj(1, vec![Atom::var_const(0, Op::Lt, 10)]),
+                conj(1, vec![Atom::var_const(0, Op::Gt, 20)]),
+            ],
+        )
+        .unwrap();
+        assert!(!f
+            .substitute(&[(0, 15)])
+            .is_satisfiable(Solver::FloydWarshall));
+        assert!(f
+            .substitute(&[(0, 25)])
+            .is_satisfiable(Solver::FloydWarshall));
+        assert!(f
+            .substitute(&[(0, 5)])
+            .is_satisfiable(Solver::FloydWarshall));
+    }
+
+    #[test]
+    fn var_range_enforced_on_push() {
+        let d = conj(5, vec![Atom::var_const(4, Op::Eq, 0)]);
+        assert!(DnfFormula::new(3, [d]).is_err());
+    }
+
+    #[test]
+    fn eval_is_or() {
+        let f = DnfFormula::new(
+            1,
+            [
+                conj(1, vec![Atom::var_const(0, Op::Lt, 0)]),
+                conj(1, vec![Atom::var_const(0, Op::Gt, 10)]),
+            ],
+        )
+        .unwrap();
+        assert!(f.eval(&[-5]));
+        assert!(f.eval(&[11]));
+        assert!(!f.eval(&[5]));
+    }
+
+    #[test]
+    fn display() {
+        let f = DnfFormula::new(1, [conj(1, vec![Atom::var_const(0, Op::Lt, 0)])]).unwrap();
+        assert!(f.to_string().contains("x0 < 0"));
+        assert_eq!(DnfFormula::always_false(1).to_string(), "false");
+    }
+}

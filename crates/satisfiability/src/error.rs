@@ -1,0 +1,49 @@
+//! Error type for the satisfiability crate.
+
+use std::fmt;
+
+/// Errors raised when building or checking formulae.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatError {
+    /// An atom referenced variable index `var` but the formula was declared
+    /// with only `num_vars` variables.
+    VarOutOfRange {
+        /// Offending variable index.
+        var: usize,
+        /// Declared variable count.
+        num_vars: usize,
+    },
+}
+
+impl fmt::Display for SatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SatError::VarOutOfRange { var, num_vars } => {
+                write!(
+                    f,
+                    "variable x{var} out of range (formula has {num_vars} variables)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SatError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, SatError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SatError::VarOutOfRange {
+            var: 5,
+            num_vars: 3,
+        };
+        assert!(e.to_string().contains("x5"));
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,200 @@
+//! Floyd's all-pairs shortest-path algorithm \[F62\] and negative-cycle
+//! detection.
+//!
+//! §4: "to find whether a directed weighted graph contains a negative cycle
+//! one can use Floyd's algorithm, which finds all the shortest paths
+//! between any two nodes". A negative cycle through node `i` manifests as
+//! `dist[i][i] < 0` after the run. Complexity O(n³) in the number of
+//! variables — the bound the paper quotes for the satisfiability test.
+
+use crate::graph::{ConstraintGraph, INF};
+
+/// All-pairs shortest-path matrix plus the negative-cycle verdict.
+#[derive(Debug, Clone)]
+pub struct ApspResult {
+    /// Number of nodes.
+    pub n: usize,
+    /// Row-major `n²` distance matrix ([`INF`] = unreachable). Distances
+    /// are meaningless in detail when a negative cycle exists.
+    pub dist: Vec<i64>,
+    /// True when some node lies on a negative-weight cycle.
+    pub has_negative_cycle: bool,
+}
+
+impl ApspResult {
+    /// Shortest distance from `i` to `j`.
+    pub fn distance(&self, i: usize, j: usize) -> i64 {
+        self.dist[i * self.n + j]
+    }
+}
+
+/// Run Floyd–Warshall over the graph's adjacency matrix.
+pub fn floyd_warshall(graph: &ConstraintGraph) -> ApspResult {
+    let n = graph.num_nodes();
+    let mut dist = graph.matrix();
+    // Self-distance starts at 0 unless an explicit tighter self-loop exists.
+    for i in 0..n {
+        let d = &mut dist[i * n + i];
+        if *d > 0 {
+            *d = 0;
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = dist[i * n + k];
+            if dik >= INF {
+                continue;
+            }
+            for j in 0..n {
+                let dkj = dist[k * n + j];
+                if dkj >= INF {
+                    continue;
+                }
+                let through = dik.saturating_add(dkj);
+                let d = &mut dist[i * n + j];
+                if through < *d {
+                    *d = through;
+                }
+            }
+        }
+    }
+    let has_negative_cycle = (0..n).any(|i| dist[i * n + i] < 0);
+    ApspResult {
+        n,
+        dist,
+        has_negative_cycle,
+    }
+}
+
+/// Extract a satisfying assignment from a negative-cycle-free graph.
+///
+/// For every edge `x → y` with weight `c` (i.e. constraint `x − y ≤ c`),
+/// shortest distances satisfy `d(x, t) ≤ c + d(y, t)` for any target `t`,
+/// so `v(x) = d(x, 0) − d(0, 0) = d(x, 0)` is a model — provided every node
+/// reaches node 0. We guarantee reachability by conceptually adding a
+/// high-weight edge `(x, 0, W)` from every node (the constraint `x ≤ W`,
+/// harmless for `W` beyond the magnitude any tight solution needs).
+///
+/// Returns `None` when the graph has a negative cycle.
+pub fn solve(graph: &ConstraintGraph) -> Option<Vec<i64>> {
+    let apsp = floyd_warshall(graph);
+    if apsp.has_negative_cycle {
+        return None;
+    }
+    let n = graph.num_nodes();
+    // W: larger than any |path sum|. Sum of |weights| + 1 is safe.
+    let w_cap: i64 = graph
+        .edges()
+        .map(|(_, _, w)| w.abs())
+        .fold(1i64, |acc, w| acc.saturating_add(w));
+    // In the augmented graph the distance from x to 0 is
+    // min(d(x,0), min_y d(x,y) + W): either a pure original path, or an
+    // original prefix followed by one cap edge (the cap edge is never worth
+    // using twice on a shortest path).
+    let mut v = vec![0i64; n];
+    #[allow(clippy::needless_range_loop)] // x is a node id, not just an index
+    for x in 0..n {
+        // Exact distance from x to 0 in the augmented graph:
+        // min(d(x,0), min_y d(x,y) + W).
+        let direct = apsp.distance(x, 0);
+        let via_cap = (0..n)
+            .filter(|&y| apsp.distance(x, y) < INF)
+            .map(|y| apsp.distance(x, y).saturating_add(w_cap))
+            .min()
+            .unwrap_or(w_cap);
+        v[x] = direct.min(via_cap);
+    }
+    // Shift so the 0-node sits at value 0.
+    let zero_val = v[0];
+    Some((1..n).map(|i| v[i] - zero_val).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{DiffConstraint, Node};
+
+    fn c(x: Node, y: Node, w: i64) -> DiffConstraint {
+        DiffConstraint { x, y, c: w }
+    }
+
+    #[test]
+    fn detects_negative_cycle() {
+        // x0 − x1 ≤ −1 and x1 − x0 ≤ 0 ⇒ cycle weight −1.
+        let mut g = ConstraintGraph::new(2);
+        g.add_constraint(&c(Node::Var(0), Node::Var(1), -1));
+        g.add_constraint(&c(Node::Var(1), Node::Var(0), 0));
+        assert!(floyd_warshall(&g).has_negative_cycle);
+        assert!(solve(&g).is_none());
+    }
+
+    #[test]
+    fn zero_cycle_is_fine() {
+        // x0 = x1 gives a 0-weight 2-cycle: satisfiable.
+        let mut g = ConstraintGraph::new(2);
+        g.add_constraint(&c(Node::Var(0), Node::Var(1), 0));
+        g.add_constraint(&c(Node::Var(1), Node::Var(0), 0));
+        let r = floyd_warshall(&g);
+        assert!(!r.has_negative_cycle);
+        let v = solve(&g).unwrap();
+        assert_eq!(v[0], v[1]);
+    }
+
+    #[test]
+    fn distances_computed() {
+        let mut g = ConstraintGraph::new(2);
+        g.add_constraint(&c(Node::Var(0), Node::Var(1), 3));
+        g.add_constraint(&c(Node::Var(1), Node::Zero, 4));
+        let r = floyd_warshall(&g);
+        assert_eq!(r.distance(1, 2), 3); // x0 → x1
+        assert_eq!(r.distance(1, 0), 7); // x0 → x1 → 0
+        assert_eq!(r.distance(0, 1), INF); // unreachable
+    }
+
+    #[test]
+    fn solve_satisfies_all_constraints() {
+        // x0 ≤ x1 − 1, x1 ≤ 5, x0 ≥ −3  (constraints in diff form)
+        let cs = [
+            c(Node::Var(0), Node::Var(1), -1),
+            c(Node::Var(1), Node::Zero, 5),
+            c(Node::Zero, Node::Var(0), 3),
+        ];
+        let mut g = ConstraintGraph::new(2);
+        g.add_constraints(cs.iter());
+        let v = solve(&g).unwrap();
+        let val = |n: Node| match n {
+            Node::Zero => 0,
+            Node::Var(i) => v[i],
+        };
+        for cc in &cs {
+            assert!(
+                val(cc.x) - val(cc.y) <= cc.c,
+                "constraint {cc:?} violated by {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_unconstrained_graph() {
+        let g = ConstraintGraph::new(3);
+        let v = solve(&g).unwrap();
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn tight_equality_chain() {
+        // x0 = x1 + 2, x1 = 7 ⇒ x0 = 9.
+        let mut g = ConstraintGraph::new(2);
+        g.add_constraints(
+            [
+                c(Node::Var(0), Node::Var(1), 2),
+                c(Node::Var(1), Node::Var(0), -2),
+                c(Node::Var(1), Node::Zero, 7),
+                c(Node::Zero, Node::Var(1), -7),
+            ]
+            .iter(),
+        );
+        let v = solve(&g).unwrap();
+        assert_eq!(v, vec![9, 7]);
+    }
+}

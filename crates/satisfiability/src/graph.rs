@@ -1,0 +1,148 @@
+//! The directed weighted constraint graph `G = (n, e)` of Algorithm 4.1.
+//!
+//! Nodes are `α(C) ∪ {0}`: matrix index 0 is the distinguished `0` node,
+//! and variable `i` maps to index `i + 1`. Each difference constraint
+//! `x − y ≤ c` contributes the edge `(x, y, c)`; parallel edges keep the
+//! tightest (minimum) weight. The expression is unsatisfiable iff the graph
+//! contains a negative-weight cycle.
+
+use crate::constraint::{DiffConstraint, Node};
+
+/// "No edge" sentinel, large enough never to participate in a shortest
+/// path but safe to add weights to.
+pub const INF: i64 = i64::MAX / 4;
+
+/// Dense-matrix constraint graph over `num_vars` variables plus the `0`
+/// node.
+#[derive(Debug, Clone)]
+pub struct ConstraintGraph {
+    num_vars: usize,
+    /// Row-major `(num_vars+1)²` adjacency matrix; `w[i][j]` is the
+    /// tightest edge weight from node `i` to node `j`, or [`INF`].
+    weights: Vec<i64>,
+}
+
+impl ConstraintGraph {
+    /// An edge-free graph over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        let n = num_vars + 1;
+        ConstraintGraph {
+            num_vars,
+            weights: vec![INF; n * n],
+        }
+    }
+
+    /// Number of matrix nodes (variables + the `0` node).
+    pub fn num_nodes(&self) -> usize {
+        self.num_vars + 1
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Matrix index of a node.
+    pub fn index(&self, node: Node) -> usize {
+        match node {
+            Node::Zero => 0,
+            Node::Var(i) => {
+                debug_assert!(i < self.num_vars, "variable out of range");
+                i + 1
+            }
+        }
+    }
+
+    /// Edge weight between matrix indices (or [`INF`]).
+    pub fn weight(&self, from: usize, to: usize) -> i64 {
+        self.weights[from * self.num_nodes() + to]
+    }
+
+    /// Add the edge for `x − y ≤ c`, keeping the tighter of parallel
+    /// bounds.
+    pub fn add_constraint(&mut self, c: &DiffConstraint) {
+        let from = self.index(c.x);
+        let to = self.index(c.y);
+        let n = self.num_nodes();
+        let w = &mut self.weights[from * n + to];
+        if c.c < *w {
+            *w = c.c;
+        }
+    }
+
+    /// Add many constraints.
+    pub fn add_constraints<'a>(&mut self, cs: impl IntoIterator<Item = &'a DiffConstraint>) {
+        for c in cs {
+            self.add_constraint(c);
+        }
+    }
+
+    /// A copy of the adjacency matrix (row-major), for the shortest-path
+    /// algorithms.
+    pub fn matrix(&self) -> Vec<i64> {
+        self.weights.clone()
+    }
+
+    /// Iterate over present edges as `(from, to, weight)` matrix triples.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, i64)> + '_ {
+        let n = self.num_nodes();
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(_, &w)| w < INF)
+            .map(move |(i, &w)| (i / n, i % n, w))
+    }
+
+    /// Number of present edges.
+    pub fn num_edges(&self) -> usize {
+        self.weights.iter().filter(|&&w| w < INF).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing() {
+        let g = ConstraintGraph::new(3);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.index(Node::Zero), 0);
+        assert_eq!(g.index(Node::Var(0)), 1);
+        assert_eq!(g.index(Node::Var(2)), 3);
+    }
+
+    #[test]
+    fn parallel_edges_keep_tightest() {
+        let mut g = ConstraintGraph::new(2);
+        g.add_constraint(&DiffConstraint {
+            x: Node::Var(0),
+            y: Node::Var(1),
+            c: 5,
+        });
+        g.add_constraint(&DiffConstraint {
+            x: Node::Var(0),
+            y: Node::Var(1),
+            c: 3,
+        });
+        g.add_constraint(&DiffConstraint {
+            x: Node::Var(0),
+            y: Node::Var(1),
+            c: 7,
+        });
+        assert_eq!(g.weight(1, 2), 3);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn edges_iterator() {
+        let mut g = ConstraintGraph::new(1);
+        g.add_constraint(&DiffConstraint {
+            x: Node::Var(0),
+            y: Node::Zero,
+            c: -2,
+        });
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(1, 0, -2)]);
+    }
+}

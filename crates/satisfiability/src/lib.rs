@@ -1,0 +1,61 @@
+//! Rosenkrantz–Hunt conjunctive-predicate satisfiability, as used by §4 of
+//! *Efficiently Updating Materialized Views* (Blakeley, Larson & Tompa,
+//! SIGMOD 1986) to detect irrelevant updates.
+//!
+//! The decidable class: conjunctions of atomic formulae `x op y`, `x op c`
+//! and `x op y + c` over discrete infinite (integer) domains, with
+//! `op ∈ {=, <, >, ≤, ≥}` — no `≠`. The decision procedure (O(n³)):
+//!
+//! 1. **normalize** every atom to `≤`/`≥` difference form
+//!    ([`constraint::normalize_atom`]),
+//! 2. build a **directed weighted graph** with a node per variable plus the
+//!    distinguished `0` node ([`graph::ConstraintGraph`]),
+//! 3. the conjunction is unsatisfiable iff the graph has a
+//!    **negative-weight cycle** — decided with Floyd's algorithm
+//!    ([`floyd`]) or Bellman–Ford ([`bellman`]).
+//!
+//! Disjunctions `C₁ ∨ … ∨ C_m` are decided disjunct-by-disjunct in
+//! O(m·n³) ([`dnf::DnfFormula`]). For Algorithm 4.1's per-tuple filtering,
+//! [`incremental::InvariantGraph`] precomputes all-pairs distances over the
+//! invariant subformula once and decides each substituted tuple in O(k²).
+//!
+//! # Example
+//!
+//! ```
+//! use ivm_satisfiability::prelude::*;
+//!
+//! // Example 4.1: (A < 10) ∧ (C > 5) ∧ (B = C), A=x0 B=x1 C=x2.
+//! let cond = ConjunctiveFormula::with_atoms(3, [
+//!     Atom::var_const(0, Op::Lt, 10),
+//!     Atom::var_const(2, Op::Gt, 5),
+//!     Atom::var_var(1, Op::Eq, 2, 0),
+//! ]).unwrap();
+//!
+//! // Inserting (9, 10) into R(A, B): satisfiable ⇒ relevant.
+//! assert!(cond.substitute(&[(0, 9), (1, 10)]).is_satisfiable(Solver::FloydWarshall));
+//! // Inserting (11, 10): unsatisfiable ⇒ provably irrelevant.
+//! assert!(!cond.substitute(&[(0, 11), (1, 10)]).is_satisfiable(Solver::FloydWarshall));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod atom;
+pub mod bellman;
+pub mod bruteforce;
+pub mod conjunctive;
+pub mod constraint;
+pub mod dnf;
+pub mod error;
+pub mod floyd;
+pub mod graph;
+pub mod incremental;
+
+/// Convenient glob-import of the commonly used types.
+pub mod prelude {
+    pub use crate::atom::{Atom, Op};
+    pub use crate::conjunctive::{ConjunctiveFormula, Solver};
+    pub use crate::dnf::DnfFormula;
+    pub use crate::error::{Result, SatError};
+    pub use crate::incremental::InvariantGraph;
+}

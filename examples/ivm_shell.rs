@@ -1,0 +1,47 @@
+//! An interactive shell over the view manager: create relations, define
+//! SPJ views with textual conditions, run transactions, and watch
+//! maintenance statistics — a small REPL for exploring the paper's
+//! machinery. The command interpreter lives in `ivm_repro::shell` (where
+//! it is unit-tested); this binary is the read–eval–print loop.
+//!
+//! Run with: `cargo run --example ivm_shell`, or pipe a script:
+//! `printf 'create R (A,B)\n...' | IVM_SHELL_BATCH=1 cargo run --example ivm_shell`
+
+use std::io::{self, BufRead, Write};
+
+use ivm_repro::shell::Shell;
+
+fn main() {
+    let mut shell = Shell::new();
+    let stdin = io::stdin();
+    // Crude interactivity check without extra dependencies: piped scripts
+    // set IVM_SHELL_BATCH to suppress the prompt.
+    let interactive = std::env::var_os("IVM_SHELL_BATCH").is_none();
+    if interactive {
+        println!("ivm shell — SIGMOD 1986 incremental view maintenance. Type `help`.");
+    }
+    loop {
+        if interactive {
+            print!("ivm> ");
+            io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim().to_string();
+        if trimmed.eq_ignore_ascii_case("quit") || trimmed.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        match shell.dispatch(&trimmed) {
+            Ok(msg) if msg.is_empty() => {}
+            Ok(msg) => println!("{msg}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Root package of the SIGMOD 1986 IVM reproduction.
+//!
+//! The library code lives in `crates/` (`ivm`, `ivm-relational`,
+//! `ivm-satisfiability`); this package hosts the integration tests
+//! (`tests/`), the runnable examples (`examples/`) and the interactive
+//! [`shell`] they share.
+
+#![warn(missing_docs)]
+
+pub mod shell;

@@ -1,0 +1,411 @@
+//! Every worked example, table and walkthrough in the paper, encoded
+//! verbatim as integration tests (experiments E1–E3 in DESIGN.md).
+
+use ivm::prelude::*;
+use ivm_relational::algebra;
+
+/// Example 4.1: r(A,B), s(C,D), u = π_{A,D}(σ_{(A<10)∧(C>5)∧(B=C)}(r × s)).
+fn example_41_setup() -> (Database, SpjExpr) {
+    let mut db = Database::new();
+    db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+    db.create("S", Schema::new(["C", "D"]).unwrap()).unwrap();
+    // r = {(1,2), (5,10), (10,20)}   s = {(10,5), (20,12)}
+    db.load("R", [[1, 2], [5, 10], [10, 20]]).unwrap();
+    db.load("S", [[10, 5], [20, 12]]).unwrap();
+    let view = SpjExpr::new(
+        ["R", "S"],
+        Condition::conjunction([
+            Atom::lt_const("A", 10),
+            Atom::gt_const("C", 5),
+            Atom::eq_attr("B", "C"),
+        ]),
+        Some(vec!["A".into(), "D".into()]),
+    );
+    (db, view)
+}
+
+#[test]
+fn example_41_materialization_matches_paper() {
+    // The paper shows u = {(5, 5)}: row (5,10) of r joins (10,5) of s.
+    let (db, view) = example_41_setup();
+    let u = view.eval(&db).unwrap();
+    assert_eq!(u.total_count(), 1);
+    assert!(u.contains(&Tuple::from([5, 5])));
+}
+
+#[test]
+fn example_41_insert_9_10_is_relevant() {
+    let (db, view) = example_41_setup();
+    let f = RelevanceFilter::new(&view, &db, "R").unwrap();
+    // "inserting the tuple (9,10) into relation r is relevant to the view"
+    assert!(f.is_relevant(&Tuple::from([9, 10])).unwrap());
+    // And the paper's caveat: relevance does not mean the view necessarily
+    // changes in *this* state — (9,10) needs an s-tuple (10,δ), which
+    // exists here, so it does change.
+    let mut txn = Transaction::new();
+    txn.insert("R", [9, 10]).unwrap();
+    let r = differential_delta(&view, &db, &txn, &DiffOptions::default()).unwrap();
+    assert_eq!(r.delta.count(&Tuple::from([9, 5])), 1);
+}
+
+#[test]
+fn example_41_insert_11_10_is_provably_irrelevant() {
+    let (db, view) = example_41_setup();
+    let f = RelevanceFilter::new(&view, &db, "R").unwrap();
+    // "C(11,10,C) = (11<10) ∧ (C>5) ∧ (10=C) … unsatisfiable regardless of
+    // the database state."
+    assert!(!f.is_relevant(&Tuple::from([11, 10])).unwrap());
+    // Theorem 4.1 soundness on this instance: the differential delta is
+    // empty.
+    let mut txn = Transaction::new();
+    txn.insert("R", [11, 10]).unwrap();
+    let r = differential_delta(&view, &db, &txn, &DiffOptions::default()).unwrap();
+    assert!(r.delta.is_empty());
+}
+
+#[test]
+fn example_41_deletion_symmetry() {
+    // "The same argument applies for deletions."
+    let (mut db, view) = example_41_setup();
+    db.load("R", [[11, 10]]).unwrap(); // put the irrelevant tuple in first
+    let f = RelevanceFilter::new(&view, &db, "R").unwrap();
+    assert!(!f.is_relevant(&Tuple::from([11, 10])).unwrap());
+    let mut txn = Transaction::new();
+    txn.delete("R", [11, 10]).unwrap();
+    let r = differential_delta(&view, &db, &txn, &DiffOptions::default()).unwrap();
+    assert!(r.delta.is_empty());
+}
+
+/// Example 5.1: R = {A,B}, view π_B(R), r = {(1,10), (2,10), (3,20)}.
+#[test]
+fn example_51_project_view_deletions() {
+    let schema = Schema::new(["A", "B"]).unwrap();
+    let r = Relation::from_rows(schema.clone(), [[1, 10], [2, 10], [3, 20]]).unwrap();
+    let attrs: Vec<AttrName> = vec!["B".into()];
+    let mut v = algebra::project(&r, &attrs).unwrap();
+    // Paper's view: u = {10, 20} — with counters 10×2, 20×1.
+    assert_eq!(v.count(&Tuple::from([10])), 2);
+    assert_eq!(v.count(&Tuple::from([20])), 1);
+
+    // "If delete(R, {(3,20)}) is applied, the view can be updated by
+    // delete(V, {20})."
+    let d = Relation::from_rows(schema.clone(), [[3, 20]]).unwrap();
+    let delta = ivm::differential::project_view_delta(
+        &attrs,
+        &Condition::always_true(),
+        &Relation::empty(schema.clone()),
+        &d,
+    )
+    .unwrap();
+    v.apply_delta(&delta).unwrap();
+    assert!(!v.contains(&Tuple::from([20])));
+
+    // "However, if delete(R, {(1,10)}) is applied, the view cannot be
+    // updated by delete(V, {10})" — the counter keeps 10 alive.
+    let d = Relation::from_rows(schema.clone(), [[1, 10]]).unwrap();
+    let delta = ivm::differential::project_view_delta(
+        &attrs,
+        &Condition::always_true(),
+        &Relation::empty(schema),
+        &d,
+    )
+    .unwrap();
+    v.apply_delta(&delta).unwrap();
+    assert!(
+        v.contains(&Tuple::from([10])),
+        "(2,10) still contributes 10"
+    );
+    assert_eq!(v.count(&Tuple::from([10])), 1);
+}
+
+#[test]
+fn projection_distributivity_fails_without_counters_holds_with() {
+    // The root cause in Example 5.1: π_X(r1 − r2) ≠ π_X(r1) − π_X(r2)
+    // under set semantics. Under counted semantics it holds (checked here);
+    // the set-semantics failure is visible in the counter values: dropping
+    // counters after the subtraction is NOT the same as set-subtracting the
+    // projections.
+    let schema = Schema::new(["A", "B"]).unwrap();
+    let r1 = Relation::from_rows(schema.clone(), [[1, 10], [2, 10], [3, 20]]).unwrap();
+    let r2 = Relation::from_rows(schema, [[1, 10]]).unwrap();
+    let attrs: Vec<AttrName> = vec!["B".into()];
+    let lhs = algebra::project(&algebra::difference(&r1, &r2).unwrap(), &attrs).unwrap();
+    let rhs = algebra::difference(
+        &algebra::project(&r1, &attrs).unwrap(),
+        &algebra::project(&r2, &attrs).unwrap(),
+    )
+    .unwrap();
+    assert_eq!(lhs, rhs, "counted π distributes over −");
+    // Set semantics would have dropped tuple 10 from the rhs entirely:
+    // π(r1) = {10, 20}, π(r2) = {10} ⇒ set difference {20}. The counted
+    // result keeps 10:
+    assert!(rhs.contains(&Tuple::from([10])));
+}
+
+/// Example 5.2: R = {A,B}, S = {B,C}, V = R ⋈ S, insert-only.
+#[test]
+fn example_52_insert_only_differential() {
+    let mut db = Database::new();
+    db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+    db.create("S", Schema::new(["B", "C"]).unwrap()).unwrap();
+    db.load("R", [[1, 10], [2, 20]]).unwrap();
+    db.load("S", [[10, 100], [20, 200]]).unwrap();
+    let view = ivm::differential::join_view(["R", "S"]);
+    let v = view.eval(&db).unwrap();
+
+    let mut txn = Transaction::new();
+    txn.insert_all("R", [[3, 10], [4, 99]]).unwrap();
+    let (delta, _) = ivm::differential::join_view_delta(&view, &db, &txn).unwrap();
+
+    // t_v = i_r ⋈ s: only (3,10,100) — (4,99) finds no partner.
+    assert_eq!(delta.count(&Tuple::from([3, 10, 100])), 1);
+    assert_eq!(delta.len(), 1);
+
+    // v' = v ∪ t_v equals full re-evaluation.
+    let mut v2 = v;
+    v2.apply_delta(&delta).unwrap();
+    let mut db_after = db.clone();
+    db_after.apply(&txn).unwrap();
+    assert_eq!(v2, view.eval(&db_after).unwrap());
+}
+
+/// The §5.3 p = 3 walkthrough: updates to r1 and r2 only require rows
+/// 3, 5, 7 of the truth table (010, 100, 110 over (B1,B2,B3)).
+#[test]
+fn truth_table_p3_walkthrough() {
+    use ivm::differential::truth_table::rows;
+    let r = rows(3, &[0, 1]);
+    let rendered: Vec<String> = r
+        .iter()
+        .map(|row| row.iter().map(|&b| if b { '1' } else { '0' }).collect())
+        .collect();
+    assert_eq!(rendered, vec!["010", "100", "110"]);
+
+    // All three relations updated: the full 7-row table in paper order.
+    let r = rows(3, &[0, 1, 2]);
+    assert_eq!(r.len(), 7);
+}
+
+/// Example 5.3 (labelled 5.5 in the scanned text): delete-only join view.
+#[test]
+fn example_53_delete_only_differential() {
+    let mut db = Database::new();
+    db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+    db.create("S", Schema::new(["B", "C"]).unwrap()).unwrap();
+    db.load("R", [[1, 10], [2, 20]]).unwrap();
+    db.load("S", [[10, 100], [20, 200]]).unwrap();
+    let view = ivm::differential::join_view(["R", "S"]);
+    let mut v = view.eval(&db).unwrap();
+
+    let mut txn = Transaction::new();
+    txn.delete("R", [1, 10]).unwrap();
+    let (delta, _) = ivm::differential::join_view_delta(&view, &db, &txn).unwrap();
+    // d_v = d_r ⋈ s = {(1,10,100)}, applied as a deletion.
+    assert_eq!(delta.count(&Tuple::from([1, 10, 100])), -1);
+    v.apply_delta(&delta).unwrap();
+
+    let mut db_after = db;
+    db_after.apply(&txn).unwrap();
+    assert_eq!(v, view.eval(&db_after).unwrap());
+}
+
+/// Example 5.4: the six tag cases of a two-way join under a mixed
+/// transaction.
+#[test]
+fn example_54_tag_cases_end_to_end() {
+    let mut db = Database::new();
+    db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+    db.create("S", Schema::new(["B", "C"]).unwrap()).unwrap();
+    // Old state: keep (1,10); to-delete (2,10). S: keep (10,100);
+    // to-delete (10,200).
+    db.load("R", [[1, 10], [2, 10]]).unwrap();
+    db.load("S", [[10, 100], [10, 200]]).unwrap();
+    let view = ivm::differential::join_view(["R", "S"]);
+    let mut v = view.eval(&db).unwrap();
+    assert_eq!(v.total_count(), 4);
+
+    let mut txn = Transaction::new();
+    txn.insert("R", [3, 10]).unwrap(); // i_r
+    txn.delete("R", [2, 10]).unwrap(); // d_r
+    txn.insert("S", [10, 300]).unwrap(); // i_s
+    txn.delete("S", [10, 200]).unwrap(); // d_s
+
+    let r = differential_delta(&view, &db, &txn, &DiffOptions::default()).unwrap();
+    let delta = &r.delta;
+    // Case 1: i_r ⋈ i_s inserted.
+    assert_eq!(delta.count(&Tuple::from([3, 10, 300])), 1);
+    // Case 2: i_r ⋈ d_s ignored (neither inserted nor deleted).
+    assert_eq!(delta.count(&Tuple::from([3, 10, 200])), 0);
+    // Case 3: i_r ⋈ s(kept) inserted.
+    assert_eq!(delta.count(&Tuple::from([3, 10, 100])), 1);
+    // Case 4: d_r ⋈ d_s deleted.
+    assert_eq!(delta.count(&Tuple::from([2, 10, 200])), -1);
+    // Case 5: d_r ⋈ s(kept) deleted.
+    assert_eq!(delta.count(&Tuple::from([2, 10, 100])), -1);
+    // Case 6: r(kept) ⋈ s(kept) untouched.
+    assert_eq!(delta.count(&Tuple::from([1, 10, 100])), 0);
+    // Symmetric cases: kept ⋈ i_s inserted, kept ⋈ d_s deleted,
+    // d_r ⋈ i_s ignored.
+    assert_eq!(delta.count(&Tuple::from([1, 10, 300])), 1);
+    assert_eq!(delta.count(&Tuple::from([1, 10, 200])), -1);
+    assert_eq!(delta.count(&Tuple::from([2, 10, 300])), 0);
+
+    v.apply_delta(delta).unwrap();
+    let mut db_after = db;
+    db_after.apply(&txn).unwrap();
+    assert_eq!(v, view.eval(&db_after).unwrap());
+}
+
+/// The §5.3 tag-combination table itself.
+#[test]
+fn tag_combination_table() {
+    use Tag::*;
+    let table: [(Tag, Tag, Option<Tag>); 9] = [
+        (Insert, Insert, Some(Insert)),
+        (Insert, Delete, None), // ignore
+        (Insert, Old, Some(Insert)),
+        (Delete, Insert, None), // ignore
+        (Delete, Delete, Some(Delete)),
+        (Delete, Old, Some(Delete)),
+        (Old, Insert, Some(Insert)),
+        (Old, Delete, Some(Delete)),
+        (Old, Old, Some(Old)),
+    ];
+    for (a, b, want) in table {
+        assert_eq!(a.combine(b), want, "{a} ⋈ {b}");
+    }
+    // Select/project preserve the operand's tag.
+    for t in [Old, Insert, Delete] {
+        assert_eq!(t.through_unary(), t);
+    }
+}
+
+/// Example 5.5: R = {A,B}, S = {B,C}, V = π_A(σ_{C>10}(R ⋈ S)),
+/// insert-only SPJ differential.
+#[test]
+fn example_55_spj_insert_only() {
+    let mut db = Database::new();
+    db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+    db.create("S", Schema::new(["B", "C"]).unwrap()).unwrap();
+    db.load("R", [[1, 10], [2, 20]]).unwrap();
+    db.load("S", [[10, 11], [20, 5]]).unwrap();
+    let view = SpjExpr::new(
+        ["R", "S"],
+        Atom::gt_const("C", 10).into(),
+        Some(vec!["A".into()]),
+    );
+    let mut v = view.eval(&db).unwrap();
+    assert!(v.contains(&Tuple::from([1])));
+    assert!(!v.contains(&Tuple::from([2])));
+
+    // Insert i_r = {(3,10)}: a_v = π_A(σ_{C>10}(i_r ⋈ s)) = {3}.
+    let mut txn = Transaction::new();
+    txn.insert("R", [3, 10]).unwrap();
+    let r = differential_delta(&view, &db, &txn, &DiffOptions::default()).unwrap();
+    assert_eq!(r.delta.count(&Tuple::from([3])), 1);
+    assert_eq!(r.delta.len(), 1);
+    assert_eq!(r.stats.rows_evaluated, 1);
+
+    // v' = v ∪ a_v equals full re-evaluation.
+    v.apply_delta(&r.delta).unwrap();
+    let mut db_after = db;
+    db_after.apply(&txn).unwrap();
+    assert_eq!(v, view.eval(&db_after).unwrap());
+}
+
+/// Theorem 4.2 instance: combinations of individually relevant tuples can
+/// be jointly irrelevant.
+#[test]
+fn theorem_42_joint_irrelevance() {
+    let mut db = Database::new();
+    db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+    db.create("S", Schema::new(["C", "D"]).unwrap()).unwrap();
+    let view = SpjExpr::new(
+        ["R", "S"],
+        Condition::conjunction([
+            Atom::cmp_attr("A", CompOp::Lt, "C", 0),
+            Atom::eq_attr("B", "D"),
+        ]),
+        None,
+    );
+    let t_r = Tuple::from([5, 1]);
+    let t_s = Tuple::from([3, 1]);
+    // Individually both could affect the view…
+    assert!(combination_relevant(&view, &db, &[("R", &t_r)]).unwrap());
+    assert!(combination_relevant(&view, &db, &[("S", &t_s)]).unwrap());
+    // …but the pair cannot (A=5 < C=3 is false).
+    assert!(!combination_relevant(&view, &db, &[("R", &t_r), ("S", &t_s)]).unwrap());
+}
+
+/// §5.2 alternative (2): "include the key of the underlying relation
+/// within the set of attributes projected in the view … alternative (2)
+/// becomes a special case of alternative (1) in which every tuple in the
+/// view has a counter value of one."
+#[test]
+fn projection_alternative_2_keys_make_counters_one() {
+    let schema = Schema::new(["A", "B"]).unwrap();
+    let r = Relation::from_rows(schema.clone(), [[1, 10], [2, 10], [3, 20]]).unwrap();
+    // A is the key of R: projecting {A, B} keeps tuples unique.
+    let keyed = ivm_relational::algebra::project(&r, &["A".into(), "B".into()]).unwrap();
+    assert!(keyed.iter().all(|(_, c)| c == 1), "every counter is one");
+
+    // Deletions are then trivially correct without counter arithmetic.
+    let mut db = Database::new();
+    db.create("R", schema).unwrap();
+    db.load("R", [[1, 10], [2, 10], [3, 20]]).unwrap();
+    let view = SpjExpr::new(
+        ["R"],
+        Condition::always_true(),
+        Some(vec!["A".into(), "B".into()]),
+    );
+    let mut v = view.eval(&db).unwrap();
+    let mut txn = Transaction::new();
+    txn.delete("R", [1, 10]).unwrap();
+    let res = differential_delta(&view, &db, &txn, &DiffOptions::default()).unwrap();
+    v.apply_delta(&res.delta).unwrap();
+    assert!(!v.contains(&Tuple::from([1, 10])));
+    assert!(
+        v.contains(&Tuple::from([2, 10])),
+        "the other B=10 tuple survives"
+    );
+    assert!(v.iter().all(|(_, c)| c == 1));
+}
+
+/// The §5.2 multiplicity counter doubles as an incrementally maintained
+/// COUNT(*) GROUP BY: for a view π_G(σ_C(…)), each group tuple's counter
+/// is exactly the number of contributing rows, and the differential
+/// engine keeps it current. (A free consequence of the counted semantics,
+/// worth pinning down as a behavior.)
+#[test]
+fn counters_give_incremental_group_counts() {
+    let mut m = ivm::manager::ViewManager::new();
+    m.create_relation("sales", Schema::new(["SID", "REGION", "AMOUNT"]).unwrap())
+        .unwrap();
+    m.load("sales", [[1, 7, 100], [2, 7, 50], [3, 8, 10], [4, 7, 999]])
+        .unwrap();
+    // big_sales_per_region := π_REGION(σ_{AMOUNT > 20}(sales)) — counter =
+    // COUNT(*) of qualifying sales per region.
+    m.register_view(
+        "per_region",
+        SpjExpr::new(
+            ["sales"],
+            Atom::gt_const("AMOUNT", 20).into(),
+            Some(vec!["REGION".into()]),
+        ),
+        ivm::manager::RefreshPolicy::Immediate,
+    )
+    .unwrap();
+    let v = m.view_contents("per_region").unwrap();
+    assert_eq!(v.count(&Tuple::from([7])), 3);
+    assert!(!v.contains(&Tuple::from([8])), "amount 10 filtered");
+
+    // Stream of updates: counts track exactly.
+    let mut t = Transaction::new();
+    t.insert("sales", [5, 8, 500]).unwrap();
+    t.delete("sales", [2, 7, 50]).unwrap();
+    m.execute(&t).unwrap();
+    let v = m.view_contents("per_region").unwrap();
+    assert_eq!(v.count(&Tuple::from([7])), 2);
+    assert_eq!(v.count(&Tuple::from([8])), 1);
+    m.verify_consistency().unwrap();
+}

@@ -1,0 +1,208 @@
+//! Theorem 4.1, both directions, property-tested.
+//!
+//! * **Soundness** ("if"): a tuple the filter classifies *irrelevant* never
+//!   changes the view — checked against many random database states.
+//! * **Completeness** ("only if"): a tuple the filter classifies *relevant*
+//!   changes the view in at least one state — checked by building the
+//!   proof's witness instance and watching the view flip ∅ → {·}.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ivm::prelude::*;
+
+/// Random two-relation setting: R(A,B), S(C,D), condition over A..D.
+fn build_view(rng: &mut StdRng, domain: i64) -> (Database, SpjExpr) {
+    let mut db = Database::new();
+    db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+    db.create("S", Schema::new(["C", "D"]).unwrap()).unwrap();
+    let attrs = ["A", "B", "C", "D"];
+    let ops = [CompOp::Eq, CompOp::Lt, CompOp::Gt, CompOp::Le, CompOp::Ge];
+    let n_disjuncts = rng.gen_range(1..=2);
+    let mut disjuncts = Vec::new();
+    for _ in 0..n_disjuncts {
+        let n_atoms = rng.gen_range(1..=3);
+        let mut atoms = Vec::new();
+        for _ in 0..n_atoms {
+            let x = attrs[rng.gen_range(0..4)];
+            let op = ops[rng.gen_range(0..ops.len())];
+            if rng.gen_bool(0.5) {
+                atoms.push(Atom::cmp_const(x, op, rng.gen_range(0..domain)));
+            } else {
+                let y = attrs[rng.gen_range(0..4)];
+                atoms.push(Atom::cmp_attr(x, op, y, rng.gen_range(-2..=2)));
+            }
+        }
+        disjuncts.push(Conjunction::new(atoms));
+    }
+    let view = SpjExpr::new(
+        ["R", "S"],
+        Condition::dnf(disjuncts),
+        Some(vec!["A".into(), "D".into()]),
+    );
+    (db, view)
+}
+
+/// Fill R and S with random rows.
+fn randomize_db(rng: &mut StdRng, db: &mut Database, size: usize, domain: i64) {
+    for name in ["R", "S"] {
+        let mut loaded = 0;
+        let mut attempts = 0;
+        while loaded < size && attempts < size * 50 + 100 {
+            attempts += 1;
+            let t = Tuple::from([rng.gen_range(0..domain), rng.gen_range(0..domain)]);
+            if !db.relation(name).unwrap().contains(&t) {
+                db.load(name, [t]).unwrap();
+                loaded += 1;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    /// Soundness: irrelevant ⇒ the view never changes, in any state.
+    #[test]
+    fn irrelevant_updates_never_change_the_view(
+        seed in any::<u64>(),
+        domain in 2i64..=6,
+        a in 0i64..8,
+        b in 0i64..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (db_empty, view) = build_view(&mut rng, domain);
+        let filter = RelevanceFilter::new(&view, &db_empty, "R").unwrap();
+        let tuple = Tuple::from([a, b]);
+        prop_assume!(!filter.is_relevant(&tuple).unwrap());
+
+        // Try several random database states.
+        for _ in 0..5 {
+            let mut db = db_empty.clone();
+            let size = rng.gen_range(0..10);
+            randomize_db(&mut rng, &mut db, size, domain);
+            let before = view.eval(&db).unwrap();
+
+            if db.relation("R").unwrap().contains(&tuple) {
+                // Deletion direction.
+                let mut txn = Transaction::new();
+                txn.delete("R", tuple.clone()).unwrap();
+                let mut after = db.clone();
+                after.apply(&txn).unwrap();
+                prop_assert!(view.eval(&after).unwrap() == before,
+                    "irrelevant delete changed the view");
+            } else {
+                // Insertion direction.
+                let mut txn = Transaction::new();
+                txn.insert("R", tuple.clone()).unwrap();
+                let mut after = db.clone();
+                after.apply(&txn).unwrap();
+                prop_assert!(view.eval(&after).unwrap() == before,
+                    "irrelevant insert changed the view");
+            }
+        }
+    }
+
+    /// Completeness: relevant ⇒ the Theorem 4.1 witness state exists and
+    /// the update visibly changes the view there.
+    #[test]
+    fn relevant_updates_have_a_witness_state(
+        seed in any::<u64>(),
+        domain in 2i64..=6,
+        a in 0i64..8,
+        b in 0i64..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (db_empty, view) = build_view(&mut rng, domain);
+        let filter = RelevanceFilter::new(&view, &db_empty, "R").unwrap();
+        let tuple = Tuple::from([a, b]);
+        prop_assume!(filter.is_relevant(&tuple).unwrap());
+
+        let witness = relevance_witness(&view, &db_empty, "R", &tuple)
+            .unwrap()
+            .expect("relevant tuple must have a witness");
+        prop_assert!(view.eval(&witness).unwrap().is_empty(),
+            "witness must start with an empty view");
+        let mut txn = Transaction::new();
+        txn.insert("R", tuple).unwrap();
+        let mut after = witness.clone();
+        after.apply(&txn).unwrap();
+        prop_assert!(view.eval(&after).unwrap().total_count() >= 1,
+            "insert must make the view non-empty in the witness state");
+    }
+
+    /// Filter ≡ witness existence: the two characterizations of relevance
+    /// agree exactly.
+    #[test]
+    fn filter_agrees_with_witness_existence(
+        seed in any::<u64>(),
+        a in 0i64..8,
+        b in 0i64..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (db, view) = build_view(&mut rng, 5);
+        let filter = RelevanceFilter::new(&view, &db, "R").unwrap();
+        let tuple = Tuple::from([a, b]);
+        let relevant = filter.is_relevant(&tuple).unwrap();
+        let witness = relevance_witness(&view, &db, "R", &tuple).unwrap();
+        prop_assert_eq!(relevant, witness.is_some());
+    }
+
+    /// Maintaining through the ViewManager with filtering on and off gives
+    /// identical view contents (the filter changes work, never results).
+    #[test]
+    fn filtered_and_unfiltered_maintenance_agree(
+        seed in any::<u64>(),
+        size in 0usize..=10,
+        n_txns in 1usize..=5,
+    ) {
+        let domain = 6;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut db, view) = build_view(&mut rng, domain);
+        randomize_db(&mut rng, &mut db, size, domain);
+
+        let build_manager = |filtering: bool, db: &Database| {
+            let mut m = ViewManager::new().with_filtering(filtering);
+            for name in ["R", "S"] {
+                m.create_relation(name, db.schema(name).unwrap().clone()).unwrap();
+                let rows: Vec<Tuple> =
+                    db.relation(name).unwrap().sorted().into_iter().map(|(t, _)| t).collect();
+                m.load(name, rows).unwrap();
+            }
+            m.register_view("v", view.clone(), RefreshPolicy::Immediate).unwrap();
+            m
+        };
+        let mut with = build_manager(true, &db);
+        let mut without = build_manager(false, &db);
+
+        for _ in 0..n_txns {
+            let name = if rng.gen_bool(0.5) { "R" } else { "S" };
+            let mut txn = Transaction::new();
+            let rel = with.database().relation(name).unwrap().clone();
+            // One random delete (if possible) and one random fresh insert.
+            if let Some((victim, _)) = rel.sorted().into_iter().next() {
+                if rng.gen_bool(0.5) {
+                    txn.delete(name, victim).unwrap();
+                }
+            }
+            for _ in 0..50 {
+                let t = Tuple::from([rng.gen_range(0..domain), rng.gen_range(0..domain)]);
+                if !rel.contains(&t) {
+                    let _ = txn.insert(name, t);
+                    break;
+                }
+            }
+            if txn.is_empty() {
+                continue;
+            }
+            with.execute(&txn).unwrap();
+            without.execute(&txn).unwrap();
+            prop_assert!(
+                with.view_contents("v").unwrap() == without.view_contents("v").unwrap()
+            );
+        }
+        with.verify_consistency().unwrap();
+        without.verify_consistency().unwrap();
+    }
+}

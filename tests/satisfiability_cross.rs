@@ -1,0 +1,161 @@
+//! Cross-checks of the §4 decision procedure: Floyd–Warshall vs
+//! Bellman–Ford vs the incremental invariant-graph fast path vs a
+//! brute-force bounded model search.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ivm_satisfiability::atom::{Atom, Op};
+use ivm_satisfiability::bruteforce::{find_model_conj, find_model_dnf};
+use ivm_satisfiability::conjunctive::{ConjunctiveFormula, Solver};
+use ivm_satisfiability::dnf::DnfFormula;
+use ivm_satisfiability::incremental::InvariantGraph;
+
+const OPS: [Op; 5] = [Op::Eq, Op::Lt, Op::Gt, Op::Le, Op::Ge];
+
+/// A random formula over `n` variables with small constants.
+fn build_formula(rng: &mut StdRng, n: usize, max_atoms: usize) -> ConjunctiveFormula {
+    let n_atoms = rng.gen_range(0..=max_atoms);
+    let mut atoms = Vec::new();
+    for _ in 0..n_atoms {
+        let op = OPS[rng.gen_range(0..OPS.len())];
+        let x = rng.gen_range(0..n);
+        if rng.gen_bool(0.5) {
+            atoms.push(Atom::var_const(x, op, rng.gen_range(-3..=3)));
+        } else {
+            let y = rng.gen_range(0..n);
+            atoms.push(Atom::var_var(x, op, y, rng.gen_range(-2..=2)));
+        }
+    }
+    ConjunctiveFormula::with_atoms(n, atoms).unwrap()
+}
+
+/// A brute-force bound large enough that any satisfiable formula of this
+/// family has a model inside it: shortest-path witnesses are bounded by
+/// the sum of |constants|.
+fn bound_for(f: &ConjunctiveFormula) -> i64 {
+    let mut sum: i64 = 1;
+    for a in f.atoms() {
+        sum += match *a {
+            Atom::VarVar { c, .. } => c.abs() + 1,
+            Atom::VarConst { c, .. } => c.abs() + 1,
+            Atom::ConstConst { .. } => 0,
+        };
+    }
+    sum
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// FW and BF agree on satisfiability; SAT formulas produce verified
+    /// models; UNSAT formulas have no model within the sound bound.
+    #[test]
+    fn solvers_agree_and_match_bruteforce(
+        seed in any::<u64>(),
+        n in 1usize..=3,
+        max_atoms in 0usize..=4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = build_formula(&mut rng, n, max_atoms);
+        let fw = f.is_satisfiable(Solver::FloydWarshall);
+        let bf = f.is_satisfiable(Solver::BellmanFord);
+        prop_assert_eq!(fw, bf, "FW/BF disagree on {}", f);
+
+        if fw {
+            let model = f.solve().expect("SAT formula must have a witness");
+            prop_assert!(f.eval(&model), "witness {:?} fails {}", model, f);
+        } else {
+            prop_assert!(f.solve().is_none());
+            let b = bound_for(&f);
+            prop_assert!(
+                find_model_conj(&f, b).is_none(),
+                "decision says UNSAT but brute force found a model of {}",
+                f
+            );
+        }
+    }
+
+    /// DNF satisfiability matches brute force over the shared bound.
+    #[test]
+    fn dnf_matches_bruteforce(
+        seed in any::<u64>(),
+        n in 1usize..=2,
+        m in 0usize..=3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let disjuncts: Vec<ConjunctiveFormula> =
+            (0..m).map(|_| build_formula(&mut rng, n, 3)).collect();
+        let f = DnfFormula::new(n, disjuncts).unwrap();
+        let sat = f.is_satisfiable(Solver::FloydWarshall);
+        let b = f
+            .disjuncts()
+            .iter()
+            .map(bound_for)
+            .max()
+            .unwrap_or(1);
+        prop_assert_eq!(sat, find_model_dnf(&f, b).is_some(), "{}", f);
+        if sat {
+            let model = f.solve().unwrap();
+            prop_assert!(f.eval(&model));
+        }
+    }
+
+    /// The incremental invariant-graph check agrees with a full rebuild
+    /// for substituted (zero-incident) variant atoms.
+    #[test]
+    fn incremental_fast_path_agrees_with_full(
+        seed in any::<u64>(),
+        n in 1usize..=4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let invariant = build_formula(&mut rng, n, 4);
+        let g = InvariantGraph::new(invariant).unwrap();
+        for _ in 0..10 {
+            // Variant atoms of the substituted shapes only.
+            let k = rng.gen_range(0..=3);
+            let variant: Vec<Atom> = (0..k)
+                .map(|_| {
+                    if rng.gen_bool(0.2) {
+                        let a = rng.gen_range(-2..=2);
+                        let b = rng.gen_range(-2..=2);
+                        Atom::const_const(a, OPS[rng.gen_range(0..OPS.len())], b)
+                    } else {
+                        Atom::var_const(
+                            rng.gen_range(0..n),
+                            OPS[rng.gen_range(0..OPS.len())],
+                            rng.gen_range(-3..=3),
+                        )
+                    }
+                })
+                .collect();
+            prop_assert_eq!(
+                g.check_variant(&variant),
+                g.check_full(&variant),
+                "variant {:?}",
+                variant
+            );
+        }
+    }
+
+    /// Substitution commutes with satisfiability: C(t) is satisfiable iff
+    /// C ∧ (bound variables pinned by equalities) is.
+    #[test]
+    fn substitution_equals_pinning_equalities(
+        seed in any::<u64>(),
+        n in 2usize..=3,
+        v0 in -3i64..=3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = build_formula(&mut rng, n, 4);
+        let substituted = f.substitute(&[(0, v0)]).is_satisfiable(Solver::FloydWarshall);
+        let mut pinned = f.clone();
+        pinned.push(Atom::var_const(0, Op::Eq, v0)).unwrap();
+        prop_assert_eq!(
+            substituted,
+            pinned.is_satisfiable(Solver::FloydWarshall),
+            "{} with x0 := {}", f, v0
+        );
+    }
+}
