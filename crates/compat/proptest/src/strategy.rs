@@ -1,0 +1,410 @@
+//! Value-generation strategies (no shrinking — see the crate docs).
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG driving test-case generation.
+pub type TestRng = StdRng;
+
+/// Build the deterministic per-test RNG (seeded from the test name, so
+/// every run of a given test sees the same case sequence).
+pub fn rng_for_test(name: &str) -> TestRng {
+    // FNV-1a over the test name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values through a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (built by `prop_oneof!`).
+pub struct OneOf<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> OneOf<T> {
+    /// Build from a non-empty list of alternatives.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+
+    /// The full-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for a type (`any::<u64>()`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain integer strategy backing [`Arbitrary`] for int types.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyInt<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyInt(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Strategy for `bool` backing its [`Arbitrary`] impl.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyBool
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String strategies from a regex-like pattern subset.
+// ---------------------------------------------------------------------------
+
+/// One element of a compiled string pattern.
+#[derive(Debug, Clone)]
+enum PatternItem {
+    /// `.` — any printable ASCII character.
+    Dot,
+    /// `[a-z0-9_]` — ranges and singletons.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Literal(char),
+}
+
+/// A compiled string pattern: items with `{min,max}` repetition counts.
+#[derive(Debug, Clone)]
+pub struct StringPattern {
+    items: Vec<(PatternItem, usize, usize)>,
+}
+
+impl StringPattern {
+    /// Compile the supported regex subset; panics on anything else, since
+    /// patterns appear as literals in test code.
+    fn compile(pattern: &str) -> StringPattern {
+        let mut chars = pattern.chars().peekable();
+        let mut items = Vec::new();
+        while let Some(c) = chars.next() {
+            let item = match c {
+                '.' => PatternItem::Dot,
+                '[' => {
+                    let mut ranges = Vec::new();
+                    loop {
+                        let lo = chars.next().unwrap_or_else(|| {
+                            panic!("unterminated character class in pattern {pattern:?}")
+                        });
+                        if lo == ']' {
+                            break;
+                        }
+                        if chars.peek() == Some(&'-') {
+                            chars.next();
+                            let hi = chars.next().unwrap_or_else(|| {
+                                panic!("unterminated range in pattern {pattern:?}")
+                            });
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                    PatternItem::Class(ranges)
+                }
+                '\\' => PatternItem::Literal(
+                    chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+                ),
+                other => PatternItem::Literal(other),
+            };
+            // Optional repetition suffix.
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.parse().expect("bad repetition lower bound"),
+                            hi.parse().expect("bad repetition upper bound"),
+                        ),
+                        None => {
+                            let n = spec.parse().expect("bad repetition count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            items.push((item, min, max));
+        }
+        StringPattern { items }
+    }
+}
+
+impl Strategy for StringPattern {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (item, min, max) in &self.items {
+            let n = rng.gen_range(*min..=*max);
+            for _ in 0..n {
+                match item {
+                    PatternItem::Dot => out.push(rng.gen_range(0x20u32..0x7f) as u8 as char),
+                    PatternItem::Literal(c) => out.push(*c),
+                    PatternItem::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                        out.push(
+                            char::from_u32(rng.gen_range(lo as u32..=hi as u32))
+                                .expect("class range spans a surrogate gap"),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Compiling per call keeps `&str` itself a strategy (as in real
+        // proptest); patterns are tiny, so this is cheap enough for tests.
+        StringPattern::compile(self).generate(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        StringPattern::compile(self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        rng_for_test("strategy_tests")
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = (0i64..10).generate(&mut r);
+            assert!((0..10).contains(&v));
+            let (a, b) = ((0u8..=3), (-5i32..0)).generate(&mut r);
+            assert!(a <= 3);
+            assert!((-5..0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn map_and_just() {
+        let mut r = rng();
+        let s = Just(21).prop_map(|x| x * 2);
+        assert_eq!(s.generate(&mut r), 42);
+    }
+
+    #[test]
+    fn oneof_uses_every_option() {
+        let mut r = rng();
+        let s = OneOf::new(vec![
+            Box::new(Just(1)) as Box<dyn Strategy<Value = i32>>,
+            Box::new(Just(2)),
+        ]);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[(s.generate(&mut r) - 1) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let ident = "[A-Za-z_][A-Za-z0-9_]{0,6}".generate(&mut r);
+            assert!(!ident.is_empty() && ident.len() <= 7, "{ident:?}");
+            let first = ident.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_', "{ident:?}");
+            assert!(
+                ident.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "{ident:?}"
+            );
+
+            let free = ".{0,64}".generate(&mut r);
+            assert!(free.len() <= 64);
+            assert!(free.chars().all(|c| (' '..='~').contains(&c)), "{free:?}");
+        }
+    }
+
+    #[test]
+    fn any_covers_integers() {
+        let mut r = rng();
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..50 {
+            distinct.insert(any::<u64>().generate(&mut r));
+        }
+        assert!(distinct.len() > 40, "full-domain u64 draws mostly distinct");
+    }
+}

@@ -156,6 +156,13 @@ impl MaterializedExpr {
         Ok(MaterializedExpr { expr, data })
     }
 
+    /// Reinstall from persisted state without re-evaluating: `data` is
+    /// trusted to be the materialization `expr` had when it was
+    /// checkpointed (the recovery path).
+    pub fn from_saved(expr: Expr, data: Relation) -> Self {
+        MaterializedExpr { expr, data }
+    }
+
     /// The defining expression.
     pub fn expr(&self) -> &Expr {
         &self.expr

@@ -1,0 +1,347 @@
+//! Durable view managers: WAL logging, checkpoints and crash recovery.
+//!
+//! The storage crate (`ivm-storage`) knows how to frame, checksum and lay
+//! out bytes; this module knows what the bytes *mean*. A durable
+//! [`ViewManager`] keeps a storage directory with
+//!
+//! ```text
+//! <dir>/wal.log                      append-only write-ahead log
+//! <dir>/checkpoint-<seq>.ckpt        full system images, newest wins
+//! ```
+//!
+//! and follows two invariants:
+//!
+//! 1. **Log before apply.** Every mutation (transaction or DDL) is
+//!    appended to the WAL and synced before in-memory state changes. The
+//!    sync is the commit point.
+//! 2. **Checkpoints are differential restart points, not re-evaluations.**
+//!    A checkpoint stores each view's counted materialization verbatim;
+//!    recovery reinstalls it with [`MaterializedView::from_saved`] and
+//!    rolls the WAL tail forward through [`ViewManager::execute`] — the
+//!    same relevance-filtered differential path used online. Recovery never
+//!    re-evaluates a view from its definition (checked by the
+//!    recovery-equivalence property test via
+//!    [`MaintenanceStats::full_recomputes`]).
+//!
+//! Maintenance statistics are deliberately ephemeral: counters describe a
+//! process lifetime, not the database, and restart at zero after recovery.
+
+use std::collections::{BTreeMap, HashMap};
+use std::path::{Path, PathBuf};
+
+use ivm_relational::delta::DeltaRelation;
+use ivm_relational::transaction::Transaction;
+
+use ivm_storage::checkpoint::{self, CheckpointData, StoredView, StoredViewKind};
+use ivm_storage::{StorageError, Wal, WalRecord, WalStats, WAL_FILE};
+
+use crate::error::Result;
+use crate::manager::{MaintenanceStats, ManagedTreeView, ManagedView, RefreshPolicy, ViewManager};
+use crate::view::{MaterializedView, ViewDefinition};
+
+/// How much durability a manager provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityPolicy {
+    /// No logging at all. [`ViewManager::open`] with this policy recovers
+    /// existing state and then behaves like an in-memory manager (useful
+    /// for read-only inspection of a storage directory).
+    None,
+    /// Log every mutation to the WAL with a sync per transaction;
+    /// checkpoints only when [`ViewManager::checkpoint`] is called.
+    #[default]
+    WalOnly,
+    /// Like [`DurabilityPolicy::WalOnly`], plus an automatic checkpoint
+    /// after every `n` logged transactions.
+    WalWithCheckpointEvery(u64),
+}
+
+/// What recovery found and did, kept for introspection (shell, examples,
+/// tests).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Sequence number of the checkpoint restored, if any existed.
+    pub checkpoint_seq: Option<u64>,
+    /// LSN recorded in that checkpoint (0 without one); replay started
+    /// strictly after it.
+    pub checkpoint_lsn: u64,
+    /// Corrupt checkpoints skipped while searching for a valid one.
+    pub checkpoints_skipped: usize,
+    /// WAL records rolled forward through the maintenance engine.
+    pub wal_records_replayed: usize,
+    /// Rendering of the corruption that ended the WAL's valid prefix, if
+    /// the log did not end cleanly. The file was truncated at that point.
+    pub wal_truncated: Option<String>,
+}
+
+/// Live durability machinery of an open manager.
+#[derive(Debug)]
+pub(crate) struct DurabilityState {
+    dir: PathBuf,
+    wal: Wal,
+    policy: DurabilityPolicy,
+    txns_since_checkpoint: u64,
+    report: RecoveryReport,
+}
+
+/// A point-in-time snapshot of WAL/checkpoint counters, surfaced by the
+/// shell's `\wal-stats`.
+#[derive(Debug, Clone)]
+pub struct DurabilityStatus {
+    /// Storage directory backing this manager.
+    pub dir: PathBuf,
+    /// Append/sync counters for the current WAL handle.
+    pub wal: WalStats,
+    /// LSN the next logged record will receive.
+    pub next_lsn: u64,
+    /// Current WAL file length in bytes.
+    pub wal_len_bytes: u64,
+    /// Transactions logged since the last checkpoint.
+    pub txns_since_checkpoint: u64,
+}
+
+pub(crate) fn policy_to_u8(policy: RefreshPolicy) -> u8 {
+    match policy {
+        RefreshPolicy::Immediate => 0,
+        RefreshPolicy::Deferred => 1,
+        RefreshPolicy::OnDemand => 2,
+    }
+}
+
+fn policy_from_u8(byte: u8) -> Result<RefreshPolicy> {
+    match byte {
+        0 => Ok(RefreshPolicy::Immediate),
+        1 => Ok(RefreshPolicy::Deferred),
+        2 => Ok(RefreshPolicy::OnDemand),
+        b => Err(StorageError::Corrupt(format!("bad refresh-policy byte {b:#04x}")).into()),
+    }
+}
+
+fn install_stored_view(mgr: &mut ViewManager, stored: StoredView) -> Result<()> {
+    if mgr.views.contains_key(&stored.name) || mgr.tree_views.contains_key(&stored.name) {
+        return Err(
+            StorageError::Corrupt(format!("checkpoint stores view {} twice", stored.name)).into(),
+        );
+    }
+    match stored.kind {
+        StoredViewKind::Spj {
+            expr,
+            policy,
+            pending,
+        } => {
+            let def = ViewDefinition::new(stored.name.clone(), expr)?;
+            let view = MaterializedView::from_saved(def, stored.data);
+            let pending: BTreeMap<String, DeltaRelation> = pending.into_iter().collect();
+            mgr.views.insert(
+                stored.name,
+                ManagedView {
+                    view,
+                    policy: policy_from_u8(policy)?,
+                    pending,
+                    filters: HashMap::new(),
+                    listeners: Vec::new(),
+                    stats: MaintenanceStats::default(),
+                },
+            );
+        }
+        StoredViewKind::Tree { expr } => {
+            let base_relations = expr.base_relations();
+            let view = crate::differential::MaterializedExpr::from_saved(expr, stored.data);
+            mgr.tree_views.insert(
+                stored.name,
+                ManagedTreeView {
+                    view,
+                    base_relations,
+                    listeners: Vec::new(),
+                    stats: MaintenanceStats::default(),
+                },
+            );
+        }
+    }
+    Ok(())
+}
+
+impl ViewManager {
+    /// Open (or create) a durable manager over storage directory `dir`
+    /// with the default [`DurabilityPolicy::WalOnly`] policy.
+    ///
+    /// Recovery protocol: load the newest checkpoint that passes its
+    /// checksum (falling back over corrupt ones), reinstall every view from
+    /// its stored materialization, then roll the WAL tail — records with
+    /// LSNs above the checkpoint's — forward through the differential
+    /// maintenance engine. A torn or corrupt WAL tail is truncated at the
+    /// first bad frame; everything before it is kept.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with_policy(dir, DurabilityPolicy::default())
+    }
+
+    /// [`ViewManager::open`] with an explicit durability policy.
+    pub fn open_with_policy(dir: impl AsRef<Path>, policy: DurabilityPolicy) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| StorageError::io(format!("create storage dir {}", dir.display()), e))?;
+
+        let mut mgr = ViewManager::new();
+        let mut report = RecoveryReport::default();
+
+        if let Some((seq, data, skipped)) = checkpoint::latest_checkpoint(&dir)? {
+            report.checkpoint_seq = Some(seq);
+            report.checkpoint_lsn = data.last_lsn;
+            report.checkpoints_skipped = skipped.len();
+            mgr.db = data.db;
+            for stored in data.views {
+                install_stored_view(&mut mgr, stored)?;
+            }
+        }
+
+        let wal_path = dir.join(WAL_FILE);
+        let scan = Wal::scan(&wal_path)?;
+        if let Some(err) = &scan.truncated_by {
+            report.wal_truncated = Some(err.to_string());
+        }
+        let wal_last_lsn = scan.last_lsn();
+        for (lsn, record) in scan.records {
+            if lsn <= report.checkpoint_lsn {
+                continue; // already reflected in the checkpoint
+            }
+            match record {
+                WalRecord::Txn(txn) => mgr.execute(&txn)?,
+                WalRecord::CreateRelation { name, schema } => mgr.create_relation(name, schema)?,
+                WalRecord::RegisterView { name, expr, policy } => {
+                    mgr.register_view(name, expr, policy_from_u8(policy)?)?
+                }
+                WalRecord::RegisterTreeView { name, expr } => mgr.register_tree_view(name, expr)?,
+            }
+            report.wal_records_replayed += 1;
+        }
+        if scan.truncated_by.is_some() {
+            Wal::truncate_to(&wal_path, scan.valid_len)?;
+        }
+
+        if policy != DurabilityPolicy::None {
+            let next_lsn = wal_last_lsn
+                .map(|lsn| lsn + 1)
+                .unwrap_or(1)
+                .max(report.checkpoint_lsn + 1);
+            let wal = Wal::open(&wal_path, scan.valid_len, next_lsn)?;
+            mgr.durability = Some(Box::new(DurabilityState {
+                dir,
+                wal,
+                policy,
+                txns_since_checkpoint: 0,
+                report,
+            }));
+        }
+        Ok(mgr)
+    }
+
+    /// Persist a full system image — database, every view's counted
+    /// materialization and pending deltas, and the last logged LSN —
+    /// atomically (write-to-temp then rename). Returns the checkpoint
+    /// sequence number. Older checkpoints beyond the newest two are
+    /// pruned.
+    ///
+    /// Errors with [`StorageError::NoDurableState`] on a manager that was
+    /// not opened with [`ViewManager::open`].
+    pub fn checkpoint(&mut self) -> Result<u64> {
+        let Some(state) = self.durability.as_mut() else {
+            return Err(StorageError::NoDurableState(
+                "checkpoint() requires a manager opened with ViewManager::open".into(),
+            )
+            .into());
+        };
+        // Never let a checkpoint claim an LSN that is not yet durable.
+        state.wal.sync()?;
+        let last_lsn = state.wal.next_lsn() - 1;
+
+        let mut views = Vec::with_capacity(self.views.len() + self.tree_views.len());
+        for (name, mv) in &self.views {
+            views.push(StoredView {
+                name: name.clone(),
+                kind: StoredViewKind::Spj {
+                    expr: mv.view.definition().expr().clone(),
+                    policy: policy_to_u8(mv.policy),
+                    pending: mv
+                        .pending
+                        .iter()
+                        .map(|(rel, delta)| (rel.clone(), delta.clone()))
+                        .collect(),
+                },
+                data: mv.view.contents().clone(),
+            });
+        }
+        for (name, tv) in &self.tree_views {
+            views.push(StoredView {
+                name: name.clone(),
+                kind: StoredViewKind::Tree {
+                    expr: tv.view.expr().clone(),
+                },
+                data: tv.view.contents().clone(),
+            });
+        }
+        let data = CheckpointData {
+            last_lsn,
+            db: self.db.clone(),
+            views,
+        };
+        let seq = checkpoint::list_checkpoints(&state.dir)?
+            .first()
+            .map(|newest| newest + 1)
+            .unwrap_or(1);
+        checkpoint::write_checkpoint(&state.dir, seq, &data)?;
+        checkpoint::prune_checkpoints(&state.dir, 2)?;
+        state.txns_since_checkpoint = 0;
+        Ok(seq)
+    }
+
+    /// What recovery found when this manager was opened. `None` for
+    /// in-memory managers.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.durability.as_deref().map(|s| &s.report)
+    }
+
+    /// Current WAL/checkpoint counters. `None` for in-memory managers.
+    pub fn durability_status(&self) -> Option<DurabilityStatus> {
+        self.durability.as_deref().map(|s| DurabilityStatus {
+            dir: s.dir.clone(),
+            wal: s.wal.stats(),
+            next_lsn: s.wal.next_lsn(),
+            wal_len_bytes: s.wal.len_bytes(),
+            txns_since_checkpoint: s.txns_since_checkpoint,
+        })
+    }
+
+    /// Append one DDL record and sync (the commit point for DDL).
+    pub(crate) fn log_record(&mut self, record: WalRecord) -> Result<()> {
+        if let Some(state) = self.durability.as_mut() {
+            state.wal.append(&record)?;
+            state.wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Append a transaction record and sync (the commit point for data).
+    pub(crate) fn log_txn(&mut self, txn: &Transaction) -> Result<()> {
+        if let Some(state) = self.durability.as_mut() {
+            state.wal.append(&WalRecord::Txn(txn.clone()))?;
+            state.wal.sync()?;
+            state.txns_since_checkpoint += 1;
+        }
+        Ok(())
+    }
+
+    /// Checkpoint if the policy says one is due.
+    pub(crate) fn maybe_checkpoint(&mut self) -> Result<()> {
+        let due = matches!(
+            self.durability.as_deref(),
+            Some(DurabilityState {
+                policy: DurabilityPolicy::WalWithCheckpointEvery(n),
+                txns_since_checkpoint,
+                ..
+            }) if *n > 0 && *txns_since_checkpoint >= *n
+        );
+        if due {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+}

@@ -1,9 +1,11 @@
 //! Error type for the view-maintenance layer.
 
 use std::fmt;
+use std::sync::Arc;
 
 use ivm_relational::error::RelError;
 use ivm_satisfiability::error::SatError;
+use ivm_storage::StorageError;
 
 /// Errors raised by view registration, relevance analysis and differential
 /// maintenance.
@@ -28,6 +30,10 @@ pub enum IvmError {
     /// The view definition fell outside the supported SPJ class (e.g. no
     /// operand relations).
     UnsupportedView(String),
+    /// An error bubbled up from the durability layer (WAL, checkpoint or
+    /// codec). `Arc`-wrapped because [`StorageError`] carries
+    /// [`std::io::Error`], which is not `Clone`.
+    Storage(Arc<StorageError>),
 }
 
 impl fmt::Display for IvmError {
@@ -41,6 +47,7 @@ impl fmt::Display for IvmError {
                 write!(f, "relation {relation} does not participate in view {view}")
             }
             IvmError::UnsupportedView(msg) => write!(f, "unsupported view definition: {msg}"),
+            IvmError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }
@@ -50,6 +57,7 @@ impl std::error::Error for IvmError {
         match self {
             IvmError::Relational(e) => Some(e),
             IvmError::Satisfiability(e) => Some(e),
+            IvmError::Storage(e) => Some(e.as_ref()),
             _ => None,
         }
     }
@@ -64,6 +72,12 @@ impl From<RelError> for IvmError {
 impl From<SatError> for IvmError {
     fn from(e: SatError) -> Self {
         IvmError::Satisfiability(e)
+    }
+}
+
+impl From<StorageError> for IvmError {
+    fn from(e: StorageError) -> Self {
+        IvmError::Storage(Arc::new(e))
     }
 }
 

@@ -57,6 +57,7 @@
 
 pub mod cost;
 pub mod differential;
+pub mod durability;
 pub mod error;
 pub mod full_reval;
 pub mod integrity;
@@ -72,6 +73,7 @@ pub mod prelude {
     pub use ivm_relational::prelude::*;
 
     pub use crate::differential::{differential_delta, DiffOptions, DifferentialResult, Engine};
+    pub use crate::durability::{DurabilityPolicy, DurabilityStatus, RecoveryReport};
     pub use crate::error::{IvmError, Result};
     pub use crate::full_reval;
     pub use crate::integrity::{IntegrityMonitor, Violation};

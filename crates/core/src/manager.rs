@@ -94,36 +94,39 @@ pub struct MaintenanceStats {
 /// Change listener: called with the view's delta after maintenance.
 pub type ChangeListener = Arc<dyn Fn(&str, &DeltaRelation) + Send + Sync>;
 
-struct ManagedView {
-    view: MaterializedView,
-    policy: RefreshPolicy,
+pub(crate) struct ManagedView {
+    pub(crate) view: MaterializedView,
+    pub(crate) policy: RefreshPolicy,
     /// Accumulated base-relation deltas since the last refresh (deferred
     /// policies only), already relevance-filtered.
-    pending: BTreeMap<String, DeltaRelation>,
+    pub(crate) pending: BTreeMap<String, DeltaRelation>,
     /// Lazily built relevance filters, one per operand relation.
-    filters: HashMap<String, RelevanceFilter>,
-    listeners: Vec<ChangeListener>,
-    stats: MaintenanceStats,
+    pub(crate) filters: HashMap<String, RelevanceFilter>,
+    pub(crate) listeners: Vec<ChangeListener>,
+    pub(crate) stats: MaintenanceStats,
 }
 
 /// A general-algebra view maintained by
 /// [`crate::differential::tree_delta`] (always immediate, no relevance
 /// filtering — there is no SPJ normal form to analyze).
-struct ManagedTreeView {
-    view: crate::differential::MaterializedExpr,
-    base_relations: Vec<String>,
-    listeners: Vec<ChangeListener>,
-    stats: MaintenanceStats,
+pub(crate) struct ManagedTreeView {
+    pub(crate) view: crate::differential::MaterializedExpr,
+    pub(crate) base_relations: Vec<String>,
+    pub(crate) listeners: Vec<ChangeListener>,
+    pub(crate) stats: MaintenanceStats,
 }
 
 /// A database plus its registered, automatically maintained views.
 pub struct ViewManager {
-    db: Database,
-    views: BTreeMap<String, ManagedView>,
-    tree_views: BTreeMap<String, ManagedTreeView>,
-    options: DiffOptions,
-    strategy: MaintenanceStrategy,
-    filtering_enabled: bool,
+    pub(crate) db: Database,
+    pub(crate) views: BTreeMap<String, ManagedView>,
+    pub(crate) tree_views: BTreeMap<String, ManagedTreeView>,
+    pub(crate) options: DiffOptions,
+    pub(crate) strategy: MaintenanceStrategy,
+    pub(crate) filtering_enabled: bool,
+    /// Durable-state machinery (`None` for the default, purely in-memory
+    /// manager). Installed by [`ViewManager::open`].
+    pub(crate) durability: Option<Box<crate::durability::DurabilityState>>,
 }
 
 impl ViewManager {
@@ -136,6 +139,7 @@ impl ViewManager {
             options: DiffOptions::default(),
             strategy: MaintenanceStrategy::default(),
             filtering_enabled: true,
+            durability: None,
         }
     }
 
@@ -163,8 +167,19 @@ impl ViewManager {
         &self.db
     }
 
-    /// Create a base relation.
+    /// Create a base relation. Durable managers log the DDL so recovery
+    /// can rebuild relations created after the last checkpoint.
     pub fn create_relation(&mut self, name: impl Into<String>, schema: Schema) -> Result<()> {
+        let name = name.into();
+        if self.durability.is_some() {
+            if self.db.contains_relation(&name) {
+                return Err(ivm_relational::error::RelError::DuplicateRelation(name).into());
+            }
+            self.log_record(ivm_storage::WalRecord::CreateRelation {
+                name: name.clone(),
+                schema: schema.clone(),
+            })?;
+        }
         self.db.create(name, schema)?;
         Ok(())
     }
@@ -194,6 +209,13 @@ impl ViewManager {
         }
         let def = ViewDefinition::new(name.clone(), expr)?;
         let view = MaterializedView::materialize(def, &self.db)?;
+        if self.durability.is_some() {
+            self.log_record(ivm_storage::WalRecord::RegisterView {
+                name: name.clone(),
+                expr: view.definition().expr().clone(),
+                policy: crate::durability::policy_to_u8(policy),
+            })?;
+        }
         self.views.insert(
             name,
             ManagedView {
@@ -219,6 +241,12 @@ impl ViewManager {
         }
         let base_relations = expr.base_relations();
         let view = crate::differential::MaterializedExpr::materialize(expr, &self.db)?;
+        if self.durability.is_some() {
+            self.log_record(ivm_storage::WalRecord::RegisterTreeView {
+                name: name.clone(),
+                expr: view.expr().clone(),
+            })?;
+        }
         self.tree_views.insert(
             name,
             ManagedTreeView {
@@ -346,8 +374,17 @@ impl ViewManager {
 
     /// Execute a transaction: validate, maintain immediate views, apply to
     /// the base relations, and queue changes for deferred views.
+    ///
+    /// Durable managers follow the *log before apply* discipline: once the
+    /// transaction validates, a WAL record is appended and synced before
+    /// any in-memory state changes. A crash after the sync point replays
+    /// the transaction on recovery; a crash before it loses only work that
+    /// was never acknowledged.
     pub fn execute(&mut self, txn: &Transaction) -> Result<()> {
         self.db.validate(txn)?;
+        if self.durability.is_some() && !txn.is_empty() {
+            self.log_txn(txn)?;
+        }
         // Phase 1: compute deltas for immediate views against the
         // pre-transaction state. `None` marks a view scheduled for full
         // re-evaluation after the base update (strategy decision).
@@ -476,6 +513,7 @@ impl ViewManager {
                 }
             }
         }
+        self.maybe_checkpoint()?;
         Ok(())
     }
 

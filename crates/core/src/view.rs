@@ -83,6 +83,14 @@ impl MaterializedView {
         Ok(MaterializedView { def, data })
     }
 
+    /// Reinstall a view from persisted state **without re-evaluating it**:
+    /// `data` is trusted to be the materialization the definition had when
+    /// it was checkpointed. This is the recovery path — re-evaluating here
+    /// would defeat differential replay.
+    pub fn from_saved(def: ViewDefinition, data: Relation) -> Self {
+        MaterializedView { def, data }
+    }
+
     /// The definition.
     pub fn definition(&self) -> &ViewDefinition {
         &self.def

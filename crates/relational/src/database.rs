@@ -39,6 +39,21 @@ impl Database {
         Ok(())
     }
 
+    /// Install a fully-built relation under `name`, preserving its
+    /// multiplicity counters exactly. This is the recovery path used by the
+    /// storage layer when a decoded snapshot is reassembled; unlike
+    /// [`Database::load`] it does not force set semantics, so the caller is
+    /// trusted to hand over a relation that satisfied the database's
+    /// invariants when it was persisted.
+    pub fn adopt(&mut self, name: impl Into<String>, relation: Relation) -> Result<()> {
+        let name = name.into();
+        if self.relations.contains_key(&name) {
+            return Err(RelError::DuplicateRelation(name));
+        }
+        self.relations.insert(name, relation);
+        Ok(())
+    }
+
     /// Bulk-load rows into a base relation (each row must be new — base
     /// relations are sets).
     pub fn load<T: Into<Tuple>>(

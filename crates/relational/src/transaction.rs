@@ -179,6 +179,20 @@ impl Transaction {
     }
 }
 
+/// Equality on *net effect*: relations whose changes cancelled out inside
+/// one transaction (insert then delete of the same tuple) leave an empty
+/// per-relation entry behind, which must not distinguish two transactions.
+impl PartialEq for Transaction {
+    fn eq(&self, other: &Self) -> bool {
+        fn nonempty(t: &Transaction) -> Vec<(&String, &HashMap<Tuple, Net>)> {
+            t.changes.iter().filter(|(_, m)| !m.is_empty()).collect()
+        }
+        nonempty(self) == nonempty(other)
+    }
+}
+
+impl Eq for Transaction {}
+
 impl fmt::Display for Transaction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "transaction [{} net changes]", self.size())?;

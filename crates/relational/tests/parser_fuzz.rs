@@ -20,19 +20,18 @@ fn arb_ident() -> impl Strategy<Value = String> {
     "[A-Za-z_][A-Za-z0-9_]{0,6}"
 }
 
+fn arb_rhs() -> impl Strategy<Value = (Option<String>, i64)> {
+    prop_oneof![
+        (-999i64..1000).prop_map(|c| (None, c)),
+        (arb_ident(), -99i64..100).prop_map(|(v, c)| (Some(v), c)),
+    ]
+}
+
 fn arb_atom() -> impl Strategy<Value = Atom> {
-    (
-        arb_ident(),
-        arb_op(),
-        prop_oneof![
-            (-999i64..1000).prop_map(|c| (None, c)),
-            (arb_ident(), -99i64..100).prop_map(|(v, c)| (Some(v), c)),
-        ],
-    )
-        .prop_map(|(left, op, rhs)| match rhs {
-            (None, c) => Atom::cmp_const(left.as_str(), op, c),
-            (Some(v), c) => Atom::cmp_attr(left.as_str(), op, v.as_str(), c),
-        })
+    (arb_ident(), arb_op(), arb_rhs()).prop_map(|(left, op, rhs)| match rhs {
+        (None, c) => Atom::cmp_const(left.as_str(), op, c),
+        (Some(v), c) => Atom::cmp_attr(left.as_str(), op, v.as_str(), c),
+    })
 }
 
 proptest! {

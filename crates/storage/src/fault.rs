@@ -1,0 +1,108 @@
+//! Fault injection for crash and corruption testing.
+//!
+//! These helpers damage durable files the way real failures do: a torn
+//! write (the file simply ends early), a flipped bit or byte somewhere in
+//! the middle (bit rot, bad sector), or a zeroed range (a block that never
+//! made it out of the drive cache). Recovery tests drive them at arbitrary
+//! offsets and assert that the storage layer answers with typed
+//! [`StorageError`](crate::StorageError)s — never a panic.
+
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::error::{Result, StorageError};
+
+/// Cut the file to `new_len` bytes, simulating an append torn by a crash.
+pub fn truncate_file(path: impl AsRef<Path>, new_len: u64) -> Result<()> {
+    let path = path.as_ref();
+    let file = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| StorageError::io(format!("open {} for fault", path.display()), e))?;
+    file.set_len(new_len)
+        .map_err(|e| StorageError::io("truncate for fault", e))?;
+    Ok(())
+}
+
+/// XOR the byte at `offset` with `mask` (a zero mask is rejected — it would
+/// inject no fault). Simulates in-place bit rot.
+pub fn flip_byte(path: impl AsRef<Path>, offset: u64, mask: u8) -> Result<()> {
+    assert_ne!(mask, 0, "a zero mask flips nothing");
+    let path = path.as_ref();
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .map_err(|e| StorageError::io(format!("open {} for fault", path.display()), e))?;
+    let mut byte = [0u8; 1];
+    file.seek(SeekFrom::Start(offset))
+        .map_err(|e| StorageError::io("seek for fault", e))?;
+    file.read_exact(&mut byte)
+        .map_err(|e| StorageError::io("read byte for fault", e))?;
+    byte[0] ^= mask;
+    file.seek(SeekFrom::Start(offset))
+        .map_err(|e| StorageError::io("seek for fault", e))?;
+    file.write_all(&byte)
+        .map_err(|e| StorageError::io("write flipped byte", e))?;
+    file.sync_data()
+        .map_err(|e| StorageError::io("sync fault", e))?;
+    Ok(())
+}
+
+/// Flip a single bit (`bit` in `0..8`) at `offset`.
+pub fn flip_bit(path: impl AsRef<Path>, offset: u64, bit: u8) -> Result<()> {
+    assert!(bit < 8, "bit index out of range");
+    flip_byte(path, offset, 1 << bit)
+}
+
+/// Overwrite `len` bytes starting at `offset` with zeros, simulating a
+/// block that was never written.
+pub fn zero_range(path: impl AsRef<Path>, offset: u64, len: u64) -> Result<()> {
+    let path = path.as_ref();
+    let mut file = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| StorageError::io(format!("open {} for fault", path.display()), e))?;
+    file.seek(SeekFrom::Start(offset))
+        .map_err(|e| StorageError::io("seek for fault", e))?;
+    file.write_all(&vec![0u8; len as usize])
+        .map_err(|e| StorageError::io("zero range", e))?;
+    file.sync_data()
+        .map_err(|e| StorageError::io("sync fault", e))?;
+    Ok(())
+}
+
+/// Length of a file, for computing fault offsets.
+pub fn file_len(path: impl AsRef<Path>) -> Result<u64> {
+    let path = path.as_ref();
+    std::fs::metadata(path)
+        .map(|m| m.len())
+        .map_err(|e| StorageError::io(format!("stat {}", path.display()), e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temp::scratch_dir;
+
+    #[test]
+    fn faults_change_bytes_as_described() {
+        let dir = scratch_dir("fault");
+        let path = dir.join("f");
+        std::fs::write(&path, [0xAAu8; 16]).unwrap();
+
+        truncate_file(&path, 10).unwrap();
+        assert_eq!(file_len(&path).unwrap(), 10);
+
+        flip_byte(&path, 3, 0xFF).unwrap();
+        flip_bit(&path, 4, 0).unwrap();
+        zero_range(&path, 7, 2).unwrap();
+
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes[3], 0x55);
+        assert_eq!(bytes[4], 0xAB);
+        assert_eq!(&bytes[7..9], &[0, 0]);
+        assert_eq!(bytes[0], 0xAA);
+    }
+}

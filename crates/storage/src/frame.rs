@@ -1,0 +1,199 @@
+//! Checksummed, length-prefixed frames.
+//!
+//! Every durable byte string (a WAL record, a checkpoint image) is wrapped
+//! in a frame before it touches disk:
+//!
+//! ```text
+//! ┌──────────┬──────────┬─────────────────────────────┐
+//! │ len: u32 │ crc: u32 │ payload: len bytes          │
+//! │  (LE)    │  (LE)    │ [version u8][kind u8][body] │
+//! └──────────┴──────────┴─────────────────────────────┘
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over the
+//! payload only. The frame layer detects exactly two failure shapes and
+//! reports them as distinct typed errors:
+//!
+//! * **torn frame** — the file ends before `len` payload bytes (or even the
+//!   8-byte header) are present: an append was interrupted mid-write;
+//! * **checksum mismatch** — all bytes are present but the payload does not
+//!   hash to `crc`: bit rot or an overwrite.
+//!
+//! A `len` beyond [`MAX_FRAME_LEN`] is reported as a corrupt length prefix
+//! before any allocation is attempted.
+
+use std::io::{Read, Write};
+
+use crate::error::{Result, StorageError};
+
+/// Upper bound on a single frame's payload (64 MiB). Real frames are far
+/// smaller; anything larger means the length prefix itself is garbage.
+pub const MAX_FRAME_LEN: u64 = 64 << 20;
+
+/// Size of the `[len][crc]` header preceding every payload.
+pub const FRAME_HEADER_LEN: u64 = 8;
+
+/// CRC-32 (IEEE) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3) of a byte string.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Write one frame. The caller decides when to sync.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    let header_err = |e| StorageError::io("write frame", e);
+    w.write_all(&(payload.len() as u32).to_le_bytes())
+        .map_err(header_err)?;
+    w.write_all(&crc32(payload).to_le_bytes())
+        .map_err(|e| StorageError::io("write frame", e))?;
+    w.write_all(payload)
+        .map_err(|e| StorageError::io("write frame", e))?;
+    Ok(())
+}
+
+/// Bytes one frame with this payload occupies on disk.
+pub fn framed_len(payload_len: usize) -> u64 {
+    FRAME_HEADER_LEN + payload_len as u64
+}
+
+/// Read the next frame from `r`, which is positioned at byte `offset` of
+/// the underlying file (used only for error reporting).
+///
+/// Returns `Ok(None)` at a clean end of file (zero bytes remaining) and a
+/// typed corruption error for a torn header, torn payload, implausible
+/// length, or checksum mismatch.
+pub fn read_frame(r: &mut impl Read, offset: u64) -> Result<Option<Vec<u8>>> {
+    let mut header = [0u8; FRAME_HEADER_LEN as usize];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None) // clean EOF between frames
+                } else {
+                    Err(StorageError::TornFrame {
+                        offset,
+                        needed: FRAME_HEADER_LEN,
+                        available: got as u64,
+                    })
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(StorageError::io("read frame header", e)),
+        }
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as u64;
+    let expected = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_FRAME_LEN {
+        return Err(StorageError::FrameTooLarge {
+            offset,
+            declared: len,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut got = 0;
+    while got < payload.len() {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(StorageError::TornFrame {
+                    offset,
+                    needed: FRAME_HEADER_LEN + len,
+                    available: FRAME_HEADER_LEN + got as u64,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(StorageError::io("read frame payload", e)),
+        }
+    }
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(StorageError::ChecksumMismatch {
+            offset,
+            expected,
+            actual,
+        });
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r, 0).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r, 13).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r, 21).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_and_flipped_frames_are_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        // Torn payload.
+        let torn = &buf[..buf.len() - 2];
+        assert!(matches!(
+            read_frame(&mut &torn[..], 0),
+            Err(StorageError::TornFrame { .. })
+        ));
+        // Torn header.
+        let torn = &buf[..4];
+        assert!(matches!(
+            read_frame(&mut &torn[..], 0),
+            Err(StorageError::TornFrame { .. })
+        ));
+        // Flipped payload byte.
+        let mut flipped = buf.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(matches!(
+            read_frame(&mut &flipped[..], 0),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+        // Garbage length prefix.
+        let mut huge = buf;
+        huge[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &huge[..], 0),
+            Err(StorageError::FrameTooLarge { .. })
+        ));
+    }
+}

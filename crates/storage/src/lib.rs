@@ -1,0 +1,43 @@
+//! Durability subsystem for the SIGMOD 1986 IVM reproduction.
+//!
+//! The paper's differential maintenance machinery (`ivm` crate) operates on
+//! purely in-memory state. This crate makes that state durable without
+//! changing its semantics:
+//!
+//! * [`codec`] — a deterministic, total binary codec for every persistent
+//!   relational structure, multiplicity counters included;
+//! * [`frame`] — length-prefixed, CRC-32-checksummed frames, the unit of
+//!   corruption detection;
+//! * [`wal`] — an append-only write-ahead log with explicit sync points and
+//!   strictly monotonic LSNs, logging transactions *and* DDL;
+//! * [`checkpoint`] — atomic (write-temp-then-rename) snapshots of the full
+//!   database plus every view's counted materialization and the last
+//!   applied LSN;
+//! * [`fault`] — fault injection (torn writes, flipped bits/bytes, zeroed
+//!   ranges) for crash and corruption tests;
+//! * [`temp`] — collision-free scratch directories for tests and examples.
+//!
+//! Recovery policy is split across layers: this crate finds the newest
+//! checkpoint that passes validation and the valid WAL prefix; the `ivm`
+//! crate replays the WAL tail through its differential engine (see
+//! `ivm::durability`), so recovered views are *rolled forward*, not
+//! re-evaluated from scratch.
+//!
+//! Every failure mode of the on-disk formats is a typed [`StorageError`];
+//! reading corrupt bytes never panics.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod error;
+pub mod fault;
+pub mod frame;
+pub mod temp;
+pub mod wal;
+
+pub use checkpoint::{CheckpointData, StoredView, StoredViewKind};
+pub use codec::{ByteReader, Codec};
+pub use error::{Result, StorageError};
+pub use wal::{Wal, WalRecord, WalScan, WalStats, FORMAT_VERSION, WAL_FILE};

@@ -1,0 +1,30 @@
+//! Scratch directories for tests, benches and examples.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Create a fresh empty directory under the system temp dir, namespaced by
+/// `label`, the process id and a per-process counter so concurrent test
+/// binaries never collide. The directory is **not** removed automatically —
+/// callers that care clean up themselves (the OS temp dir is the backstop).
+pub fn scratch_dir(label: &str) -> PathBuf {
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("ivm-storage-{label}-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirs_are_distinct_and_exist() {
+        let a = scratch_dir("t");
+        let b = scratch_dir("t");
+        assert_ne!(a, b);
+        assert!(a.is_dir() && b.is_dir());
+    }
+}

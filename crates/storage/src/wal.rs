@@ -1,0 +1,482 @@
+//! Append-only write-ahead log.
+//!
+//! The WAL is a single file of [`frame`](crate::frame)-wrapped records.
+//! Each record carries a format version byte, a kind tag, a monotonically
+//! increasing log sequence number (LSN), and a [`Codec`]-encoded body:
+//!
+//! ```text
+//! payload ::= [version u8][kind u8][lsn u64][body]
+//! ```
+//!
+//! Log discipline is *log before apply*: the caller appends (and syncs) a
+//! record describing an operation before mutating in-memory state, so a
+//! crash at any instant loses at most work that was never acknowledged.
+//!
+//! Reading is tolerant at the tail and strict everywhere else: a torn or
+//! corrupt final frame is the expected signature of a crash mid-append, so
+//! [`Wal::scan`] stops there and reports the prefix length that survived;
+//! the caller truncates and resumes appending. Corruption *followed by more
+//! valid-looking frames* cannot be distinguished from tail corruption
+//! without a second checksum chain, so it is treated the same way —
+//! everything from the first bad frame on is discarded.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use ivm_relational::prelude::*;
+
+use crate::codec::{ByteReader, Codec};
+use crate::error::{Result, StorageError};
+use crate::frame::{framed_len, read_frame, write_frame};
+
+/// On-disk format version understood by this build.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// Conventional WAL file name inside a storage directory.
+pub const WAL_FILE: &str = "wal.log";
+
+const KIND_TXN: u8 = 0x01;
+const KIND_CREATE_RELATION: u8 = 0x02;
+const KIND_REGISTER_VIEW: u8 = 0x03;
+const KIND_REGISTER_TREE_VIEW: u8 = 0x04;
+
+/// One logged operation. Everything that mutates a
+/// [`Database`]-plus-views system goes through the log — DDL included, so
+/// recovery can rebuild a system whose relations and views were created
+/// after the last checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A net-effect transaction against base relations.
+    Txn(Transaction),
+    /// Creation of an empty base relation.
+    CreateRelation {
+        /// Relation name.
+        name: String,
+        /// Its scheme.
+        schema: Schema,
+    },
+    /// Registration of an SPJ view.
+    RegisterView {
+        /// View name.
+        name: String,
+        /// Defining expression in SPJ normal form.
+        expr: SpjExpr,
+        /// Refresh policy, encoded by the maintenance layer (opaque here).
+        policy: u8,
+    },
+    /// Registration of a general-algebra (tree) view.
+    RegisterTreeView {
+        /// View name.
+        name: String,
+        /// Defining expression tree.
+        expr: Expr,
+    },
+}
+
+impl WalRecord {
+    fn kind(&self) -> u8 {
+        match self {
+            WalRecord::Txn(_) => KIND_TXN,
+            WalRecord::CreateRelation { .. } => KIND_CREATE_RELATION,
+            WalRecord::RegisterView { .. } => KIND_REGISTER_VIEW,
+            WalRecord::RegisterTreeView { .. } => KIND_REGISTER_TREE_VIEW,
+        }
+    }
+
+    fn encode_payload(&self, lsn: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(FORMAT_VERSION);
+        out.push(self.kind());
+        out.extend_from_slice(&lsn.to_le_bytes());
+        match self {
+            WalRecord::Txn(txn) => txn.encode_into(&mut out),
+            WalRecord::CreateRelation { name, schema } => {
+                out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+                out.extend_from_slice(name.as_bytes());
+                schema.encode_into(&mut out);
+            }
+            WalRecord::RegisterView { name, expr, policy } => {
+                out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+                out.extend_from_slice(name.as_bytes());
+                expr.encode_into(&mut out);
+                out.push(*policy);
+            }
+            WalRecord::RegisterTreeView { name, expr } => {
+                out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+                out.extend_from_slice(name.as_bytes());
+                expr.encode_into(&mut out);
+            }
+        }
+        out
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<(u64, WalRecord)> {
+        let mut r = ByteReader::new(payload);
+        let version = r.u8()?;
+        if version != FORMAT_VERSION {
+            return Err(StorageError::UnsupportedVersion(version));
+        }
+        let kind = r.u8()?;
+        let lsn = r.u64()?;
+        let record = match kind {
+            KIND_TXN => WalRecord::Txn(Transaction::decode_from(&mut r)?),
+            KIND_CREATE_RELATION => WalRecord::CreateRelation {
+                name: r.str()?,
+                schema: Schema::decode_from(&mut r)?,
+            },
+            KIND_REGISTER_VIEW => WalRecord::RegisterView {
+                name: r.str()?,
+                expr: SpjExpr::decode_from(&mut r)?,
+                policy: r.u8()?,
+            },
+            KIND_REGISTER_TREE_VIEW => WalRecord::RegisterTreeView {
+                name: r.str()?,
+                expr: Expr::decode_from(&mut r)?,
+            },
+            tag => return Err(StorageError::UnknownRecordKind(tag)),
+        };
+        if r.remaining() > 0 {
+            return Err(StorageError::Corrupt(format!(
+                "{} trailing bytes after wal record",
+                r.remaining()
+            )));
+        }
+        Ok((lsn, record))
+    }
+}
+
+/// Running counters for one open WAL handle, surfaced by the shell's
+/// `\wal-stats` command and the benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended through this handle.
+    pub records_appended: u64,
+    /// Payload + frame-header bytes appended through this handle.
+    pub bytes_appended: u64,
+    /// Explicit sync points issued.
+    pub syncs: u64,
+}
+
+/// The outcome of scanning a WAL file from the start.
+#[derive(Debug)]
+pub struct WalScan {
+    /// Every `(lsn, record)` in the valid prefix, in log order.
+    pub records: Vec<(u64, WalRecord)>,
+    /// Length in bytes of the valid prefix.
+    pub valid_len: u64,
+    /// The error that terminated the scan, if the file did not end
+    /// cleanly. `None` means every frame was intact.
+    pub truncated_by: Option<StorageError>,
+}
+
+impl WalScan {
+    /// Highest LSN in the valid prefix, if any record survived.
+    pub fn last_lsn(&self) -> Option<u64> {
+        self.records.last().map(|(lsn, _)| *lsn)
+    }
+}
+
+/// An open, append-only log handle.
+#[derive(Debug)]
+pub struct Wal {
+    file: BufWriter<File>,
+    path: PathBuf,
+    next_lsn: u64,
+    end_offset: u64,
+    stats: WalStats,
+}
+
+impl Wal {
+    /// Create a fresh, empty log (truncating any existing file). The first
+    /// appended record gets LSN `first_lsn`.
+    pub fn create(path: impl AsRef<Path>, first_lsn: u64) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| StorageError::io(format!("create wal {}", path.display()), e))?;
+        Ok(Wal {
+            file: BufWriter::new(file),
+            path,
+            next_lsn: first_lsn,
+            end_offset: 0,
+            stats: WalStats::default(),
+        })
+    }
+
+    /// Open an existing log for appending after its valid prefix, which the
+    /// caller obtained from [`Wal::scan`] (typically followed by
+    /// [`Wal::truncate_to`] when the scan found a torn tail).
+    pub fn open(path: impl AsRef<Path>, valid_len: u64, next_lsn: u64) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| StorageError::io(format!("open wal {}", path.display()), e))?;
+        file.seek(SeekFrom::Start(valid_len))
+            .map_err(|e| StorageError::io("seek wal to valid prefix", e))?;
+        Ok(Wal {
+            file: BufWriter::new(file),
+            path,
+            next_lsn,
+            end_offset: valid_len,
+            stats: WalStats::default(),
+        })
+    }
+
+    /// Drop everything past the valid prefix of a damaged log. Separate
+    /// from [`Wal::open`] so callers can decide (and log/report) before any
+    /// destructive action.
+    pub fn truncate_to(path: impl AsRef<Path>, valid_len: u64) -> Result<()> {
+        let path = path.as_ref();
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| StorageError::io(format!("open wal {}", path.display()), e))?;
+        file.set_len(valid_len)
+            .map_err(|e| StorageError::io("truncate wal", e))?;
+        file.sync_data()
+            .map_err(|e| StorageError::io("sync truncated wal", e))?;
+        Ok(())
+    }
+
+    /// Append one record; returns its assigned LSN. The record is framed
+    /// and buffered — call [`Wal::sync`] to make it durable.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64> {
+        let lsn = self.next_lsn;
+        let payload = record.encode_payload(lsn);
+        write_frame(&mut self.file, &payload)?;
+        self.next_lsn += 1;
+        self.end_offset += framed_len(payload.len());
+        self.stats.records_appended += 1;
+        self.stats.bytes_appended += framed_len(payload.len());
+        Ok(lsn)
+    }
+
+    /// Explicit sync point: flush buffered frames and `fdatasync` the file.
+    /// After this returns, every appended record survives a crash.
+    pub fn sync(&mut self) -> Result<()> {
+        self.file
+            .flush()
+            .map_err(|e| StorageError::io("flush wal", e))?;
+        self.file
+            .get_ref()
+            .sync_data()
+            .map_err(|e| StorageError::io("sync wal", e))?;
+        self.stats.syncs += 1;
+        Ok(())
+    }
+
+    /// LSN the next appended record will receive.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Current file length in bytes (including unsynced buffered frames).
+    pub fn len_bytes(&self) -> u64 {
+        self.end_offset
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Counters for this handle.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// Scan a log file from the beginning, collecting every record in the
+    /// valid prefix. A missing file scans as empty — a system that crashed
+    /// before its first append is indistinguishable from a fresh one.
+    ///
+    /// Corruption does **not** return `Err`: it ends the valid prefix and
+    /// is reported in [`WalScan::truncated_by`]. `Err` is reserved for
+    /// environmental failures (permissions, I/O errors) where truncating
+    /// would destroy data that might be readable later. LSNs must increase
+    /// strictly; a regression marks the offending frame as corrupt.
+    pub fn scan(path: impl AsRef<Path>) -> Result<WalScan> {
+        let path = path.as_ref();
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(WalScan {
+                    records: Vec::new(),
+                    valid_len: 0,
+                    truncated_by: None,
+                })
+            }
+            Err(e) => return Err(StorageError::io(format!("open wal {}", path.display()), e)),
+        };
+        let mut reader = BufReader::new(file);
+        let mut records = Vec::new();
+        let mut offset = 0u64;
+        let mut last_lsn: Option<u64> = None;
+        loop {
+            match read_frame(&mut reader, offset) {
+                Ok(None) => {
+                    return Ok(WalScan {
+                        records,
+                        valid_len: offset,
+                        truncated_by: None,
+                    })
+                }
+                Ok(Some(payload)) => {
+                    let frame_len = framed_len(payload.len());
+                    match WalRecord::decode_payload(&payload) {
+                        Ok((lsn, record)) => {
+                            if let Some(prev) = last_lsn {
+                                if lsn <= prev {
+                                    return Ok(WalScan {
+                                        records,
+                                        valid_len: offset,
+                                        truncated_by: Some(StorageError::LsnOutOfOrder {
+                                            previous: prev,
+                                            found: lsn,
+                                        }),
+                                    });
+                                }
+                            }
+                            last_lsn = Some(lsn);
+                            records.push((lsn, record));
+                            offset += frame_len;
+                        }
+                        Err(e) => {
+                            return Ok(WalScan {
+                                records,
+                                valid_len: offset,
+                                truncated_by: Some(e),
+                            })
+                        }
+                    }
+                }
+                Err(e) if e.is_corruption() => {
+                    return Ok(WalScan {
+                        records,
+                        valid_len: offset,
+                        truncated_by: Some(e),
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::temp::scratch_dir;
+
+    fn sample_txn() -> Transaction {
+        let mut txn = Transaction::new();
+        txn.insert("R", [1, 2]).unwrap();
+        txn.delete("R", [3, 4]).unwrap();
+        txn.insert("S", [5]).unwrap();
+        txn
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let dir = scratch_dir("wal-roundtrip");
+        let path = dir.join(WAL_FILE);
+        let mut wal = Wal::create(&path, 1).unwrap();
+        let records = vec![
+            WalRecord::CreateRelation {
+                name: "R".into(),
+                schema: Schema::new(["A", "B"]).unwrap(),
+            },
+            WalRecord::Txn(sample_txn()),
+            WalRecord::RegisterView {
+                name: "V".into(),
+                expr: SpjExpr::new(["R"], Condition::always_true(), None),
+                policy: 2,
+            },
+            WalRecord::RegisterTreeView {
+                name: "T".into(),
+                expr: Expr::base("R").union(Expr::base("R")),
+            },
+        ];
+        for (i, rec) in records.iter().enumerate() {
+            assert_eq!(wal.append(rec).unwrap(), 1 + i as u64);
+        }
+        wal.sync().unwrap();
+        assert_eq!(wal.stats().records_appended, 4);
+        assert_eq!(wal.stats().syncs, 1);
+
+        let scan = Wal::scan(&path).unwrap();
+        assert!(scan.truncated_by.is_none());
+        assert_eq!(scan.last_lsn(), Some(4));
+        assert_eq!(scan.valid_len, wal.len_bytes());
+        let replayed: Vec<WalRecord> = scan.records.into_iter().map(|(_, r)| r).collect();
+        assert_eq!(replayed, records);
+    }
+
+    #[test]
+    fn missing_file_scans_empty() {
+        let dir = scratch_dir("wal-missing");
+        let scan = Wal::scan(dir.join("nonexistent.log")).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.valid_len, 0);
+        assert!(scan.truncated_by.is_none());
+    }
+
+    #[test]
+    fn torn_tail_truncates_and_resumes() {
+        let dir = scratch_dir("wal-torn");
+        let path = dir.join(WAL_FILE);
+        let mut wal = Wal::create(&path, 1).unwrap();
+        wal.append(&WalRecord::Txn(sample_txn())).unwrap();
+        wal.append(&WalRecord::Txn(sample_txn())).unwrap();
+        wal.sync().unwrap();
+        let full = wal.len_bytes();
+        drop(wal);
+
+        // Tear the last frame.
+        crate::fault::truncate_file(&path, full - 3).unwrap();
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(matches!(
+            scan.truncated_by,
+            Some(StorageError::TornFrame { .. })
+        ));
+
+        // Truncate and resume appending where the valid prefix ended.
+        Wal::truncate_to(&path, scan.valid_len).unwrap();
+        let next = scan.last_lsn().unwrap() + 1;
+        let mut wal = Wal::open(&path, scan.valid_len, next).unwrap();
+        wal.append(&WalRecord::Txn(sample_txn())).unwrap();
+        wal.sync().unwrap();
+        let scan = Wal::scan(&path).unwrap();
+        assert!(scan.truncated_by.is_none());
+        assert_eq!(scan.last_lsn(), Some(next));
+    }
+
+    #[test]
+    fn lsn_regression_is_corruption() {
+        let dir = scratch_dir("wal-lsn");
+        let path = dir.join(WAL_FILE);
+        let mut wal = Wal::create(&path, 5).unwrap();
+        wal.append(&WalRecord::Txn(sample_txn())).unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // A second handle started with a stale LSN writes a regressing
+        // record; the scan must cut before it.
+        let scan = Wal::scan(&path).unwrap();
+        let mut stale = Wal::open(&path, scan.valid_len, 5).unwrap();
+        stale.append(&WalRecord::Txn(sample_txn())).unwrap();
+        stale.sync().unwrap();
+        let scan = Wal::scan(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(matches!(
+            scan.truncated_by,
+            Some(StorageError::LsnOutOfOrder { .. })
+        ));
+    }
+}

@@ -13,8 +13,13 @@
 //! refresh <view>                             fold pending changes in
 //! check <rel> (<tuple>) against <view>       Theorem 4.1 relevance verdict
 //! verify                                     compare views vs full re-eval
+//! open <dir>                                 switch to a durable session
+//! checkpoint                                 atomic snapshot of the session
+//! wal-stats                                  WAL / checkpoint counters
 //! help
 //! ```
+//!
+//! Every command also accepts a psql-style `\` prefix (`\checkpoint`).
 
 use ivm::prelude::*;
 use ivm_relational::parser::{parse_condition, parse_schema, parse_tuple};
@@ -52,6 +57,8 @@ impl Shell {
         if line.is_empty() || line.starts_with('#') {
             return Ok(String::new());
         }
+        // psql-style `\checkpoint` etc. are accepted as aliases.
+        let line = line.strip_prefix('\\').unwrap_or(line);
         let (cmd, rest) = match line.split_once(char::is_whitespace) {
             Some((c, r)) => (c, r.trim()),
             None => (line, ""),
@@ -106,6 +113,12 @@ impl Shell {
                 self.manager.verify_consistency()?;
                 Ok("all views consistent with full re-evaluation ✓".into())
             }
+            "open" => self.cmd_open(rest),
+            "checkpoint" => {
+                let seq = self.manager.checkpoint()?;
+                Ok(format!("checkpoint {seq} written"))
+            }
+            "wal-stats" => self.cmd_wal_stats(),
             "help" => Ok(HELP.trim().to_string()),
             "quit" | "exit" => Ok("bye".into()),
             other => Ok(format!("unknown command {other:?} — try `help`")),
@@ -241,6 +254,56 @@ impl Shell {
             s.filter.relevant,
             s.filter.irrelevant,
             s.diff,
+        ))
+    }
+
+    fn cmd_open(&mut self, rest: &str) -> Result<String> {
+        if rest.is_empty() {
+            return Err(parse_err("usage: open <dir>"));
+        }
+        if self.pending.is_some() {
+            return Err(parse_err("commit or discard the open transaction first"));
+        }
+        self.manager = ViewManager::open(rest)?;
+        let report = self.manager.recovery_report().cloned().unwrap_or_default();
+        let mut out = format!("opened {rest}");
+        match report.checkpoint_seq {
+            Some(seq) => out.push_str(&format!(
+                ": checkpoint {seq} (lsn {}) restored",
+                report.checkpoint_lsn
+            )),
+            None => out.push_str(": no checkpoint"),
+        }
+        out.push_str(&format!(
+            ", {} WAL record(s) replayed",
+            report.wal_records_replayed
+        ));
+        if report.checkpoints_skipped > 0 {
+            out.push_str(&format!(
+                ", {} corrupt checkpoint(s) skipped",
+                report.checkpoints_skipped
+            ));
+        }
+        if let Some(why) = &report.wal_truncated {
+            out.push_str(&format!("\nWAL tail truncated: {why}"));
+        }
+        Ok(out)
+    }
+
+    fn cmd_wal_stats(&self) -> Result<String> {
+        let Some(status) = self.manager.durability_status() else {
+            return Ok("in-memory session — no WAL (use `open <dir>`)".into());
+        };
+        Ok(format!(
+            "dir {}\nwal: {} record(s) appended, {} byte(s), {} sync(s)\n\
+             next lsn {}, file {} byte(s), {} txn(s) since last checkpoint",
+            status.dir.display(),
+            status.wal.records_appended,
+            status.wal.bytes_appended,
+            status.wal.syncs,
+            status.next_lsn,
+            status.wal_len_bytes,
+            status.txns_since_checkpoint,
         ))
     }
 
@@ -388,6 +451,9 @@ begin / insert <rel> (<t>) / delete <rel> (<t>) / commit
 show <rel-or-view> | stats <view> | refresh <view>
 check <rel> (<tuple>) against <view>          Theorem 4.1 relevance verdict
 dump | save <file> | source <file>            persist / replay a session
+open <dir>                                    switch to a durable (WAL-backed) session
+checkpoint                                    write an atomic snapshot of the session
+wal-stats                                     WAL / checkpoint counters
 verify | help | quit
 "#;
 
@@ -526,6 +592,31 @@ mod tests {
         let out = s.dispatch("show P").unwrap();
         assert!(out.contains("widget"));
         assert!(out.contains("left handed wrench"));
+    }
+
+    #[test]
+    fn durability_commands() {
+        let dir = ivm_storage::temp::scratch_dir("shell-durability");
+        let dir_str = dir.to_str().unwrap().to_string();
+
+        let mut s = Shell::new();
+        assert!(s.dispatch("wal-stats").unwrap().contains("in-memory"));
+        assert!(s.dispatch("checkpoint").is_err(), "no durable state yet");
+
+        let out = s.dispatch(&format!("\\open {dir_str}")).unwrap();
+        assert!(out.contains("no checkpoint"), "{out}");
+        run(&mut s, &["create R (A, B)", "load R (1,10) (2,20)"]);
+        assert!(s.dispatch("\\checkpoint").unwrap().contains("checkpoint 1"));
+        s.dispatch("insert R (3, 30)").unwrap();
+        let stats = s.dispatch("\\wal-stats").unwrap();
+        assert!(stats.contains("sync"), "{stats}");
+
+        // A fresh shell opening the same directory recovers everything.
+        let mut fresh = Shell::new();
+        let out = fresh.dispatch(&format!("open {dir_str}")).unwrap();
+        assert!(out.contains("checkpoint 1"), "{out}");
+        assert!(fresh.dispatch("show R").unwrap().contains("(3, 30)"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
