@@ -1,0 +1,71 @@
+//! E17 — the parallel differential engine on the §5.3 truth-table
+//! workload: wall-clock of one differential pass at growing maintenance
+//! thread counts, against the 1-thread sequential oracle. Two shapes:
+//! many rows (k = 4 → 15 rows, parallelized across rows) and one row
+//! (k = 1, where the spare width flows into hash-partitioned joins).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ivm::differential::{differential_delta, DiffOptions};
+use ivm_bench::chain_scenario;
+use ivm_relational::transaction::Transaction;
+
+fn txn_updating_k(sc: &mut ivm_bench::ChainScenario, k: usize, per_rel: usize) -> Transaction {
+    let names: Vec<String> = (0..k).map(|i| format!("R{i}")).collect();
+    let specs: Vec<(&str, usize, usize)> = names
+        .iter()
+        .map(|n| (n.as_str(), per_rel, per_rel))
+        .collect();
+    sc.workload.multi_transaction(&sc.db, &specs).unwrap()
+}
+
+fn bench_rows_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_parallel_rows");
+    group.sample_size(12);
+    let p = 6;
+    let k = 4; // 2^4 − 1 = 15 truth-table rows to spread over the pool
+    let mut sc = chain_scenario(10, p, 1_000, 500);
+    let txn = txn_updating_k(&mut sc, k, 20);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let opts = DiffOptions {
+                    threads,
+                    ..DiffOptions::default()
+                };
+                b.iter(|| black_box(differential_delta(&sc.view, &sc.db, &txn, &opts).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_partitioned_join(c: &mut Criterion) {
+    // k = 1 leaves a single truth-table row; parallelism flows into the
+    // hash-partitioned build+probe of each join instead.
+    let mut group = c.benchmark_group("e17_parallel_join");
+    group.sample_size(12);
+    let p = 3;
+    let mut sc = chain_scenario(11, p, 30_000, 2_000);
+    let txn = txn_updating_k(&mut sc, 1, 200);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let opts = DiffOptions {
+                    threads,
+                    ..DiffOptions::default()
+                };
+                b.iter(|| black_box(differential_delta(&sc.view, &sc.db, &txn, &opts).unwrap()))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rows_parallel, bench_partitioned_join);
+criterion_main!(benches);

@@ -43,8 +43,18 @@
 //!   execution of the joins");
 //! * **lazy operands** — when only one relation changed (`k = 1`), the
 //!   single row never touches that relation's old contents, so they are
-//!   never copied.
+//!   never copied;
+//! * **parallel rows** — the 2^k − 1 truth-table rows are independent, so
+//!   with `threads > 1` they are fanned out over a scoped worker pool in
+//!   contiguous chunks (each chunk keeps an incremental join stack, the
+//!   chunk-local analogue of DFS prefix sharing) and the chunk results are
+//!   merged in row order. The accumulators are keyed signed/tagged maps and
+//!   row merging is additive, so the delta is identical to the sequential
+//!   engine for every thread count; when there are fewer rows than workers
+//!   (`k = 1` in particular) the spare parallelism is spent inside the
+//!   joins instead via the hash-partitioned `natural_join_*_with`.
 
+use ivm_parallel::Pool;
 use ivm_relational::algebra;
 use ivm_relational::attribute::AttrName;
 use ivm_relational::database::Database;
@@ -84,6 +94,11 @@ pub struct DiffOptions {
     pub push_selections: bool,
     /// Join change sets first in a connectivity-preserving greedy order.
     pub reorder_operands: bool,
+    /// Worker threads for truth-table rows and partitioned joins. `1`
+    /// forces the sequential path (the deterministic oracle the tests
+    /// compare against); `0` means one worker per available core. The
+    /// resulting delta is identical at every width.
+    pub threads: usize,
 }
 
 impl Default for DiffOptions {
@@ -93,6 +108,7 @@ impl Default for DiffOptions {
             share_prefixes: true,
             push_selections: true,
             reorder_operands: true,
+            threads: 1,
         }
     }
 }
@@ -106,7 +122,13 @@ impl DiffOptions {
             share_prefixes: false,
             push_selections: false,
             reorder_operands: false,
+            threads: 1,
         }
+    }
+
+    /// Resolved worker count (`0` → available cores).
+    pub fn resolved_threads(&self) -> usize {
+        ivm_parallel::resolve_threads(self.threads)
     }
 }
 
@@ -365,7 +387,33 @@ fn tagged_differential(
     let mut stats = DiffStats::default();
     let mut acc = TaggedRelation::empty(ctx.out_schema.clone());
 
-    if opts.share_prefixes {
+    if opts.resolved_threads() > 1 {
+        let updated: Vec<usize> = (0..p).filter(|&i| operands[i].one.is_some()).collect();
+        let rows = truth_table::rows(p, &updated);
+        let pool = Pool::new(opts.threads);
+        // Fewer rows than workers (k = 1 in particular): spend the spare
+        // parallelism inside the joins instead of across rows.
+        let join_threads = if rows.len() < pool.threads() {
+            pool.threads()
+        } else {
+            1
+        };
+        let chunks = pool.map_chunks(rows.len(), |range| {
+            eval_tagged_rows(
+                ctx,
+                &operands,
+                &rows[range],
+                opts.share_prefixes,
+                join_threads,
+            )
+        });
+        for chunk in chunks {
+            let (chunk_acc, chunk_stats) = chunk?;
+            stats += chunk_stats;
+            acc.merge(&chunk_acc)
+                .map_err(crate::error::IvmError::from)?;
+        }
+    } else if opts.share_prefixes {
         let mut updated_after = vec![false; p + 1];
         for j in (0..p).rev() {
             updated_after[j] = updated_after[j + 1] || operands[j].one.is_some();
@@ -425,6 +473,83 @@ fn emit_tagged_leaf(
         Some(attrs) => algebra::project_tagged(&selected, attrs)?,
     };
     acc.merge(&projected).map_err(crate::error::IvmError::from)
+}
+
+/// Evaluate a contiguous chunk of truth-table rows into a chunk-local
+/// accumulator — the unit of work one pool worker runs. With `share` an
+/// incremental join stack is kept across consecutive rows (truncated to
+/// the common prefix, then extended), the chunk-local analogue of the DFS
+/// prefix sharing; rows inside a chunk are in truth-table order, so the
+/// sharing opportunities are the same ones the DFS exploits. `join_threads`
+/// flows into the hash-partitioned joins for the few-rows case.
+fn eval_tagged_rows(
+    ctx: &RowCtx<'_>,
+    operands: &[TaggedOperands],
+    rows: &[truth_table::Row],
+    share: bool,
+    join_threads: usize,
+) -> Result<(TaggedRelation, DiffStats)> {
+    let p = operands.len();
+    let mut acc = TaggedRelation::empty(ctx.out_schema.clone());
+    let mut stats = DiffStats::default();
+    let pick = |j: usize, one: bool| -> &TaggedRelation {
+        if one {
+            operands[j].one.as_ref().expect("B=1 only for updated")
+        } else {
+            operands[j].zero.as_ref().expect("zero operand needed")
+        }
+    };
+    // stack[j] = join of the operands chosen for positions 0..=j of the
+    // current row; reusable entries survive row-to-row truncation.
+    // pruned[j] = some prefix 0..=j went empty without a join — the same
+    // subtrees the sequential DFS prunes, kept so `rows_evaluated` reports
+    // the identical number at every thread count.
+    let mut stack: Vec<TaggedRelation> = Vec::with_capacity(p);
+    let mut pruned: Vec<bool> = Vec::with_capacity(p);
+    let mut prev: Option<&truth_table::Row> = None;
+    for row in rows {
+        let keep = if !share {
+            0
+        } else {
+            match prev {
+                None => 0,
+                Some(pr) => pr
+                    .iter()
+                    .zip(row.iter())
+                    .take_while(|(a, b)| a == b)
+                    .count(),
+            }
+        };
+        stack.truncate(keep);
+        pruned.truncate(keep);
+        for (j, &one) in row.iter().enumerate().skip(keep) {
+            let operand = pick(j, one);
+            stats.operand_tuples += operand.len() as u64;
+            let next = if j == 0 {
+                operand.clone()
+            } else if stack[j - 1].is_empty() {
+                // Empty prefixes stay empty; skip the join but keep the
+                // stack aligned for later rows.
+                stats.joins_skipped += 1;
+                TaggedRelation::empty(stack[j - 1].schema().join(operand.schema()))
+            } else {
+                stats.joins_performed += 1;
+                algebra::natural_join_tagged_with(&stack[j - 1], operand, join_threads)?
+            };
+            pruned.push(
+                pruned.last().copied().unwrap_or(false) || (j > 0 && stack[j - 1].is_empty()),
+            );
+            stack.push(next);
+        }
+        // With sharing, rows the DFS would prune (empty prefix) do not
+        // count as evaluated; without it the flat loop counts every row.
+        if !share || !pruned[p - 1] {
+            stats.rows_evaluated += 1;
+        }
+        emit_tagged_leaf(ctx, &stack[p - 1], &mut acc)?;
+        prev = Some(row);
+    }
+    Ok((acc, stats))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -533,12 +658,20 @@ struct SignedOperands {
     one: Option<DeltaRelation>,
 }
 
+/// A §5.2 counter as a signed delta count, or `CounterOverflow` — the
+/// unchecked `c as i64` wrapped to a huge negative count above `i64::MAX`.
+pub(crate) fn signed_count(c: u64) -> Result<i64> {
+    i64::try_from(c).map_err(|_| {
+        ivm_relational::error::RelError::CounterOverflow(format!("counter {c} exceeds i64")).into()
+    })
+}
+
 fn signed_zero(old: &Relation, cond: &Condition) -> Result<DeltaRelation> {
     let trivial = cond.is_trivially_true();
     let mut out = DeltaRelation::empty(old.schema().clone());
     for (t, c) in old.iter() {
         if trivial || cond.eval(old.schema(), t)? {
-            out.add(t.clone(), c as i64);
+            out.add(t.clone(), signed_count(c)?);
         }
     }
     Ok(out)
@@ -550,12 +683,12 @@ fn signed_one(u: &OperandUpdate, cond: &Condition) -> Result<DeltaRelation> {
     let mut out = DeltaRelation::empty(schema.clone());
     for (t, c) in u.inserts.iter() {
         if trivial || cond.eval(&schema, t)? {
-            out.add(t.clone(), c as i64);
+            out.add(t.clone(), signed_count(c)?);
         }
     }
     for (t, c) in u.deletes.iter() {
         if trivial || cond.eval(&schema, t)? {
-            out.add(t.clone(), -(c as i64));
+            out.add(t.clone(), -signed_count(c)?);
         }
     }
     Ok(out)
@@ -586,7 +719,31 @@ fn signed_differential(
     let mut stats = DiffStats::default();
     let mut acc = DeltaRelation::empty(ctx.out_schema.clone());
 
-    if opts.share_prefixes {
+    if opts.resolved_threads() > 1 {
+        let updated: Vec<usize> = (0..p).filter(|&i| operands[i].one.is_some()).collect();
+        let rows = truth_table::rows(p, &updated);
+        let pool = Pool::new(opts.threads);
+        let join_threads = if rows.len() < pool.threads() {
+            pool.threads()
+        } else {
+            1
+        };
+        let chunks = pool.map_chunks(rows.len(), |range| {
+            eval_signed_rows(
+                ctx,
+                &operands,
+                &rows[range],
+                opts.share_prefixes,
+                join_threads,
+            )
+        });
+        for chunk in chunks {
+            let (chunk_acc, chunk_stats) = chunk?;
+            stats += chunk_stats;
+            acc.merge(&chunk_acc)
+                .map_err(crate::error::IvmError::from)?;
+        }
+    } else if opts.share_prefixes {
         let mut updated_after = vec![false; p + 1];
         for j in (0..p).rev() {
             updated_after[j] = updated_after[j + 1] || operands[j].one.is_some();
@@ -643,6 +800,69 @@ fn emit_signed_leaf(
         Some(attrs) => algebra::project_delta(&selected, attrs)?,
     };
     acc.merge(&projected).map_err(crate::error::IvmError::from)
+}
+
+/// Signed-engine twin of [`eval_tagged_rows`]: one worker's contiguous
+/// chunk of truth-table rows, evaluated with an incremental join stack.
+fn eval_signed_rows(
+    ctx: &RowCtx<'_>,
+    operands: &[SignedOperands],
+    rows: &[truth_table::Row],
+    share: bool,
+    join_threads: usize,
+) -> Result<(DeltaRelation, DiffStats)> {
+    let p = operands.len();
+    let mut acc = DeltaRelation::empty(ctx.out_schema.clone());
+    let mut stats = DiffStats::default();
+    let pick = |j: usize, one: bool| -> &DeltaRelation {
+        if one {
+            operands[j].one.as_ref().expect("B=1 only for updated")
+        } else {
+            operands[j].zero.as_ref().expect("zero operand needed")
+        }
+    };
+    let mut stack: Vec<DeltaRelation> = Vec::with_capacity(p);
+    let mut pruned: Vec<bool> = Vec::with_capacity(p);
+    let mut prev: Option<&truth_table::Row> = None;
+    for row in rows {
+        let keep = if !share {
+            0
+        } else {
+            match prev {
+                None => 0,
+                Some(pr) => pr
+                    .iter()
+                    .zip(row.iter())
+                    .take_while(|(a, b)| a == b)
+                    .count(),
+            }
+        };
+        stack.truncate(keep);
+        pruned.truncate(keep);
+        for (j, &one) in row.iter().enumerate().skip(keep) {
+            let operand = pick(j, one);
+            stats.operand_tuples += operand.len() as u64;
+            let next = if j == 0 {
+                operand.clone()
+            } else if stack[j - 1].is_empty() {
+                stats.joins_skipped += 1;
+                DeltaRelation::empty(stack[j - 1].schema().join(operand.schema()))
+            } else {
+                stats.joins_performed += 1;
+                algebra::natural_join_delta_with(&stack[j - 1], operand, join_threads)?
+            };
+            pruned.push(
+                pruned.last().copied().unwrap_or(false) || (j > 0 && stack[j - 1].is_empty()),
+            );
+            stack.push(next);
+        }
+        if !share || !pruned[p - 1] {
+            stats.rows_evaluated += 1;
+        }
+        emit_signed_leaf(ctx, &stack[p - 1], &mut acc)?;
+        prev = Some(row);
+    }
+    Ok((acc, stats))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -764,12 +984,15 @@ mod tests {
             for share in [true, false] {
                 for push in [true, false] {
                     for reorder in [true, false] {
-                        v.push(DiffOptions {
-                            engine,
-                            share_prefixes: share,
-                            push_selections: push,
-                            reorder_operands: reorder,
-                        });
+                        for threads in [1, 4] {
+                            v.push(DiffOptions {
+                                engine,
+                                share_prefixes: share,
+                                push_selections: push,
+                                reorder_operands: reorder,
+                                threads,
+                            });
+                        }
                     }
                 }
             }
@@ -1151,6 +1374,97 @@ mod tests {
         assert_eq!(
             r.stats.output_deletes,
             del.iter().map(|(_, c)| c).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn parallel_rows_match_sequential_delta() {
+        // Four-way chain with three updated operands → 7 truth-table
+        // rows; the delta must be bit-identical at every width, with and
+        // without intra-chunk prefix sharing.
+        let mut db = Database::new();
+        for (i, name) in ["R1", "R2", "R3", "R4"].iter().enumerate() {
+            let a = format!("A{i}");
+            let b = format!("A{}", i + 1);
+            db.create(*name, Schema::new([a.as_str(), b.as_str()]).unwrap())
+                .unwrap();
+            for v in 0..20 {
+                db.load(name, [[v, v % 6]]).unwrap();
+            }
+        }
+        let view = SpjExpr::new(
+            ["R1", "R2", "R3", "R4"],
+            Atom::lt_const("A0", 18).into(),
+            Some(vec!["A0".into(), "A4".into()]),
+        );
+        let mut txn = Transaction::new();
+        txn.insert("R1", [50, 3]).unwrap();
+        txn.delete("R2", [4, 4]).unwrap();
+        txn.insert("R3", [2, 5]).unwrap();
+        for engine in [Engine::Tagged, Engine::Signed] {
+            for share in [true, false] {
+                let seq = differential_delta(
+                    &view,
+                    &db,
+                    &txn,
+                    &DiffOptions {
+                        engine,
+                        share_prefixes: share,
+                        threads: 1,
+                        ..DiffOptions::default()
+                    },
+                )
+                .unwrap();
+                for threads in [2, 3, 8] {
+                    let par = differential_delta(
+                        &view,
+                        &db,
+                        &txn,
+                        &DiffOptions {
+                            engine,
+                            share_prefixes: share,
+                            threads,
+                            ..DiffOptions::default()
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        par.delta, seq.delta,
+                        "engine {engine:?} share {share} threads {threads}"
+                    );
+                    assert_eq!(par.stats.rows_evaluated, seq.stats.rows_evaluated);
+                    if !share {
+                        assert_eq!(par.stats.rows_evaluated, 7);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signed_engine_rejects_counts_beyond_i64() {
+        let mut db = Database::new();
+        db.create("S", Schema::new(["B", "C"]).unwrap()).unwrap();
+        let mut huge = Relation::empty(Schema::new(["A", "B"]).unwrap());
+        huge.insert(Tuple::from([1, 10]), u64::MAX).unwrap();
+        db.adopt("R", huge).unwrap();
+        db.load("S", [[10, 100]]).unwrap();
+        let view = SpjExpr::new(["R", "S"], Condition::always_true(), None);
+        let mut txn = Transaction::new();
+        txn.insert("S", [10, 200]).unwrap();
+        let err = differential_delta(
+            &view,
+            &db,
+            &txn,
+            &DiffOptions {
+                engine: Engine::Signed,
+                ..DiffOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("overflow"),
+            "expected counter overflow, got {err}"
         );
     }
 

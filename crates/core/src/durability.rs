@@ -289,6 +289,25 @@ impl ViewManager {
             .unwrap_or(1);
         checkpoint::write_checkpoint(&state.dir, seq, &data)?;
         checkpoint::prune_checkpoints(&state.dir, 2)?;
+
+        // Compact the WAL behind the retained checkpoints. Recovery falls
+        // back at most to the *oldest* retained image, so records at or
+        // below that image's LSN can never be replayed again and are safe
+        // to drop. With fewer than two retained checkpoints there is no
+        // fallback image yet, so the log is kept whole; and a checkpoint
+        // that cannot be read back must not license dropping anything.
+        let retained = checkpoint::list_checkpoints(&state.dir)?;
+        if retained.len() >= 2 {
+            let oldest_seq = *retained.last().expect("retained is non-empty");
+            match checkpoint::read_checkpoint(checkpoint::checkpoint_path(&state.dir, oldest_seq)) {
+                Ok(oldest) => {
+                    state.wal.compact_through(oldest.last_lsn)?;
+                }
+                Err(e) if e.is_corruption() => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+
         state.txns_since_checkpoint = 0;
         Ok(seq)
     }

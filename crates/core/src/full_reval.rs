@@ -33,7 +33,7 @@ pub fn recompute_delta(
     let new_view = recompute(view, db_after)?;
     let mut delta = new_view.to_delta();
     for (t, c) in old_view.iter() {
-        delta.add(t.clone(), -(c as i64));
+        delta.add(t.clone(), -crate::differential::spj::signed_count(c)?);
     }
     Ok(delta)
 }

@@ -77,7 +77,9 @@ pub mod prelude {
     pub use crate::error::{IvmError, Result};
     pub use crate::full_reval;
     pub use crate::integrity::{IntegrityMonitor, Violation};
-    pub use crate::manager::{MaintenanceStrategy, RefreshPolicy, SharedViewManager, ViewManager};
+    pub use crate::manager::{
+        MaintenanceStrategy, ManagerOptions, RefreshPolicy, SharedViewManager, ViewManager,
+    };
     pub use crate::relevance::{combination_relevant, relevance_witness, RelevanceFilter};
     pub use crate::stats::DiffStats;
     pub use crate::view::{MaterializedView, ViewDefinition};

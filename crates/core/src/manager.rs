@@ -94,6 +94,53 @@ pub struct MaintenanceStats {
 /// Change listener: called with the view's delta after maintenance.
 pub type ChangeListener = Arc<dyn Fn(&str, &DeltaRelation) + Send + Sync>;
 
+/// Manager-wide configuration in one bundle: the differential-engine
+/// options plus the knobs that live on the manager itself. `threads`
+/// governs every maintenance hot path (truth-table rows, relevance
+/// checks, partitioned joins): `0` means one worker per available core
+/// (the default), `1` forces the fully sequential paths — the
+/// deterministic oracle the thread-invariance tests compare against.
+/// Results are identical at every width; only wall-clock changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManagerOptions {
+    /// Differential-engine options. The `threads` field below overrides
+    /// `diff.threads` so there is a single source of truth.
+    pub diff: DiffOptions,
+    /// How immediate views are maintained.
+    pub strategy: MaintenanceStrategy,
+    /// Whether the §4 relevance filter runs.
+    pub filtering: bool,
+    /// Maintenance worker threads (`0` = available cores).
+    pub threads: usize,
+}
+
+impl Default for ManagerOptions {
+    fn default() -> Self {
+        ManagerOptions {
+            diff: DiffOptions::default(),
+            strategy: MaintenanceStrategy::default(),
+            filtering: true,
+            threads: 0,
+        }
+    }
+}
+
+impl ManagerOptions {
+    /// Fully sequential configuration (`threads = 1`).
+    pub fn sequential() -> Self {
+        ManagerOptions {
+            threads: 1,
+            ..ManagerOptions::default()
+        }
+    }
+
+    /// Set the worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
 pub(crate) struct ManagedView {
     pub(crate) view: MaterializedView,
     pub(crate) policy: RefreshPolicy,
@@ -130,13 +177,17 @@ pub struct ViewManager {
 }
 
 impl ViewManager {
-    /// A manager over an empty database with default engine options.
+    /// A manager over an empty database with default engine options
+    /// (maintenance threads default to one worker per available core).
     pub fn new() -> Self {
         ViewManager {
             db: Database::new(),
             views: BTreeMap::new(),
             tree_views: BTreeMap::new(),
-            options: DiffOptions::default(),
+            options: DiffOptions {
+                threads: 0,
+                ..DiffOptions::default()
+            },
             strategy: MaintenanceStrategy::default(),
             filtering_enabled: true,
             durability: None,
@@ -146,6 +197,24 @@ impl ViewManager {
     /// Override the differential-engine options.
     pub fn with_options(mut self, options: DiffOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Apply a full [`ManagerOptions`] bundle.
+    pub fn with_manager_options(mut self, opts: ManagerOptions) -> Self {
+        self.options = DiffOptions {
+            threads: opts.threads,
+            ..opts.diff
+        };
+        self.strategy = opts.strategy;
+        self.filtering_enabled = opts.filtering;
+        self
+    }
+
+    /// Override only the maintenance worker thread count (`0` = available
+    /// cores, `1` = sequential).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
         self
     }
 
@@ -324,6 +393,7 @@ impl ViewManager {
         mv: &mut ManagedView,
         txn: &Transaction,
         filtering_enabled: bool,
+        threads: usize,
     ) -> Result<Option<Transaction>> {
         let expr = mv.view.definition().expr().clone();
         let mut filtered = Transaction::new();
@@ -348,25 +418,18 @@ impl ViewManager {
                 mv.filters.insert(relation.to_owned(), f);
             }
             let f = &mv.filters[relation];
-            for t in txn.inserted(relation) {
-                mv.stats.filter.checked += 1;
-                if f.is_relevant(t)? {
-                    mv.stats.filter.relevant += 1;
-                    filtered.insert(relation, t.clone())?;
-                    any = true;
-                } else {
-                    mv.stats.filter.irrelevant += 1;
-                }
+            let (kept_ins, ins_stats) = f.filter_with(txn.inserted(relation), threads)?;
+            let (kept_del, del_stats) = f.filter_with(txn.deleted(relation), threads)?;
+            mv.stats.filter.checked += ins_stats.checked + del_stats.checked;
+            mv.stats.filter.relevant += ins_stats.relevant + del_stats.relevant;
+            mv.stats.filter.irrelevant += ins_stats.irrelevant + del_stats.irrelevant;
+            for t in kept_ins {
+                filtered.insert(relation, t)?;
+                any = true;
             }
-            for t in txn.deleted(relation) {
-                mv.stats.filter.checked += 1;
-                if f.is_relevant(t)? {
-                    mv.stats.filter.relevant += 1;
-                    filtered.delete(relation, t.clone())?;
-                    any = true;
-                } else {
-                    mv.stats.filter.irrelevant += 1;
-                }
+            for t in kept_del {
+                filtered.delete(relation, t)?;
+                any = true;
             }
         }
         Ok(any.then_some(filtered))
@@ -400,8 +463,13 @@ impl ViewManager {
             mv.stats.transactions_seen += 1;
             match mv.policy {
                 RefreshPolicy::Immediate => {
-                    let filtered =
-                        Self::filter_for_view(&self.db, mv, txn, self.filtering_enabled)?;
+                    let filtered = Self::filter_for_view(
+                        &self.db,
+                        mv,
+                        txn,
+                        self.filtering_enabled,
+                        self.options.resolved_threads(),
+                    )?;
                     match filtered {
                         None => mv.stats.skipped_by_filter += 1,
                         Some(ftxn) => {
@@ -439,8 +507,13 @@ impl ViewManager {
                     }
                 }
                 RefreshPolicy::Deferred | RefreshPolicy::OnDemand => {
-                    let filtered =
-                        Self::filter_for_view(&self.db, mv, txn, self.filtering_enabled)?;
+                    let filtered = Self::filter_for_view(
+                        &self.db,
+                        mv,
+                        txn,
+                        self.filtering_enabled,
+                        self.options.resolved_threads(),
+                    )?;
                     let Some(ftxn) = filtered else {
                         mv.stats.skipped_by_filter += 1;
                         continue;
@@ -492,7 +565,7 @@ impl ViewManager {
                         crate::full_reval::recompute(mv.view.definition().expr(), &self.db)?;
                     let mut d = new_contents.to_delta();
                     for (t, c) in mv.view.contents().iter() {
-                        d.add(t.clone(), -(c as i64));
+                        d.add(t.clone(), -crate::differential::spj::signed_count(c)?);
                     }
                     mv.view.replace(new_contents);
                     d
@@ -1007,6 +1080,44 @@ mod tests {
             m.register_tree_view("t", ivm_relational::expr::Expr::base("R")),
             Err(IvmError::DuplicateView(_))
         ));
+    }
+
+    #[test]
+    fn manager_options_bundle_applies() {
+        let opts = ManagerOptions::sequential().with_threads(4);
+        assert_eq!(opts.threads, 4);
+        let m = ViewManager::new().with_manager_options(ManagerOptions {
+            strategy: MaintenanceStrategy::AlwaysFull,
+            filtering: false,
+            threads: 2,
+            ..ManagerOptions::default()
+        });
+        assert_eq!(m.strategy, MaintenanceStrategy::AlwaysFull);
+        assert!(!m.filtering_enabled);
+        assert_eq!(m.options.threads, 2);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_view_contents() {
+        let run = |threads: usize| {
+            let mut m = manager_with_data().with_threads(threads);
+            m.register_view("v", view_expr(), RefreshPolicy::Immediate)
+                .unwrap();
+            for i in 0..30i64 {
+                let mut txn = Transaction::new();
+                txn.insert("R", [3 + i, 10 * (i % 3 + 1)]).unwrap();
+                if i % 4 == 0 {
+                    txn.insert("S", [10 * (i % 3 + 1), 500 + i]).unwrap();
+                }
+                m.execute(&txn).unwrap();
+            }
+            m.verify_consistency().unwrap();
+            m.view_contents("v").unwrap().clone()
+        };
+        let seq = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), seq, "threads={threads}");
+        }
     }
 
     #[test]

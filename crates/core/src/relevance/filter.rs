@@ -34,6 +34,7 @@
 //! assert!(!filter.is_relevant(&Tuple::from([11, 10])).unwrap());
 //! ```
 
+use ivm_parallel::Pool;
 use ivm_relational::database::Database;
 use ivm_relational::expr::SpjExpr;
 use ivm_relational::schema::Schema;
@@ -183,13 +184,38 @@ impl RelevanceFilter {
         &self,
         tuples: impl IntoIterator<Item = &'a Tuple>,
     ) -> Result<(Vec<Tuple>, FilterStats)> {
+        self.filter_with(tuples, 1)
+    }
+
+    /// [`RelevanceFilter::filter`] fanned out over `threads` workers. The
+    /// Theorem 4.1 decision is independent per tuple and the prebuilt APSP
+    /// matrix is shared read-only, so tuples are checked in parallel
+    /// chunks; the kept set, its order, and the stats are identical at
+    /// every width. `1` runs on the calling thread, `0` uses one worker
+    /// per core.
+    pub fn filter_with<'a>(
+        &self,
+        tuples: impl IntoIterator<Item = &'a Tuple>,
+        threads: usize,
+    ) -> Result<(Vec<Tuple>, FilterStats)> {
+        let tuples: Vec<&Tuple> = tuples.into_iter().collect();
+        let pool = Pool::new(threads.max(1));
+        let flags: Vec<bool> = if pool.is_sequential() {
+            let mut flags = Vec::with_capacity(tuples.len());
+            for t in &tuples {
+                flags.push(self.is_relevant(t)?);
+            }
+            flags
+        } else {
+            pool.try_map(&tuples, |t| self.is_relevant(t))?
+        };
         let mut stats = FilterStats::default();
         let mut out = Vec::new();
-        for t in tuples {
+        for (t, keep) in tuples.iter().zip(flags) {
             stats.checked += 1;
-            if self.is_relevant(t)? {
+            if keep {
                 stats.relevant += 1;
-                out.push(t.clone());
+                out.push((*t).clone());
             } else {
                 stats.irrelevant += 1;
             }
@@ -297,6 +323,37 @@ mod tests {
                 irrelevant: 2
             }
         );
+    }
+
+    #[test]
+    fn parallel_filter_matches_sequential() {
+        let (db, view) = setup();
+        let f = RelevanceFilter::new(&view, &db, "R").unwrap();
+        let tuples: Vec<Tuple> = (0..200).map(|i| Tuple::from([i % 23, i % 17])).collect();
+        let seq = f.filter_with(tuples.iter(), 1).unwrap();
+        for threads in [2, 3, 8] {
+            let par = f.filter_with(tuples.iter(), threads).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_filter_surfaces_first_error_in_order() {
+        use ivm_relational::value::Value;
+        let mut db = Database::new();
+        db.create("R", Schema::new(["A"]).unwrap()).unwrap();
+        let view = SpjExpr::new(["R"], Atom::lt_const("A", 10).into(), None);
+        let f = RelevanceFilter::new(&view, &db, "R").unwrap();
+        let mut tuples: Vec<Tuple> = (0..100).map(|i| Tuple::from([i])).collect();
+        tuples[33] = Tuple::new(vec![Value::str("bad")]);
+        let seq_err = f.filter_with(tuples.iter(), 1).unwrap_err().to_string();
+        for threads in [2, 8] {
+            let par_err = f
+                .filter_with(tuples.iter(), threads)
+                .unwrap_err()
+                .to_string();
+            assert_eq!(par_err, seq_err, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! A std-only scoped worker pool with deterministic chunked map/fan-out.
+//!
+//! The differential maintenance engine has three embarrassingly parallel
+//! hot paths — the 2^k − 1 independent truth-table rows of the §5.3
+//! expansion, the per-tuple relevance test of Algorithm 4.1 (deliberately
+//! independent of every other tuple), and the build+probe phases of large
+//! hash joins. This crate gives them one shared primitive without pulling
+//! in `rayon` (the build container has no network access to crates.io, so
+//! like `crates/compat/*` everything here is plain `std`).
+//!
+//! Design rules:
+//!
+//! * **Scoped, not pooled-forever.** Workers are `std::thread::scope`
+//!   threads that borrow the caller's data; they live exactly as long as
+//!   one `map`/`try_map` call. No global state, no channels, no `unsafe`.
+//! * **Deterministic.** Work is split into *contiguous chunks in input
+//!   order* and results are reassembled in input order, so the output of
+//!   every operation is identical for every thread count — `threads = 1`
+//!   is the oracle the property tests compare against.
+//! * **Deterministic errors too.** [`Pool::try_map`] returns the error of
+//!   the *earliest* failing item in input order, regardless of which
+//!   worker hit an error first on the wall clock.
+//! * **Panic transparent.** A panicking worker re-raises its payload on
+//!   the calling thread via [`std::panic::resume_unwind`].
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Number of hardware threads, with a conservative fallback of 1 when the
+/// platform cannot say.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolve a requested thread count: `0` means "one worker per available
+/// core", anything else is taken literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// Split `0..n` into at most `parts` contiguous ranges whose lengths
+/// differ by at most one. Empty ranges are never produced.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let base = n / parts;
+    let extra = n % parts; // the first `extra` chunks get one more item
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// A worker pool of a fixed width. `Copy`-cheap: holds only the resolved
+/// thread count; threads are spawned per call inside a scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool of `threads` workers; `0` resolves to one per available
+    /// core.
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: resolve_threads(threads).max(1),
+        }
+    }
+
+    /// The single-threaded pool: every operation degenerates to a plain
+    /// sequential loop on the calling thread.
+    pub fn sequential() -> Self {
+        Pool { threads: 1 }
+    }
+
+    /// Worker count this pool fans out to.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when this pool never spawns (all work runs on the caller).
+    pub fn is_sequential(&self) -> bool {
+        self.threads <= 1
+    }
+
+    /// Fan `0..n` out as contiguous index ranges, one per worker, and
+    /// collect each range's result **in range order**. The generic
+    /// building block under [`Pool::map`] / [`Pool::try_map`]; callers
+    /// with chunk-level state (e.g. a shared join prefix across
+    /// truth-table rows) use it directly.
+    pub fn map_chunks<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let ranges = chunk_ranges(n, self.threads);
+        if ranges.len() <= 1 || self.is_sequential() {
+            return ranges.into_iter().map(f).collect();
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| s.spawn(move || f(range)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    }
+
+    /// Apply `f` to every item, returning results in input order. Output
+    /// is identical for every pool width.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let chunks = self.map_chunks(items.len(), |range| {
+            items[range].iter().map(&f).collect::<Vec<R>>()
+        });
+        let mut out = Vec::with_capacity(items.len());
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+
+    /// Fallible [`Pool::map`]: returns results in input order, or the
+    /// error of the earliest failing item in input order. Each worker
+    /// short-circuits its own chunk on the first error.
+    pub fn try_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(&T) -> Result<R, E> + Sync,
+    {
+        let chunks = self.map_chunks(items.len(), |range| {
+            let mut out = Vec::with_capacity(range.len());
+            for item in &items[range] {
+                out.push(f(item)?);
+            }
+            Ok(out)
+        });
+        let mut out = Vec::with_capacity(items.len());
+        for chunk in chunks {
+            out.extend(chunk?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in 0..40usize {
+            for parts in 1..10usize {
+                let ranges = chunk_ranges(n, parts);
+                assert!(ranges.len() <= parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(!r.is_empty(), "no empty chunks");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "full coverage for n={n} parts={parts}");
+                if n >= parts {
+                    let lens: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
+                    let min = lens.iter().min().unwrap();
+                    let max = lens.iter().max().unwrap();
+                    assert!(max - min <= 1, "balanced: {lens:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_preserves_order_at_every_width() {
+        let items: Vec<i64> = (0..1000).collect();
+        let expected: Vec<i64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = Pool::new(threads).map(&items, |x| x * x);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_runs_every_item_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..257).collect();
+        Pool::new(4).map(&items, |_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 257);
+    }
+
+    #[test]
+    fn try_map_returns_earliest_error() {
+        let items: Vec<i64> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let r: Result<Vec<i64>, i64> =
+                Pool::new(threads).try_map(
+                    &items,
+                    |&x| {
+                        if x == 17 || x == 63 {
+                            Err(x)
+                        } else {
+                            Ok(x)
+                        }
+                    },
+                );
+            assert_eq!(r.unwrap_err(), 17, "threads={threads}");
+        }
+        let ok: Result<Vec<i64>, ()> = Pool::new(8).try_map(&items, |&x| Ok(x));
+        assert_eq!(ok.unwrap(), items);
+    }
+
+    #[test]
+    fn zero_resolves_to_available_cores() {
+        assert_eq!(Pool::new(0).threads(), available_threads());
+        assert!(Pool::sequential().is_sequential());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(Pool::new(8).map(&empty, |x| *x).is_empty());
+        let r: Result<Vec<u8>, ()> = Pool::new(8).try_map(&empty, |x| Ok(*x));
+        assert!(r.unwrap().is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).map(&items, |&x| {
+                if x == 40 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn map_chunks_respects_width() {
+        let pool = Pool::new(3);
+        let chunks = pool.map_chunks(10, |r| r.len());
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks.iter().sum::<usize>(), 10);
+    }
+}

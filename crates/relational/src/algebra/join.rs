@@ -6,31 +6,60 @@
 //! dropped. Implementation is a hash join on the shared attributes — when
 //! the schemes share no attribute the join degenerates to a cross product,
 //! exactly as in the algebra.
+//!
+//! Counter products use `checked_mul` throughout and surface
+//! [`RelError::CounterOverflow`] instead of wrapping in release builds.
+//!
+//! Each flavour also has a `*_with(l, r, threads)` form that, above a size
+//! threshold, hash-partitions both operands by their join key and joins the
+//! partitions on a scoped worker pool. Tuples with equal keys land in the
+//! same partition, partitions are therefore key-disjoint, and the output
+//! relations are keyed maps — so the merged result is identical to the
+//! sequential join for every thread count.
 
 use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+use ivm_parallel::Pool;
 
 use crate::attribute::AttrName;
 use crate::delta::DeltaRelation;
-use crate::error::Result;
+use crate::error::{RelError, Result};
 use crate::relation::Relation;
 use crate::schema::Schema;
 use crate::tagged::{Tag, TaggedRelation};
 use crate::tuple::Tuple;
 use crate::value::Value;
 
+/// Minimum combined operand size (tuples on both sides) before a
+/// `*_with` join bothers to partition. Below this the scoped-thread spawn
+/// cost dwarfs the join itself.
+pub const PARTITION_THRESHOLD: usize = 2048;
+
 /// Positions of the shared (join-key) attributes in each operand, plus the
 /// positions of the right operand's non-shared attributes (the part
 /// appended to the left tuple in the output layout `R ∪ (S − R)`).
-pub fn join_key_positions(l: &Schema, r: &Schema) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+///
+/// Errors with [`RelError::UnknownAttribute`] if an attribute reported
+/// shared by [`Schema::intersection`] cannot be located in one of the
+/// operands — a schema-invariant violation rather than a user error, but
+/// one the caller can now surface instead of panicking.
+pub fn join_key_positions(l: &Schema, r: &Schema) -> Result<(Vec<usize>, Vec<usize>, Vec<usize>)> {
     let shared: Vec<AttrName> = l.intersection(r);
+    let position = |s: &Schema, a: &AttrName| {
+        s.position(a).ok_or_else(|| RelError::UnknownAttribute {
+            attr: a.clone(),
+            scheme: format!("{s}"),
+        })
+    };
     let l_key = shared
         .iter()
-        .map(|a| l.position(a).expect("shared attr in left"))
-        .collect();
+        .map(|a| position(l, a))
+        .collect::<Result<Vec<usize>>>()?;
     let r_key = shared
         .iter()
-        .map(|a| r.position(a).expect("shared attr in right"))
-        .collect();
+        .map(|a| position(r, a))
+        .collect::<Result<Vec<usize>>>()?;
     let r_rest = r
         .attrs()
         .iter()
@@ -38,7 +67,19 @@ pub fn join_key_positions(l: &Schema, r: &Schema) -> (Vec<usize>, Vec<usize>, Ve
         .filter(|(_, a)| !l.contains(a))
         .map(|(i, _)| i)
         .collect();
-    (l_key, r_key, r_rest)
+    Ok((l_key, r_key, r_rest))
+}
+
+/// `lc * rc` for §5.2 counters, or [`RelError::CounterOverflow`].
+pub(crate) fn mul_counts(lc: u64, rc: u64) -> Result<u64> {
+    lc.checked_mul(rc)
+        .ok_or_else(|| RelError::CounterOverflow(format!("{lc} * {rc} exceeds u64")))
+}
+
+/// `lc * rc` for signed delta counts, or [`RelError::CounterOverflow`].
+pub(crate) fn mul_signed(lc: i64, rc: i64) -> Result<i64> {
+    lc.checked_mul(rc)
+        .ok_or_else(|| RelError::CounterOverflow(format!("{lc} * {rc} exceeds i64")))
 }
 
 fn key_of(tuple: &Tuple, positions: &[usize]) -> Vec<Value> {
@@ -51,120 +92,204 @@ fn joined_tuple(lt: &Tuple, rt: &Tuple, r_rest: &[usize]) -> Tuple {
     Tuple::from(values)
 }
 
-/// `l ⋈ r` over plain counted relations.
-///
-/// Hash join; the index is always built over the *smaller* operand, which
-/// matters in the differential engine where a tiny change set routinely
-/// joins a large old relation.
-pub fn natural_join(l: &Relation, r: &Relation) -> Result<Relation> {
-    let schema = l.schema().join(r.schema());
-    let (l_key, r_key, r_rest) = join_key_positions(l.schema(), r.schema());
-    let mut out = Relation::empty(schema);
-    if l.len() <= r.len() {
+/// Hash join over borrowed `(tuple, payload)` slices. The index is always
+/// built over the *smaller* side, which matters in the differential engine
+/// where a tiny change set routinely joins a large old relation. `emit`
+/// receives the joined tuple plus both payloads (counter, signed count, or
+/// tag+counter) and owns the combination rule.
+fn hash_join_slices<'a, P, F>(
+    lts: &[(&'a Tuple, P)],
+    rts: &[(&'a Tuple, P)],
+    l_key: &[usize],
+    r_key: &[usize],
+    r_rest: &[usize],
+    mut emit: F,
+) -> Result<()>
+where
+    P: Copy,
+    F: FnMut(Tuple, P, P) -> Result<()>,
+{
+    if lts.len() <= rts.len() {
         // Index the left side, probe from the right.
-        let mut index: HashMap<Vec<Value>, Vec<(&Tuple, u64)>> = HashMap::new();
-        for (lt, lc) in l.iter() {
-            index.entry(key_of(lt, &l_key)).or_default().push((lt, lc));
+        let mut index: HashMap<Vec<Value>, Vec<(&Tuple, P)>> = HashMap::new();
+        for &(lt, lp) in lts {
+            index.entry(key_of(lt, l_key)).or_default().push((lt, lp));
         }
-        for (rt, rc) in r.iter() {
-            if let Some(matches) = index.get(&key_of(rt, &r_key)) {
-                for (lt, lc) in matches {
-                    out.insert(joined_tuple(lt, rt, &r_rest), lc * rc)?;
+        for &(rt, rp) in rts {
+            if let Some(matches) = index.get(&key_of(rt, r_key)) {
+                for &(lt, lp) in matches {
+                    emit(joined_tuple(lt, rt, r_rest), lp, rp)?;
                 }
             }
         }
     } else {
-        let mut index: HashMap<Vec<Value>, Vec<(&Tuple, u64)>> = HashMap::new();
-        for (rt, rc) in r.iter() {
-            index.entry(key_of(rt, &r_key)).or_default().push((rt, rc));
+        let mut index: HashMap<Vec<Value>, Vec<(&Tuple, P)>> = HashMap::new();
+        for &(rt, rp) in rts {
+            index.entry(key_of(rt, r_key)).or_default().push((rt, rp));
         }
-        for (lt, lc) in l.iter() {
-            if let Some(matches) = index.get(&key_of(lt, &l_key)) {
-                for (rt, rc) in matches {
-                    out.insert(joined_tuple(lt, rt, &r_rest), lc * rc)?;
+        for &(lt, lp) in lts {
+            if let Some(matches) = index.get(&key_of(lt, l_key)) {
+                for &(rt, rp) in matches {
+                    emit(joined_tuple(lt, rt, r_rest), lp, rp)?;
                 }
             }
+        }
+    }
+    Ok(())
+}
+
+/// Scatter tuples into `parts` buckets by the hash of their join key, so
+/// equal keys always share a bucket. With an empty key (cross product)
+/// every tuple lands in one bucket and the join stays sequential — which
+/// is correct, since a cross product cannot be key-partitioned.
+fn partition_by_key<'a, P: Copy>(
+    items: &[(&'a Tuple, P)],
+    key: &[usize],
+    parts: usize,
+) -> Vec<Vec<(&'a Tuple, P)>> {
+    let mut out: Vec<Vec<(&'a Tuple, P)>> = (0..parts).map(|_| Vec::new()).collect();
+    for &(t, p) in items {
+        let mut h = DefaultHasher::new();
+        key_of(t, key).hash(&mut h);
+        out[(h.finish() % parts as u64) as usize].push((t, p));
+    }
+    out
+}
+
+/// Shared skeleton of the three partitioned joins: decide whether the
+/// operands are worth partitioning, fan the key-disjoint partitions out on
+/// the pool, and hand each pair of partitions to `join_part` (which
+/// returns its locally accumulated output rows for in-order merging).
+fn partitioned<'a, P, R, F>(
+    lts: Vec<(&'a Tuple, P)>,
+    rts: Vec<(&'a Tuple, P)>,
+    l_key: &[usize],
+    r_key: &[usize],
+    threads: usize,
+    join_part: F,
+) -> Result<Vec<Vec<R>>>
+where
+    P: Copy + Send + Sync,
+    R: Send,
+    F: Fn(&[(&'a Tuple, P)], &[(&'a Tuple, P)]) -> Result<Vec<R>> + Sync,
+{
+    let pool = Pool::new(threads.max(1));
+    let combined = lts.len() + rts.len();
+    if pool.is_sequential() || combined < PARTITION_THRESHOLD || l_key.is_empty() {
+        return Ok(vec![join_part(&lts, &rts)?]);
+    }
+    let parts = pool.threads();
+    let l_parts = partition_by_key(&lts, l_key, parts);
+    let r_parts = partition_by_key(&rts, r_key, parts);
+    let pairs: Vec<_> = l_parts.into_iter().zip(r_parts).collect();
+    pool.try_map(&pairs, |(lp, rp)| join_part(lp, rp))
+}
+
+/// `l ⋈ r` over plain counted relations, fanned out over `threads`
+/// workers when the operands clear [`PARTITION_THRESHOLD`]. `threads = 1`
+/// is the sequential oracle; `0` means one worker per core. Output is
+/// identical at every width.
+pub fn natural_join_with(l: &Relation, r: &Relation, threads: usize) -> Result<Relation> {
+    let schema = l.schema().join(r.schema());
+    let (l_key, r_key, r_rest) = join_key_positions(l.schema(), r.schema())?;
+    let lts: Vec<(&Tuple, u64)> = l.iter().collect();
+    let rts: Vec<(&Tuple, u64)> = r.iter().collect();
+    let chunks = partitioned(lts, rts, &l_key, &r_key, threads, |lp, rp| {
+        let mut acc: Vec<(Tuple, u64)> = Vec::new();
+        hash_join_slices(lp, rp, &l_key, &r_key, &r_rest, |t, lc, rc| {
+            acc.push((t, mul_counts(lc, rc)?));
+            Ok(())
+        })?;
+        Ok(acc)
+    })?;
+    let mut out = Relation::empty(schema);
+    for chunk in chunks {
+        for (t, c) in chunk {
+            out.insert(t, c)?;
         }
     }
     Ok(out)
 }
 
-/// `l ⋈ r` over signed deltas (bilinear in the signed counts). Indexes
-/// the smaller operand.
-pub fn natural_join_delta(l: &DeltaRelation, r: &DeltaRelation) -> Result<DeltaRelation> {
+/// `l ⋈ r` over plain counted relations (sequential form).
+pub fn natural_join(l: &Relation, r: &Relation) -> Result<Relation> {
+    natural_join_with(l, r, 1)
+}
+
+/// `l ⋈ r` over signed deltas (bilinear in the signed counts), fanned out
+/// over `threads` workers past the size threshold.
+pub fn natural_join_delta_with(
+    l: &DeltaRelation,
+    r: &DeltaRelation,
+    threads: usize,
+) -> Result<DeltaRelation> {
     let schema = l.schema().join(r.schema());
-    let (l_key, r_key, r_rest) = join_key_positions(l.schema(), r.schema());
+    let (l_key, r_key, r_rest) = join_key_positions(l.schema(), r.schema())?;
+    let lts: Vec<(&Tuple, i64)> = l.iter().collect();
+    let rts: Vec<(&Tuple, i64)> = r.iter().collect();
+    let chunks = partitioned(lts, rts, &l_key, &r_key, threads, |lp, rp| {
+        let mut acc: Vec<(Tuple, i64)> = Vec::new();
+        hash_join_slices(lp, rp, &l_key, &r_key, &r_rest, |t, lc, rc| {
+            acc.push((t, mul_signed(lc, rc)?));
+            Ok(())
+        })?;
+        Ok(acc)
+    })?;
     let mut out = DeltaRelation::empty(schema);
-    if l.len() <= r.len() {
-        let mut index: HashMap<Vec<Value>, Vec<(&Tuple, i64)>> = HashMap::new();
-        for (lt, lc) in l.iter() {
-            index.entry(key_of(lt, &l_key)).or_default().push((lt, lc));
-        }
-        for (rt, rc) in r.iter() {
-            if let Some(matches) = index.get(&key_of(rt, &r_key)) {
-                for (lt, lc) in matches {
-                    out.add(joined_tuple(lt, rt, &r_rest), lc * rc);
-                }
-            }
-        }
-    } else {
-        let mut index: HashMap<Vec<Value>, Vec<(&Tuple, i64)>> = HashMap::new();
-        for (rt, rc) in r.iter() {
-            index.entry(key_of(rt, &r_key)).or_default().push((rt, rc));
-        }
-        for (lt, lc) in l.iter() {
-            if let Some(matches) = index.get(&key_of(lt, &l_key)) {
-                for (rt, rc) in matches {
-                    out.add(joined_tuple(lt, rt, &r_rest), lc * rc);
-                }
-            }
+    for chunk in chunks {
+        for (t, c) in chunk {
+            out.add(t, c);
         }
     }
     Ok(out)
+}
+
+/// `l ⋈ r` over signed deltas (sequential form).
+pub fn natural_join_delta(l: &DeltaRelation, r: &DeltaRelation) -> Result<DeltaRelation> {
+    natural_join_delta_with(l, r, 1)
 }
 
 /// `l ⋈ r` over tagged relations; tags combine via [`Tag::combine`], and
-/// `insert ⋈ delete` pairs are dropped. Indexes the smaller operand.
-pub fn natural_join_tagged(l: &TaggedRelation, r: &TaggedRelation) -> Result<TaggedRelation> {
+/// `insert ⋈ delete` pairs are dropped. Fanned out over `threads` workers
+/// past the size threshold.
+pub fn natural_join_tagged_with(
+    l: &TaggedRelation,
+    r: &TaggedRelation,
+    threads: usize,
+) -> Result<TaggedRelation> {
     let schema = l.schema().join(r.schema());
-    let (l_key, r_key, r_rest) = join_key_positions(l.schema(), r.schema());
+    let (l_key, r_key, r_rest) = join_key_positions(l.schema(), r.schema())?;
+    let lts: Vec<(&Tuple, (Tag, u64))> = l.iter().map(|(t, tag, c)| (t, (tag, c))).collect();
+    let rts: Vec<(&Tuple, (Tag, u64))> = r.iter().map(|(t, tag, c)| (t, (tag, c))).collect();
+    let chunks = partitioned(lts, rts, &l_key, &r_key, threads, |lp, rp| {
+        let mut acc: Vec<(Tuple, Tag, u64)> = Vec::new();
+        hash_join_slices(
+            lp,
+            rp,
+            &l_key,
+            &r_key,
+            &r_rest,
+            |t, (ltag, lc), (rtag, rc)| {
+                if let Some(tag) = ltag.combine(rtag) {
+                    acc.push((t, tag, mul_counts(lc, rc)?));
+                }
+                Ok(())
+            },
+        )?;
+        Ok(acc)
+    })?;
     let mut out = TaggedRelation::empty(schema);
-    if l.len() <= r.len() {
-        let mut index: HashMap<Vec<Value>, Vec<(&Tuple, Tag, u64)>> = HashMap::new();
-        for (lt, ltag, lc) in l.iter() {
-            index
-                .entry(key_of(lt, &l_key))
-                .or_default()
-                .push((lt, ltag, lc));
-        }
-        for (rt, rtag, rc) in r.iter() {
-            if let Some(matches) = index.get(&key_of(rt, &r_key)) {
-                for (lt, ltag, lc) in matches {
-                    if let Some(tag) = ltag.combine(rtag) {
-                        out.add(joined_tuple(lt, rt, &r_rest), tag, lc * rc);
-                    }
-                }
-            }
-        }
-    } else {
-        let mut index: HashMap<Vec<Value>, Vec<(&Tuple, Tag, u64)>> = HashMap::new();
-        for (rt, rtag, rc) in r.iter() {
-            index
-                .entry(key_of(rt, &r_key))
-                .or_default()
-                .push((rt, rtag, rc));
-        }
-        for (lt, ltag, lc) in l.iter() {
-            if let Some(matches) = index.get(&key_of(lt, &l_key)) {
-                for (rt, rtag, rc) in matches {
-                    if let Some(tag) = ltag.combine(*rtag) {
-                        out.add(joined_tuple(lt, rt, &r_rest), tag, lc * rc);
-                    }
-                }
-            }
+    for chunk in chunks {
+        for (t, tag, c) in chunk {
+            out.add(t, tag, c);
         }
     }
     Ok(out)
+}
+
+/// `l ⋈ r` over tagged relations (sequential form).
+pub fn natural_join_tagged(l: &TaggedRelation, r: &TaggedRelation) -> Result<TaggedRelation> {
+    natural_join_tagged_with(l, r, 1)
 }
 
 #[cfg(test)]
@@ -269,9 +394,92 @@ mod tests {
 
     #[test]
     fn join_key_positions_shapes() {
-        let (lk, rk, rr) = join_key_positions(&ab(), &bc());
+        let (lk, rk, rr) = join_key_positions(&ab(), &bc()).unwrap();
         assert_eq!(lk, vec![1]); // B in {A,B}
         assert_eq!(rk, vec![0]); // B in {B,C}
         assert_eq!(rr, vec![1]); // C appended
+    }
+
+    #[test]
+    fn counter_overflow_is_an_error_not_a_wrap() {
+        // (u64::MAX / 2 + 1) * 2 wraps to 0 in release; must error instead.
+        let big = u64::MAX / 2 + 1;
+        let mut r = Relation::empty(ab());
+        r.insert(Tuple::from([1, 10]), big).unwrap();
+        let mut s = Relation::empty(bc());
+        s.insert(Tuple::from([10, 100]), 2).unwrap();
+        let err = natural_join(&r, &s).unwrap_err();
+        assert!(
+            matches!(err, RelError::CounterOverflow(_)),
+            "expected CounterOverflow, got {err:?}"
+        );
+
+        // The signed variant at i64 scale.
+        let mut dl = DeltaRelation::empty(ab());
+        dl.add(Tuple::from([1, 10]), i64::MAX / 2 + 1);
+        let mut dr = DeltaRelation::empty(bc());
+        dr.add(Tuple::from([10, 100]), 2);
+        let err = natural_join_delta(&dl, &dr).unwrap_err();
+        assert!(matches!(err, RelError::CounterOverflow(_)));
+
+        // The tagged variant.
+        let mut tl = TaggedRelation::empty(ab());
+        tl.add(Tuple::from([1, 10]), Tag::Insert, big);
+        let mut tr = TaggedRelation::empty(bc());
+        tr.add(Tuple::from([10, 100]), Tag::Old, 2);
+        let err = natural_join_tagged(&tl, &tr).unwrap_err();
+        assert!(matches!(err, RelError::CounterOverflow(_)));
+    }
+
+    /// Build a pair of relations big enough to clear the partition
+    /// threshold, with skewed key multiplicity so partitions are uneven.
+    fn big_pair() -> (Relation, Relation) {
+        let mut r = Relation::empty(ab());
+        let mut s = Relation::empty(bc());
+        for i in 0..2000i64 {
+            r.insert(Tuple::from([i, i % 37]), (i % 3 + 1) as u64)
+                .unwrap();
+            s.insert(Tuple::from([i % 37, i]), (i % 2 + 1) as u64)
+                .unwrap();
+        }
+        (r, s)
+    }
+
+    #[test]
+    fn partitioned_join_matches_sequential() {
+        let (r, s) = big_pair();
+        let seq = natural_join_with(&r, &s, 1).unwrap();
+        for threads in [2, 3, 8] {
+            assert_eq!(natural_join_with(&r, &s, threads).unwrap(), seq);
+        }
+        let dl = r.to_delta();
+        let dr = s.to_delta();
+        let seq_d = natural_join_delta_with(&dl, &dr, 1).unwrap();
+        assert_eq!(natural_join_delta_with(&dl, &dr, 4).unwrap(), seq_d);
+        let mut tl = TaggedRelation::empty(ab());
+        let mut tr = TaggedRelation::empty(bc());
+        for (i, (t, c)) in r.iter().enumerate() {
+            let tag = [Tag::Old, Tag::Insert, Tag::Delete][i % 3];
+            tl.add(t.clone(), tag, c);
+        }
+        for (i, (t, c)) in s.iter().enumerate() {
+            let tag = [Tag::Insert, Tag::Old][i % 2];
+            tr.add(t.clone(), tag, c);
+        }
+        let seq_t = natural_join_tagged_with(&tl, &tr, 1).unwrap();
+        assert_eq!(natural_join_tagged_with(&tl, &tr, 4).unwrap(), seq_t);
+    }
+
+    #[test]
+    fn partitioned_cross_product_stays_correct() {
+        // Empty join key: cannot be key-partitioned; must still be right.
+        let mut r = Relation::empty(ab());
+        let mut s = Relation::empty(Schema::new(["C", "D"]).unwrap());
+        for i in 0..1200i64 {
+            r.insert(Tuple::from([i, i]), 1).unwrap();
+            s.insert(Tuple::from([i, -i]), 1).unwrap();
+        }
+        let seq = natural_join_with(&r, &s, 1).unwrap();
+        assert_eq!(natural_join_with(&r, &s, 4).unwrap(), seq);
     }
 }

@@ -22,7 +22,10 @@ mod project;
 mod select;
 mod setops;
 
-pub use join::{join_key_positions, natural_join, natural_join_delta, natural_join_tagged};
+pub use join::{
+    join_key_positions, natural_join, natural_join_delta, natural_join_delta_with,
+    natural_join_tagged, natural_join_tagged_with, natural_join_with, PARTITION_THRESHOLD,
+};
 pub use product::{product, product_delta, product_tagged};
 pub use project::{project, project_delta, project_tagged};
 pub use select::{select, select_delta, select_tagged};

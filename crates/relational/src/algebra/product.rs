@@ -5,6 +5,7 @@
 //! redefinition restricted to an empty join key), and tags combine via the
 //! §5.3 table.
 
+use crate::algebra::join::{mul_counts, mul_signed};
 use crate::delta::DeltaRelation;
 use crate::error::Result;
 use crate::relation::Relation;
@@ -16,7 +17,7 @@ pub fn product(l: &Relation, r: &Relation) -> Result<Relation> {
     let mut out = Relation::empty(schema);
     for (lt, lc) in l.iter() {
         for (rt, rc) in r.iter() {
-            out.insert(lt.concat(rt), lc * rc)?;
+            out.insert(lt.concat(rt), mul_counts(lc, rc)?)?;
         }
     }
     Ok(out)
@@ -28,7 +29,7 @@ pub fn product_delta(l: &DeltaRelation, r: &DeltaRelation) -> Result<DeltaRelati
     let mut out = DeltaRelation::empty(schema);
     for (lt, lc) in l.iter() {
         for (rt, rc) in r.iter() {
-            out.add(lt.concat(rt), lc * rc);
+            out.add(lt.concat(rt), mul_signed(lc, rc)?);
         }
     }
     Ok(out)
@@ -42,7 +43,7 @@ pub fn product_tagged(l: &TaggedRelation, r: &TaggedRelation) -> Result<TaggedRe
     for (lt, ltag, lc) in l.iter() {
         for (rt, rtag, rc) in r.iter() {
             if let Some(tag) = ltag.combine(rtag) {
-                out.add(lt.concat(rt), tag, lc * rc);
+                out.add(lt.concat(rt), tag, mul_counts(lc, rc)?);
             }
         }
     }
@@ -95,6 +96,19 @@ mod tests {
         r.add(Tuple::from([3, 4]), 3);
         let p = product_delta(&l, &r).unwrap();
         assert_eq!(p.count(&Tuple::from([1, 2, 3, 4])), -6);
+    }
+
+    #[test]
+    fn product_counter_overflow_is_an_error() {
+        use crate::error::RelError;
+        let mut l = Relation::empty(ab());
+        l.insert(Tuple::from([1, 2]), u64::MAX / 2 + 1).unwrap();
+        let mut r = Relation::empty(cd());
+        r.insert(Tuple::from([3, 4]), 2).unwrap();
+        assert!(matches!(
+            product(&l, &r).unwrap_err(),
+            RelError::CounterOverflow(_)
+        ));
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub enum RelError {
     /// counters must stay non-negative; this indicates an inconsistent
     /// delta).
     NegativeCount(String),
+    /// A §5.2 counter product (`t(N) = u(N) * v(N)`) or a counter
+    /// conversion exceeded the machine integer range. Wrapping silently
+    /// would corrupt every downstream multiplicity, so the operation is
+    /// refused instead.
+    CounterOverflow(String),
     /// A predicate compared or did arithmetic on incompatible values (e.g.
     /// `x < y + c` over a string attribute).
     TypeError(String),
@@ -97,6 +102,9 @@ impl fmt::Display for RelError {
             RelError::NegativeCount(msg) => {
                 write!(f, "multiplicity counter went negative: {msg}")
             }
+            RelError::CounterOverflow(msg) => {
+                write!(f, "multiplicity counter overflow: {msg}")
+            }
             RelError::TypeError(msg) => write!(f, "type error: {msg}"),
             RelError::Parse(msg) => write!(f, "parse error: {msg}"),
         }
@@ -130,6 +138,9 @@ mod tests {
             got: 3,
         };
         assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+
+        let e = RelError::CounterOverflow(format!("{} * 2 exceeds u64", u64::MAX));
+        assert!(e.to_string().contains("overflow"), "{e}");
     }
 
     #[test]

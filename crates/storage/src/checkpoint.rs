@@ -172,6 +172,11 @@ fn ckpt_file_name(seq: u64) -> String {
     format!("{CKPT_PREFIX}{seq:016}{CKPT_SUFFIX}")
 }
 
+/// Path of checkpoint `seq` inside `dir`, whether or not the file exists.
+pub fn checkpoint_path(dir: impl AsRef<Path>, seq: u64) -> PathBuf {
+    dir.as_ref().join(ckpt_file_name(seq))
+}
+
 fn parse_seq(file_name: &str) -> Option<u64> {
     file_name
         .strip_prefix(CKPT_PREFIX)?
@@ -209,7 +214,7 @@ pub fn write_checkpoint(dir: impl AsRef<Path>, seq: u64, data: &CheckpointData) 
 
 /// `fsync` a directory so a rename within it is durable. Directories cannot
 /// be fsynced everywhere; `NotSupported`-style failures are ignored.
-fn sync_dir(dir: &Path) -> Result<()> {
+pub(crate) fn sync_dir(dir: &Path) -> Result<()> {
     match File::open(dir) {
         Ok(f) => match f.sync_all() {
             Ok(()) => Ok(()),

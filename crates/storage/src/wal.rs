@@ -20,12 +20,13 @@
 //! without a second checksum chain, so it is treated the same way —
 //! everything from the first bad frame on is discarded.
 
-use std::fs::{File, OpenOptions};
+use std::fs::{self, File, OpenOptions};
 use std::io::{BufReader, BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 use ivm_relational::prelude::*;
 
+use crate::checkpoint::sync_dir;
 use crate::codec::{ByteReader, Codec};
 use crate::error::{Result, StorageError};
 use crate::frame::{framed_len, read_frame, write_frame};
@@ -292,6 +293,72 @@ impl Wal {
         self.stats
     }
 
+    /// Drop every record with LSN `<= up_to_lsn` by rewriting the log to a
+    /// temp file and atomically renaming it into place. Returns the new
+    /// file length in bytes.
+    ///
+    /// The caller is responsible for only passing LSNs that are covered by
+    /// a durable checkpoint that recovery is guaranteed to find — records
+    /// below that point can never be replayed again, so removing them loses
+    /// nothing. Compaction preserves the handle's LSN counter and stats; a
+    /// crash at any instant leaves either the old complete log or the new
+    /// complete log, never a mix.
+    pub fn compact_through(&mut self, up_to_lsn: u64) -> Result<u64> {
+        // Make sure the scan below sees every buffered frame.
+        self.sync()?;
+        let scan = Wal::scan(&self.path)?;
+        if scan
+            .records
+            .first()
+            .map(|(lsn, _)| *lsn > up_to_lsn)
+            .unwrap_or(true)
+        {
+            return Ok(self.end_offset); // nothing to drop
+        }
+
+        let tmp_path = self.path.with_extension("compact");
+        let tmp = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)
+            .map_err(|e| StorageError::io(format!("create {}", tmp_path.display()), e))?;
+        let mut writer = BufWriter::new(tmp);
+        let mut new_len = 0u64;
+        for (lsn, record) in &scan.records {
+            if *lsn > up_to_lsn {
+                let payload = record.encode_payload(*lsn);
+                write_frame(&mut writer, &payload)?;
+                new_len += framed_len(payload.len());
+            }
+        }
+        writer
+            .flush()
+            .map_err(|e| StorageError::io("flush compacted wal", e))?;
+        writer
+            .get_ref()
+            .sync_data()
+            .map_err(|e| StorageError::io("sync compacted wal", e))?;
+        drop(writer);
+        fs::rename(&tmp_path, &self.path)
+            .map_err(|e| StorageError::io(format!("rename into {}", self.path.display()), e))?;
+        if let Some(parent) = self.path.parent() {
+            sync_dir(parent)?;
+        }
+
+        // Swap the handle onto the new file, seeked to its end; the LSN
+        // counter and per-handle stats carry over untouched.
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(&self.path)
+            .map_err(|e| StorageError::io(format!("reopen wal {}", self.path.display()), e))?;
+        file.seek(SeekFrom::Start(new_len))
+            .map_err(|e| StorageError::io("seek compacted wal to end", e))?;
+        self.file = BufWriter::new(file);
+        self.end_offset = new_len;
+        Ok(new_len)
+    }
+
     /// Scan a log file from the beginning, collecting every record in the
     /// valid prefix. A missing file scans as empty — a system that crashed
     /// before its first append is indistinguishable from a fresh one.
@@ -456,6 +523,50 @@ mod tests {
         let scan = Wal::scan(&path).unwrap();
         assert!(scan.truncated_by.is_none());
         assert_eq!(scan.last_lsn(), Some(next));
+    }
+
+    #[test]
+    fn compact_drops_prefix_and_keeps_appending() {
+        let dir = scratch_dir("wal-compact");
+        let path = dir.join(WAL_FILE);
+        let mut wal = Wal::create(&path, 1).unwrap();
+        for _ in 0..5 {
+            wal.append(&WalRecord::Txn(sample_txn())).unwrap();
+        }
+        wal.sync().unwrap();
+        let full_len = wal.len_bytes();
+
+        // Dropping LSNs 1..=3 shrinks the file and keeps exactly 4 and 5.
+        let new_len = wal.compact_through(3).unwrap();
+        assert!(new_len < full_len, "compaction did not shrink the log");
+        assert_eq!(wal.len_bytes(), new_len);
+        let scan = Wal::scan(&path).unwrap();
+        assert!(scan.truncated_by.is_none());
+        assert_eq!(
+            scan.records.iter().map(|(lsn, _)| *lsn).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        assert_eq!(scan.valid_len, new_len);
+
+        // The handle stays live: the next append continues at LSN 6.
+        assert_eq!(wal.append(&WalRecord::Txn(sample_txn())).unwrap(), 6);
+        wal.sync().unwrap();
+        let scan = Wal::scan(&path).unwrap();
+        assert!(scan.truncated_by.is_none());
+        assert_eq!(scan.last_lsn(), Some(6));
+        assert_eq!(scan.valid_len, wal.len_bytes());
+
+        // Compacting below the first surviving LSN is a no-op.
+        let len_before = wal.len_bytes();
+        assert_eq!(wal.compact_through(3).unwrap(), len_before);
+
+        // Compacting through everything empties the file.
+        assert_eq!(wal.compact_through(6).unwrap(), 0);
+        assert_eq!(wal.append(&WalRecord::Txn(sample_txn())).unwrap(), 7);
+        wal.sync().unwrap();
+        let scan = Wal::scan(&path).unwrap();
+        assert!(scan.truncated_by.is_none());
+        assert_eq!(scan.last_lsn(), Some(7));
     }
 
     #[test]

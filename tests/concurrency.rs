@@ -1,6 +1,9 @@
 //! Concurrency: the `SharedViewManager` under concurrent writers and
 //! readers must serialize transactions correctly and keep every view
-//! consistent with full re-evaluation.
+//! consistent with full re-evaluation — at every maintenance thread
+//! count. Each scenario runs with the engine forced sequential (1), at a
+//! modest pool (2) and oversubscribed (8); the external behavior must be
+//! identical.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -8,8 +11,11 @@ use std::thread;
 
 use ivm::prelude::*;
 
-fn build() -> SharedViewManager {
-    let mut m = ViewManager::new();
+/// Maintenance-pool widths every scenario is exercised at.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn build(threads: usize) -> SharedViewManager {
+    let mut m = ViewManager::new().with_threads(threads);
     m.create_relation("events", Schema::new(["EID", "KIND", "SIZE"]).unwrap())
         .unwrap();
     m.create_relation("kinds", Schema::new(["KIND", "PRIO"]).unwrap())
@@ -41,7 +47,13 @@ fn build() -> SharedViewManager {
 
 #[test]
 fn concurrent_writers_and_readers() {
-    let shared = build();
+    for threads in THREAD_COUNTS {
+        concurrent_writers_and_readers_at(threads);
+    }
+}
+
+fn concurrent_writers_and_readers_at(maintenance_threads: usize) {
+    let shared = build(maintenance_threads);
     let alerts = Arc::new(AtomicUsize::new(0));
     {
         let alerts = alerts.clone();
@@ -116,7 +128,13 @@ fn concurrent_writers_and_readers() {
 
 #[test]
 fn deferred_refresh_under_concurrent_writes() {
-    let shared = build();
+    for threads in THREAD_COUNTS {
+        deferred_refresh_under_concurrent_writes_at(threads);
+    }
+}
+
+fn deferred_refresh_under_concurrent_writes_at(maintenance_threads: usize) {
+    let shared = build(maintenance_threads);
     shared
         .write(|m| {
             m.register_view(

@@ -115,6 +115,7 @@ fn all_options() -> Vec<DiffOptions> {
                         share_prefixes,
                         push_selections,
                         reorder_operands,
+                        threads: 1,
                     });
                 }
             }

@@ -272,6 +272,54 @@ fn corrupt_newest_checkpoint_falls_back_to_older() {
 }
 
 #[test]
+fn checkpoint_compacts_wal_and_recovery_still_matches() {
+    let dir = TestDir::new("compact");
+
+    // Reference: the same workload, uninterrupted and in memory.
+    let mut reference = ViewManager::new();
+    setup(&mut reference);
+    {
+        let mut m = ViewManager::open(dir.path()).unwrap();
+        setup(&mut m);
+        for i in 0..20 {
+            apply_step(&mut m, (i as u8, true, i, i % 7));
+        }
+        // First checkpoint: only one image exists, so there is no fallback
+        // yet and the log must stay whole.
+        m.checkpoint().unwrap();
+        let after_first = m.durability_status().unwrap().wal_len_bytes;
+        assert!(after_first > 0, "first checkpoint emptied the WAL");
+
+        for i in 20..25 {
+            apply_step(&mut m, (i as u8, true, i, i % 7));
+        }
+        // Second checkpoint: two images retained; everything at or below
+        // the older image's LSN leaves the log.
+        m.checkpoint().unwrap();
+        let after_second = m.durability_status().unwrap().wal_len_bytes;
+        assert!(
+            after_second < after_first,
+            "WAL did not shrink: {after_first} -> {after_second} bytes"
+        );
+        // Appends keep working on the compacted log.
+        apply_step(&mut m, (0, true, 3, 5));
+    }
+    for i in 0..20 {
+        apply_step(&mut reference, (i as u8, true, i, i % 7));
+    }
+    for i in 20..25 {
+        apply_step(&mut reference, (i as u8, true, i, i % 7));
+    }
+    apply_step(&mut reference, (0, true, 3, 5));
+
+    // Recovery over the compacted log lands in exactly the uninterrupted
+    // state, with a clean (non-torn) scan.
+    let recovered = ViewManager::open(dir.path()).unwrap();
+    assert!(recovered.recovery_report().unwrap().wal_truncated.is_none());
+    assert_same_state(&recovered, &reference);
+}
+
+#[test]
 fn checkpoint_every_n_fires_and_resets() {
     let dir = TestDir::new("every-n");
     let mut m =
