@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Fail if any markdown doc references a repo path that does not exist.
+# Checks backtick-quoted and markdown-link paths that look like files
+# (docs/, ci/, src/, tests/, examples/, crates/). Runnable locally:
+#
+#   ./ci/check_doc_links.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+for doc in README.md DESIGN.md ROADMAP.md EXPERIMENTS.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    # `path/to/file.ext` in backticks, or ](path) markdown links.
+    refs=$(grep -oE '(`|\()(docs|ci|src|tests|examples|crates)/[A-Za-z0-9_./-]+\.(md|rs|sh|toml|yml)' "$doc" |
+        sed -E 's/^[`(]//' | sort -u || true)
+    for ref in $refs; do
+        if [ ! -e "$ref" ]; then
+            echo "ERROR: $doc references missing path: $ref" >&2
+            status=1
+        fi
+    done
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "ok: all doc-referenced paths exist"
+fi
+exit "$status"

@@ -54,6 +54,7 @@
 //!   (`k = 1` in particular) the spare parallelism is spent inside the
 //!   joins instead via the hash-partitioned `natural_join_*_with`.
 
+use ivm_obs::{names, Obs};
 use ivm_parallel::Pool;
 use ivm_relational::algebra;
 use ivm_relational::attribute::AttrName;
@@ -170,6 +171,19 @@ pub fn differential_delta(
     txn: &Transaction,
     opts: &DiffOptions,
 ) -> Result<DifferentialResult> {
+    differential_delta_observed(view, db_before, txn, opts, &Obs::disabled())
+}
+
+/// [`differential_delta`] with metrics: emits the `diff.*` counters and
+/// per-row histograms of `docs/OBSERVABILITY.md` through `obs`. With the
+/// disabled handle this is exactly [`differential_delta`].
+pub fn differential_delta_observed(
+    view: &SpjExpr,
+    db_before: &Database,
+    txn: &Transaction,
+    opts: &DiffOptions,
+    obs: &Obs,
+) -> Result<DifferentialResult> {
     let mut old: Vec<&Relation> = Vec::with_capacity(view.arity());
     let mut updates: Vec<Option<OperandUpdate>> = Vec::with_capacity(view.arity());
     for name in &view.relations {
@@ -183,7 +197,7 @@ pub fn differential_delta(
             updates.push(Some(OperandUpdate { inserts, deletes }));
         }
     }
-    differential_delta_parts(view, &old, &updates, opts)
+    differential_delta_parts_observed(view, &old, &updates, opts, obs)
 }
 
 /// Algorithm 5.1 over explicit positional operands: `old[i]` is the
@@ -196,6 +210,18 @@ pub fn differential_delta_parts(
     old: &[&Relation],
     updates: &[Option<OperandUpdate>],
     opts: &DiffOptions,
+) -> Result<DifferentialResult> {
+    differential_delta_parts_observed(view, old, updates, opts, &Obs::disabled())
+}
+
+/// [`differential_delta_parts`] with metrics (see
+/// [`differential_delta_observed`]).
+pub fn differential_delta_parts_observed(
+    view: &SpjExpr,
+    old: &[&Relation],
+    updates: &[Option<OperandUpdate>],
+    opts: &DiffOptions,
+    obs: &Obs,
 ) -> Result<DifferentialResult> {
     assert_eq!(old.len(), view.arity(), "one old state per operand");
     assert_eq!(updates.len(), view.arity(), "one update slot per operand");
@@ -259,24 +285,46 @@ pub fn differential_delta_parts(
         residual: &pushdown.residual,
         final_proj: final_proj.as_deref(),
         out_schema: &out_schema,
+        obs,
     };
 
-    match opts.engine {
+    let result = match opts.engine {
         Engine::Tagged => {
             tagged_differential(&ctx, &ordered_old, &ordered_updates, &ordered_push, opts)
         }
         Engine::Signed => {
             signed_differential(&ctx, &ordered_old, &ordered_updates, &ordered_push, opts)
         }
+    }?;
+
+    if obs.enabled() {
+        // Aggregate work counters, emitted once per run so the disabled
+        // path costs nothing in the hot loops.
+        let s = &result.stats;
+        let total_rows = (1u64 << updated.len().min(63)) - 1;
+        obs.add(names::DIFF_ROWS_EVALUATED, s.rows_evaluated as u64);
+        obs.add(
+            names::DIFF_ROWS_PRUNED,
+            total_rows.saturating_sub(s.rows_evaluated as u64),
+        );
+        obs.add(names::DIFF_JOINS_PERFORMED, s.joins_performed as u64);
+        obs.add(names::DIFF_JOINS_SKIPPED, s.joins_skipped as u64);
+        obs.add(names::DIFF_OPERAND_TUPLES, s.operand_tuples);
+        obs.add(names::DIFF_OUTPUT_INSERTS, s.output_inserts);
+        obs.add(names::DIFF_OUTPUT_DELETES, s.output_deletes);
     }
+    Ok(result)
 }
 
 /// Shared per-run context: the residual condition and final projection
-/// applied at each row leaf.
+/// applied at each row leaf, plus the metrics handle (shared read-only
+/// with pool workers — per-row observations come from whichever thread
+/// evaluated the row).
 struct RowCtx<'a> {
     residual: &'a Condition,
     final_proj: Option<&'a [AttrName]>,
     out_schema: &'a Schema,
+    obs: &'a Obs,
 }
 
 /// Scheme of the view, derived from the operand relations in definition
@@ -398,15 +446,19 @@ fn tagged_differential(
         } else {
             1
         };
-        let chunks = pool.map_chunks(rows.len(), |range| {
-            eval_tagged_rows(
-                ctx,
-                &operands,
-                &rows[range],
-                opts.share_prefixes,
-                join_threads,
-            )
-        });
+        let chunks = pool.map_chunks_observed(
+            rows.len(),
+            |range| {
+                eval_tagged_rows(
+                    ctx,
+                    &operands,
+                    &rows[range],
+                    opts.share_prefixes,
+                    join_threads,
+                )
+            },
+            ctx.obs,
+        );
         for chunk in chunks {
             let (chunk_acc, chunk_stats) = chunk?;
             stats += chunk_stats;
@@ -453,6 +505,15 @@ fn tagged_differential(
         }
     }
 
+    if ctx.obs.enabled() {
+        // Tag-algebra outcome of the whole run: how many distinct row
+        // output entries carried each tag. `old` entries are context that
+        // cancels out of the delta below — pure carrying cost.
+        let (tag_ins, tag_del, tag_old) = acc.tag_counts();
+        ctx.obs.add(names::DIFF_TAG_INSERTS, tag_ins);
+        ctx.obs.add(names::DIFF_TAG_DELETES, tag_del);
+        ctx.obs.add(names::DIFF_TAG_OLDS, tag_old);
+    }
     let delta = acc.to_delta();
     let (ins, del) = delta.split();
     stats.output_inserts = ins.iter().map(|(_, c)| c).sum();
@@ -472,6 +533,10 @@ fn emit_tagged_leaf(
         None => selected,
         Some(attrs) => algebra::project_tagged(&selected, attrs)?,
     };
+    if ctx.obs.enabled() {
+        ctx.obs
+            .observe(names::DIFF_ROW_OUTPUT_TUPLES, projected.len() as u64);
+    }
     acc.merge(&projected).map_err(crate::error::IvmError::from)
 }
 
@@ -728,15 +793,19 @@ fn signed_differential(
         } else {
             1
         };
-        let chunks = pool.map_chunks(rows.len(), |range| {
-            eval_signed_rows(
-                ctx,
-                &operands,
-                &rows[range],
-                opts.share_prefixes,
-                join_threads,
-            )
-        });
+        let chunks = pool.map_chunks_observed(
+            rows.len(),
+            |range| {
+                eval_signed_rows(
+                    ctx,
+                    &operands,
+                    &rows[range],
+                    opts.share_prefixes,
+                    join_threads,
+                )
+            },
+            ctx.obs,
+        );
         for chunk in chunks {
             let (chunk_acc, chunk_stats) = chunk?;
             stats += chunk_stats;
@@ -799,6 +868,10 @@ fn emit_signed_leaf(
         None => selected,
         Some(attrs) => algebra::project_delta(&selected, attrs)?,
     };
+    if ctx.obs.enabled() {
+        ctx.obs
+            .observe(names::DIFF_ROW_OUTPUT_TUPLES, projected.len() as u64);
+    }
     acc.merge(&projected).map_err(crate::error::IvmError::from)
 }
 

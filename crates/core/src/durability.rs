@@ -29,6 +29,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 
+use ivm_obs::{names, Obs};
 use ivm_relational::delta::DeltaRelation;
 use ivm_relational::transaction::Transaction;
 
@@ -93,10 +94,43 @@ pub struct DurabilityStatus {
     pub wal: WalStats,
     /// LSN the next logged record will receive.
     pub next_lsn: u64,
-    /// Current WAL file length in bytes.
+    /// Current WAL file length in bytes as tracked by the open handle
+    /// (includes unsynced buffered frames).
     pub wal_len_bytes: u64,
+    /// WAL file length in bytes re-read from the filesystem at the moment
+    /// this status was taken (what `ls -l` would show). Unlike the
+    /// cumulative [`WalStats::bytes_appended`], this *shrinks* after a
+    /// checkpoint compacts the log; it is the number the shell's
+    /// `\wal-stats` reports as the live size. Falls back to the handle's
+    /// tracked length if the metadata read fails.
+    pub wal_file_bytes: u64,
     /// Transactions logged since the last checkpoint.
     pub txns_since_checkpoint: u64,
+}
+
+/// Emit the difference between two [`WalStats`] snapshots as `wal.*`
+/// counters. [`Obs::add`] drops zero deltas, so quiet fields cost nothing.
+fn emit_wal_delta(obs: &Obs, before: WalStats, after: WalStats) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.add(
+        names::WAL_RECORDS_APPENDED,
+        after.records_appended - before.records_appended,
+    );
+    obs.add(
+        names::WAL_BYTES_APPENDED,
+        after.bytes_appended - before.bytes_appended,
+    );
+    obs.add(names::WAL_SYNCS, after.syncs - before.syncs);
+    obs.add(
+        names::WAL_COMPACTIONS,
+        after.compactions - before.compactions,
+    );
+    obs.add(
+        names::WAL_BYTES_RECLAIMED,
+        after.bytes_reclaimed - before.bytes_reclaimed,
+    );
 }
 
 pub(crate) fn policy_to_u8(policy: RefreshPolicy) -> u8 {
@@ -170,6 +204,24 @@ impl ViewManager {
     /// LSNs above the checkpoint's — forward through the differential
     /// maintenance engine. A torn or corrupt WAL tail is truncated at the
     /// first bad frame; everything before it is kept.
+    ///
+    /// ```
+    /// use ivm::prelude::*;
+    ///
+    /// let dir = ivm_storage::temp::scratch_dir("open-doc");
+    /// {
+    ///     let mut m = ViewManager::open(&dir).unwrap();
+    ///     m.create_relation("R", Schema::new(["A"]).unwrap()).unwrap();
+    ///     let mut txn = Transaction::new();
+    ///     txn.insert("R", [1]).unwrap();
+    ///     m.execute(&txn).unwrap(); // synced to the WAL before applying
+    /// }
+    /// // A fresh open replays the log: nothing was lost.
+    /// let m = ViewManager::open(&dir).unwrap();
+    /// assert!(m.database().relation("R").unwrap().contains(&Tuple::from([1])));
+    /// assert_eq!(m.recovery_report().unwrap().wal_records_replayed, 2);
+    /// std::fs::remove_dir_all(&dir).ok();
+    /// ```
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
         Self::open_with_policy(dir, DurabilityPolicy::default())
     }
@@ -204,7 +256,9 @@ impl ViewManager {
                 continue; // already reflected in the checkpoint
             }
             match record {
-                WalRecord::Txn(txn) => mgr.execute(&txn)?,
+                WalRecord::Txn(txn) => {
+                    mgr.execute(&txn)?;
+                }
                 WalRecord::CreateRelation { name, schema } => mgr.create_relation(name, schema)?,
                 WalRecord::RegisterView { name, expr, policy } => {
                     mgr.register_view(name, expr, policy_from_u8(policy)?)?
@@ -242,13 +296,32 @@ impl ViewManager {
     ///
     /// Errors with [`StorageError::NoDurableState`] on a manager that was
     /// not opened with [`ViewManager::open`].
+    ///
+    /// ```
+    /// use ivm::prelude::*;
+    ///
+    /// let dir = ivm_storage::temp::scratch_dir("checkpoint-doc");
+    /// let mut m = ViewManager::open(&dir).unwrap();
+    /// m.create_relation("R", Schema::new(["A"]).unwrap()).unwrap();
+    /// m.load("R", [[1], [2]]).unwrap();
+    /// let seq = m.checkpoint().unwrap();
+    /// assert_eq!(seq, 1);
+    /// // Recovery now restores the image instead of replaying the log.
+    /// let recovered = ViewManager::open(&dir).unwrap();
+    /// assert_eq!(recovered.recovery_report().unwrap().checkpoint_seq, Some(1));
+    /// assert_eq!(recovered.recovery_report().unwrap().wal_records_replayed, 0);
+    /// std::fs::remove_dir_all(&dir).ok();
+    /// ```
     pub fn checkpoint(&mut self) -> Result<u64> {
+        let obs = self.obs.clone();
+        let _ckpt_span = obs.span(names::SPAN_CHECKPOINT);
         let Some(state) = self.durability.as_mut() else {
             return Err(StorageError::NoDurableState(
                 "checkpoint() requires a manager opened with ViewManager::open".into(),
             )
             .into());
         };
+        let wal_before = state.wal.stats();
         // Never let a checkpoint claim an LSN that is not yet durable.
         state.wal.sync()?;
         let last_lsn = state.wal.next_lsn() - 1;
@@ -309,6 +382,8 @@ impl ViewManager {
         }
 
         state.txns_since_checkpoint = 0;
+        emit_wal_delta(&obs, wal_before, state.wal.stats());
+        obs.add(names::CHECKPOINTS_WRITTEN, 1);
         Ok(seq)
     }
 
@@ -325,25 +400,34 @@ impl ViewManager {
             wal: s.wal.stats(),
             next_lsn: s.wal.next_lsn(),
             wal_len_bytes: s.wal.len_bytes(),
+            wal_file_bytes: std::fs::metadata(s.wal.path())
+                .map(|m| m.len())
+                .unwrap_or_else(|_| s.wal.len_bytes()),
             txns_since_checkpoint: s.txns_since_checkpoint,
         })
     }
 
     /// Append one DDL record and sync (the commit point for DDL).
     pub(crate) fn log_record(&mut self, record: WalRecord) -> Result<()> {
+        let obs = self.obs.clone();
         if let Some(state) = self.durability.as_mut() {
+            let before = state.wal.stats();
             state.wal.append(&record)?;
             state.wal.sync()?;
+            emit_wal_delta(&obs, before, state.wal.stats());
         }
         Ok(())
     }
 
     /// Append a transaction record and sync (the commit point for data).
     pub(crate) fn log_txn(&mut self, txn: &Transaction) -> Result<()> {
+        let obs = self.obs.clone();
         if let Some(state) = self.durability.as_mut() {
+            let before = state.wal.stats();
             state.wal.append(&WalRecord::Txn(txn.clone()))?;
             state.wal.sync()?;
             state.txns_since_checkpoint += 1;
+            emit_wal_delta(&obs, before, state.wal.stats());
         }
         Ok(())
     }

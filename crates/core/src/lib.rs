@@ -78,10 +78,15 @@ pub mod prelude {
     pub use crate::full_reval;
     pub use crate::integrity::{IntegrityMonitor, Violation};
     pub use crate::manager::{
-        MaintenanceStrategy, ManagerOptions, RefreshPolicy, SharedViewManager, ViewManager,
+        MaintenanceReport, MaintenanceStrategy, ManagerOptions, RefreshPolicy, SharedViewManager,
+        ViewManager,
     };
     pub use crate::relevance::{combination_relevant, relevance_witness, RelevanceFilter};
     pub use crate::stats::DiffStats;
     pub use crate::view::{MaterializedView, ViewDefinition};
     pub use crate::workload::Workload;
+    pub use ivm_obs::{
+        names as metric_names, InMemoryRecorder, JsonLinesRecorder, NoopRecorder, Obs, Recorder,
+        Snapshot,
+    };
 }

@@ -30,6 +30,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use ivm_obs::{names, Obs, Recorder};
 use ivm_relational::database::Database;
 use ivm_relational::delta::DeltaRelation;
 use ivm_relational::expr::{Expr, SpjExpr};
@@ -38,7 +39,7 @@ use ivm_relational::schema::Schema;
 use ivm_relational::transaction::Transaction;
 use ivm_relational::tuple::Tuple;
 
-use crate::differential::{differential_delta, DiffOptions};
+use crate::differential::{differential_delta_observed, DiffOptions};
 use crate::error::{IvmError, Result};
 use crate::relevance::{FilterStats, RelevanceFilter};
 use crate::stats::DiffStats;
@@ -91,6 +92,33 @@ pub struct MaintenanceStats {
     pub diff: DiffStats,
 }
 
+/// What one [`ViewManager::execute`] call did, so callers (tests,
+/// benches, the shell) can assert on *work counts* instead of timing.
+/// The counters cover this transaction only; the cumulative per-view
+/// history is [`ViewManager::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Views whose operand relations the transaction touched.
+    pub views_touched: usize,
+    /// Views maintained differentially (including deferred refreshes
+    /// queued — see `views_deferred`).
+    pub views_maintained: usize,
+    /// Views skipped because the §4 filter proved every tuple irrelevant.
+    pub views_skipped: usize,
+    /// Views rebuilt by full re-evaluation (strategy decision).
+    pub full_recomputes: usize,
+    /// Views whose (filtered) changes were queued for a later refresh.
+    pub views_deferred: usize,
+    /// Truth-table rows evaluated by the §5 engine across all immediate
+    /// views (equals `diff.rows_evaluated`; identical at every thread
+    /// count).
+    pub rows_evaluated: usize,
+    /// Relevance-filter work for this transaction.
+    pub filter: FilterStats,
+    /// Differential-engine work for this transaction.
+    pub diff: DiffStats,
+}
+
 /// Change listener: called with the view's delta after maintenance.
 pub type ChangeListener = Arc<dyn Fn(&str, &DeltaRelation) + Send + Sync>;
 
@@ -101,7 +129,7 @@ pub type ChangeListener = Arc<dyn Fn(&str, &DeltaRelation) + Send + Sync>;
 /// (the default), `1` forces the fully sequential paths — the
 /// deterministic oracle the thread-invariance tests compare against.
 /// Results are identical at every width; only wall-clock changes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ManagerOptions {
     /// Differential-engine options. The `threads` field below overrides
     /// `diff.threads` so there is a single source of truth.
@@ -112,6 +140,11 @@ pub struct ManagerOptions {
     pub filtering: bool,
     /// Maintenance worker threads (`0` = available cores).
     pub threads: usize,
+    /// Metrics/tracing backend. Defaults to the disabled handle: no
+    /// recorder, no clocks read, no overhead (see `docs/OBSERVABILITY.md`
+    /// and the `parallel_spj` bench guard). Attach one with
+    /// [`ManagerOptions::with_recorder`].
+    pub recorder: Obs,
 }
 
 impl Default for ManagerOptions {
@@ -121,6 +154,7 @@ impl Default for ManagerOptions {
             strategy: MaintenanceStrategy::default(),
             filtering: true,
             threads: 0,
+            recorder: Obs::disabled(),
         }
     }
 }
@@ -137,6 +171,12 @@ impl ManagerOptions {
     /// Set the worker thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Install a metrics/tracing recorder.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Obs::new(recorder);
         self
     }
 }
@@ -171,6 +211,9 @@ pub struct ViewManager {
     pub(crate) options: DiffOptions,
     pub(crate) strategy: MaintenanceStrategy,
     pub(crate) filtering_enabled: bool,
+    /// Metrics/tracing handle; the disabled handle (default) makes every
+    /// emission site a single `Option` check.
+    pub(crate) obs: Obs,
     /// Durable-state machinery (`None` for the default, purely in-memory
     /// manager). Installed by [`ViewManager::open`].
     pub(crate) durability: Option<Box<crate::durability::DurabilityState>>,
@@ -190,6 +233,7 @@ impl ViewManager {
             },
             strategy: MaintenanceStrategy::default(),
             filtering_enabled: true,
+            obs: Obs::disabled(),
             durability: None,
         }
     }
@@ -208,7 +252,21 @@ impl ViewManager {
         };
         self.strategy = opts.strategy;
         self.filtering_enabled = opts.filtering;
+        self.obs = opts.recorder;
         self
+    }
+
+    /// Install a metrics/tracing recorder (see `docs/OBSERVABILITY.md`
+    /// for the emitted metric catalog).
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.obs = Obs::new(recorder);
+        self
+    }
+
+    /// The manager's metrics handle (disabled unless a recorder was
+    /// installed).
+    pub fn observability(&self) -> &Obs {
+        &self.obs
     }
 
     /// Override only the maintenance worker thread count (`0` = available
@@ -262,7 +320,8 @@ impl ViewManager {
     ) -> Result<()> {
         let mut txn = Transaction::new();
         txn.insert_all(relation, rows)?;
-        self.execute(&txn)
+        self.execute(&txn)?;
+        Ok(())
     }
 
     /// Register and materialize a view.
@@ -386,18 +445,22 @@ impl ViewManager {
     }
 
     /// Relevance-filter a transaction for one view: returns the filtered
-    /// transaction restricted to the view's operand relations, or `None`
-    /// when nothing relevant remains. Filters are built lazily and cached.
+    /// transaction restricted to the view's operand relations (or `None`
+    /// when nothing relevant remains) plus this call's filter work.
+    /// Filters are built lazily and cached; `obs` counts constructions,
+    /// cache hits and per-tuple verdicts.
     fn filter_for_view(
         db: &Database,
         mv: &mut ManagedView,
         txn: &Transaction,
         filtering_enabled: bool,
         threads: usize,
-    ) -> Result<Option<Transaction>> {
+        obs: &Obs,
+    ) -> Result<(Option<Transaction>, FilterStats)> {
         let expr = mv.view.definition().expr().clone();
         let mut filtered = Transaction::new();
         let mut any = false;
+        let mut stats = FilterStats::default();
         for relation in txn.touched() {
             if expr.position_of(relation).is_none() {
                 continue;
@@ -414,15 +477,16 @@ impl ViewManager {
                 continue;
             }
             if !mv.filters.contains_key(relation) {
-                let f = RelevanceFilter::new(&expr, db, relation)?;
+                let f = RelevanceFilter::new_observed(&expr, db, relation, obs)?;
                 mv.filters.insert(relation.to_owned(), f);
+            } else {
+                obs.add(names::FILTER_GRAPH_CACHE_HITS, 1);
             }
             let f = &mv.filters[relation];
             let (kept_ins, ins_stats) = f.filter_with(txn.inserted(relation), threads)?;
             let (kept_del, del_stats) = f.filter_with(txn.deleted(relation), threads)?;
-            mv.stats.filter.checked += ins_stats.checked + del_stats.checked;
-            mv.stats.filter.relevant += ins_stats.relevant + del_stats.relevant;
-            mv.stats.filter.irrelevant += ins_stats.irrelevant + del_stats.irrelevant;
+            stats += ins_stats;
+            stats += del_stats;
             for t in kept_ins {
                 filtered.insert(relation, t)?;
                 any = true;
@@ -432,7 +496,13 @@ impl ViewManager {
                 any = true;
             }
         }
-        Ok(any.then_some(filtered))
+        mv.stats.filter += stats;
+        if obs.enabled() {
+            obs.add(names::FILTER_TUPLES_CHECKED, stats.checked as u64);
+            obs.add(names::FILTER_TUPLES_ADMITTED, stats.relevant as u64);
+            obs.add(names::FILTER_TUPLES_FILTERED, stats.irrelevant as u64);
+        }
+        Ok((any.then_some(filtered), stats))
     }
 
     /// Execute a transaction: validate, maintain immediate views, apply to
@@ -443,9 +513,39 @@ impl ViewManager {
     /// any in-memory state changes. A crash after the sync point replays
     /// the transaction on recovery; a crash before it loses only work that
     /// was never acknowledged.
-    pub fn execute(&mut self, txn: &Transaction) -> Result<()> {
+    ///
+    /// Returns a [`MaintenanceReport`] describing the work done for this
+    /// transaction. With a recorder installed
+    /// ([`ManagerOptions::with_recorder`]) the same numbers are also
+    /// emitted as `manager.*`, `filter.*` and `diff.*` metrics under an
+    /// `execute` span tree (`execute/log`, `execute/filter`,
+    /// `execute/differentiate`, `execute/apply`).
+    ///
+    /// ```
+    /// use ivm::prelude::*;
+    ///
+    /// let mut m = ViewManager::new();
+    /// m.create_relation("R", Schema::new(["A"]).unwrap()).unwrap();
+    /// m.register_view(
+    ///     "v",
+    ///     SpjExpr::new(["R"], Atom::lt_const("A", 10).into(), None),
+    ///     RefreshPolicy::Immediate,
+    /// )
+    /// .unwrap();
+    /// let mut txn = Transaction::new();
+    /// txn.insert("R", [1]).unwrap();
+    /// let report = m.execute(&txn).unwrap();
+    /// assert_eq!(report.views_maintained, 1);
+    /// assert!(report.rows_evaluated >= 1);
+    /// ```
+    pub fn execute(&mut self, txn: &Transaction) -> Result<MaintenanceReport> {
+        let obs = self.obs.clone();
+        let _execute_span = obs.span(names::SPAN_EXECUTE);
+        obs.add(names::MANAGER_TRANSACTIONS, 1);
+        let mut report = MaintenanceReport::default();
         self.db.validate(txn)?;
         if self.durability.is_some() && !txn.is_empty() {
+            let _log_span = obs.span(names::SPAN_LOG);
             self.log_txn(txn)?;
         }
         // Phase 1: compute deltas for immediate views against the
@@ -461,17 +561,27 @@ impl ViewManager {
                 continue;
             }
             mv.stats.transactions_seen += 1;
+            report.views_touched += 1;
             match mv.policy {
                 RefreshPolicy::Immediate => {
-                    let filtered = Self::filter_for_view(
-                        &self.db,
-                        mv,
-                        txn,
-                        self.filtering_enabled,
-                        self.options.resolved_threads(),
-                    )?;
+                    let (filtered, fstats) = {
+                        let _filter_span = obs.span(names::SPAN_FILTER);
+                        Self::filter_for_view(
+                            &self.db,
+                            mv,
+                            txn,
+                            self.filtering_enabled,
+                            self.options.resolved_threads(),
+                            &obs,
+                        )?
+                    };
+                    report.filter += fstats;
                     match filtered {
-                        None => mv.stats.skipped_by_filter += 1,
+                        None => {
+                            mv.stats.skipped_by_filter += 1;
+                            report.views_skipped += 1;
+                            obs.add(names::MANAGER_SKIPPED_BY_FILTER, 1);
+                        }
                         Some(ftxn) => {
                             let use_full = match self.strategy {
                                 MaintenanceStrategy::AlwaysDifferential => false,
@@ -491,33 +601,50 @@ impl ViewManager {
                             };
                             if use_full {
                                 mv.stats.full_recomputes += 1;
+                                report.full_recomputes += 1;
+                                obs.add(names::MANAGER_FULL_RECOMPUTES, 1);
                                 deltas.push((name.clone(), None));
                             } else {
-                                let result = differential_delta(
-                                    mv.view.definition().expr(),
-                                    &self.db,
-                                    &ftxn,
-                                    &self.options,
-                                )?;
+                                let result = {
+                                    let _diff_span = obs.span(names::SPAN_DIFFERENTIATE);
+                                    differential_delta_observed(
+                                        mv.view.definition().expr(),
+                                        &self.db,
+                                        &ftxn,
+                                        &self.options,
+                                        &obs,
+                                    )?
+                                };
                                 mv.stats.maintenance_runs += 1;
                                 mv.stats.diff += result.stats;
+                                report.views_maintained += 1;
+                                report.diff += result.stats;
+                                obs.add(names::MANAGER_MAINTENANCE_RUNS, 1);
                                 deltas.push((name.clone(), Some(result.delta)));
                             }
                         }
                     }
                 }
                 RefreshPolicy::Deferred | RefreshPolicy::OnDemand => {
-                    let filtered = Self::filter_for_view(
-                        &self.db,
-                        mv,
-                        txn,
-                        self.filtering_enabled,
-                        self.options.resolved_threads(),
-                    )?;
+                    let (filtered, fstats) = {
+                        let _filter_span = obs.span(names::SPAN_FILTER);
+                        Self::filter_for_view(
+                            &self.db,
+                            mv,
+                            txn,
+                            self.filtering_enabled,
+                            self.options.resolved_threads(),
+                            &obs,
+                        )?
+                    };
+                    report.filter += fstats;
                     let Some(ftxn) = filtered else {
                         mv.stats.skipped_by_filter += 1;
+                        report.views_skipped += 1;
+                        obs.add(names::MANAGER_SKIPPED_BY_FILTER, 1);
                         continue;
                     };
+                    report.views_deferred += 1;
                     for relation in ftxn.touched() {
                         let schema = self.db.schema(relation)?.clone();
                         let delta = ftxn.delta(relation, &schema)?;
@@ -543,10 +670,17 @@ impl ViewManager {
                 continue;
             }
             tv.stats.transactions_seen += 1;
-            let delta = crate::differential::tree_delta(tv.view.expr(), &self.db, txn)?;
+            report.views_touched += 1;
+            let delta = {
+                let _diff_span = obs.span(names::SPAN_DIFFERENTIATE);
+                crate::differential::tree_delta(tv.view.expr(), &self.db, txn)?
+            };
             tv.stats.maintenance_runs += 1;
+            report.views_maintained += 1;
+            obs.add(names::MANAGER_MAINTENANCE_RUNS, 1);
             tree_deltas.push((name.clone(), delta));
         }
+        let _apply_span = obs.span(names::SPAN_APPLY);
         // Phase 2: apply to base relations.
         self.db.apply(txn)?;
         // Phase 3: apply view deltas (or full recomputations) and notify
@@ -586,8 +720,10 @@ impl ViewManager {
                 }
             }
         }
+        drop(_apply_span); // a threshold checkpoint is not part of `apply`
         self.maybe_checkpoint()?;
-        Ok(())
+        report.rows_evaluated = report.diff.rows_evaluated;
+        Ok(report)
     }
 
     /// Refresh a deferred/on-demand view by folding in its accumulated
@@ -648,8 +784,14 @@ impl ViewManager {
                 }
             }
         }
-        let result =
-            crate::differential::differential_delta_parts(&expr, &old, &updates, &options)?;
+        let obs = self.obs.clone();
+        let result = {
+            let _diff_span = obs.span(names::SPAN_DIFFERENTIATE);
+            crate::differential::differential_delta_parts_observed(
+                &expr, &old, &updates, &options, &obs,
+            )?
+        };
+        obs.add(names::MANAGER_MAINTENANCE_RUNS, 1);
         let mv = self.managed_mut(name)?;
         mv.stats.maintenance_runs += 1;
         mv.stats.diff += result.stats;
@@ -722,7 +864,7 @@ impl SharedViewManager {
     }
 
     /// Execute a transaction under the write lock.
-    pub fn execute(&self, txn: &Transaction) -> Result<()> {
+    pub fn execute(&self, txn: &Transaction) -> Result<MaintenanceReport> {
         self.inner.write().execute(txn)
     }
 

@@ -57,6 +57,14 @@ pub struct FilterStats {
     pub irrelevant: usize,
 }
 
+impl std::ops::AddAssign for FilterStats {
+    fn add_assign(&mut self, o: FilterStats) {
+        self.checked += o.checked;
+        self.relevant += o.relevant;
+        self.irrelevant += o.irrelevant;
+    }
+}
+
 /// One disjunct's precomputed state.
 #[derive(Debug, Clone)]
 struct DisjunctFilter {
@@ -79,6 +87,30 @@ pub struct RelevanceFilter {
 }
 
 impl RelevanceFilter {
+    /// [`RelevanceFilter::new`] with metrics: counts the construction
+    /// (`filter.graphs_built`) and times it (`filter.apsp_build_micros`,
+    /// dominated by the per-disjunct Floyd–Warshall APSP pass) through
+    /// `obs`. With the disabled handle this is exactly
+    /// [`RelevanceFilter::new`] — no clock is read.
+    pub fn new_observed(
+        view: &SpjExpr,
+        db: &Database,
+        relation: &str,
+        obs: &ivm_obs::Obs,
+    ) -> Result<Self> {
+        if !obs.enabled() {
+            return Self::new(view, db, relation);
+        }
+        let started = std::time::Instant::now();
+        let filter = Self::new(view, db, relation)?;
+        obs.add(ivm_obs::names::FILTER_GRAPHS_BUILT, 1);
+        obs.observe(
+            ivm_obs::names::FILTER_APSP_BUILD_MICROS,
+            started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+        );
+        Ok(filter)
+    }
+
     /// Prepare a filter for updates to `relation` against `view`
     /// (Algorithm 4.1 steps 1–3).
     pub fn new(view: &SpjExpr, db: &Database, relation: &str) -> Result<Self> {

@@ -1,0 +1,363 @@
+//! The [`Recorder`] trait and its three implementations: no-op,
+//! in-memory (for tests and the shell) and JSON-lines file sink.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// One closed tracing span: where it sat in the span tree and how long it
+/// ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Leaf name of the span (e.g. `differentiate`).
+    pub name: &'static str,
+    /// `/`-joined path from the root span (e.g. `execute/differentiate`).
+    pub path: String,
+    /// Wall time between entry and exit, in nanoseconds.
+    pub nanos: u64,
+}
+
+/// A metrics/tracing backend. Implementations must be cheap and
+/// thread-safe: counters are bumped from pool workers concurrently.
+///
+/// All hooks receive `&self`; interior mutability is the implementor's
+/// business. Names come from the [`crate::names`] catalog.
+pub trait Recorder: Send + Sync {
+    /// Add `delta` to the named monotonic counter.
+    fn add_counter(&self, name: &'static str, delta: u64);
+    /// Record one observation of the named histogram.
+    fn observe(&self, name: &'static str, value: u64);
+    /// A span closed; `event.path` reflects its nesting at close time.
+    fn record_span(&self, event: &SpanEvent);
+}
+
+/// The do-nothing backend: every hook is an empty inline-able body.
+/// [`crate::Obs::disabled`] avoids even the virtual call, so this type
+/// mostly exists so call sites that *require* some recorder have one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn add_counter(&self, _name: &'static str, _delta: u64) {}
+    fn observe(&self, _name: &'static str, _value: u64) {}
+    fn record_span(&self, _event: &SpanEvent) {}
+}
+
+/// Summary of one histogram's observations (no per-sample storage, so
+/// memory stays bounded no matter how hot the instrumented loop is).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when `count == 0`).
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean observed value (0 when there are no observations).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Aggregate of all closed spans sharing one path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// Spans closed at this path.
+    pub count: u64,
+    /// Total wall nanoseconds across them.
+    pub total_nanos: u64,
+}
+
+/// A point-in-time copy of everything an [`InMemoryRecorder`] has seen.
+/// `BTreeMap`s so iteration (and the [`fmt::Display`] rendering the shell
+/// prints) is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Span aggregates by `/`-joined path.
+    pub spans: BTreeMap<String, SpanSummary>,
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.counters.is_empty() && self.histograms.is_empty() && self.spans.is_empty() {
+            return writeln!(f, "(no metrics recorded)");
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (name, value) in &self.counters {
+                writeln!(f, "  {name:<28} {value}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(f, "histograms:")?;
+            for (name, h) in &self.histograms {
+                writeln!(
+                    f,
+                    "  {name:<28} n={} sum={} min={} mean={} max={}",
+                    h.count,
+                    h.sum,
+                    h.min,
+                    h.mean(),
+                    h.max
+                )?;
+            }
+        }
+        if !self.spans.is_empty() {
+            writeln!(f, "spans:")?;
+            for (path, s) in &self.spans {
+                let mean = s.total_nanos.checked_div(s.count).unwrap_or(0);
+                writeln!(
+                    f,
+                    "  {path:<28} n={} total={}µs mean={}µs",
+                    s.count,
+                    s.total_nanos / 1_000,
+                    mean / 1_000
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Thread-safe in-memory backend for tests and the interactive shell.
+///
+/// Counters are `AtomicU64`s behind an `RwLock`ed map: the common case
+/// (the counter already exists) is a read lock plus a relaxed
+/// `fetch_add`, so concurrent pool workers never serialize on a mutex for
+/// the hot counters. Histograms and spans take a `Mutex` — they are
+/// emitted at chunk/phase granularity, not per tuple.
+#[derive(Debug, Default)]
+pub struct InMemoryRecorder {
+    counters: RwLock<HashMap<&'static str, AtomicU64>>,
+    histograms: Mutex<HashMap<&'static str, HistogramSummary>>,
+    spans: Mutex<BTreeMap<String, SpanSummary>>,
+}
+
+impl InMemoryRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of a counter (0 if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .expect("counter map poisoned")
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Summary of a histogram (default/empty if never observed).
+    pub fn histogram(&self, name: &str) -> HistogramSummary {
+        self.histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .get(name)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Aggregate of all spans closed at `path`.
+    pub fn span(&self, path: &str) -> SpanSummary {
+        self.spans
+            .lock()
+            .expect("span map poisoned")
+            .get(path)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Copy out everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), v.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), *v))
+            .collect();
+        let spans = self.spans.lock().expect("span map poisoned").clone();
+        Snapshot {
+            counters,
+            histograms,
+            spans,
+        }
+    }
+
+    /// Drop everything recorded so far.
+    pub fn reset(&self) {
+        self.counters.write().expect("counter map poisoned").clear();
+        self.histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .clear();
+        self.spans.lock().expect("span map poisoned").clear();
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn add_counter(&self, name: &'static str, delta: u64) {
+        {
+            let map = self.counters.read().expect("counter map poisoned");
+            if let Some(c) = map.get(name) {
+                c.fetch_add(delta, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.counters
+            .write()
+            .expect("counter map poisoned")
+            .entry(name)
+            .or_insert_with(|| AtomicU64::new(0))
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        self.histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .entry(name)
+            .or_default()
+            .record(value);
+    }
+
+    fn record_span(&self, event: &SpanEvent) {
+        let mut spans = self.spans.lock().expect("span map poisoned");
+        let s = spans.entry(event.path.clone()).or_default();
+        s.count += 1;
+        s.total_nanos += event.nanos;
+    }
+}
+
+/// Append every metric event as one JSON object per line to a file —
+/// greppable, `jq`-able, and written with hand-rolled serialization so
+/// the crate stays dependency-free.
+///
+/// Line shapes:
+///
+/// ```json
+/// {"type":"counter","name":"diff.rows_evaluated","delta":3}
+/// {"type":"histogram","name":"pool.chunk_micros","value":120}
+/// {"type":"span","path":"execute/differentiate","nanos":41000}
+/// ```
+#[derive(Debug)]
+pub struct JsonLinesRecorder {
+    writer: Mutex<BufWriter<File>>,
+}
+
+/// Escape a string for inclusion in a JSON string literal. Metric names
+/// are plain ASCII identifiers, but span paths are built at runtime, so
+/// escape defensively.
+fn escape_json(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn escape_for_test(s: &str, out: &mut String) {
+    escape_json(s, out);
+}
+
+impl JsonLinesRecorder {
+    /// Create (truncating) the sink file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonLinesRecorder {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    fn write_line(&self, line: &str) {
+        let mut w = self.writer.lock().expect("json sink poisoned");
+        // Metrics are best-effort: a full disk must not abort maintenance.
+        let _ = writeln!(w, "{line}");
+    }
+
+    /// Flush buffered lines to the file.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.writer.lock().expect("json sink poisoned").flush()
+    }
+}
+
+impl Drop for JsonLinesRecorder {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+impl Recorder for JsonLinesRecorder {
+    fn add_counter(&self, name: &'static str, delta: u64) {
+        let mut line = String::with_capacity(64);
+        line.push_str("{\"type\":\"counter\",\"name\":\"");
+        escape_json(name, &mut line);
+        line.push_str("\",\"delta\":");
+        line.push_str(&delta.to_string());
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        let mut line = String::with_capacity(64);
+        line.push_str("{\"type\":\"histogram\",\"name\":\"");
+        escape_json(name, &mut line);
+        line.push_str("\",\"value\":");
+        line.push_str(&value.to_string());
+        line.push('}');
+        self.write_line(&line);
+    }
+
+    fn record_span(&self, event: &SpanEvent) {
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"type\":\"span\",\"path\":\"");
+        escape_json(&event.path, &mut line);
+        line.push_str("\",\"nanos\":");
+        line.push_str(&event.nanos.to_string());
+        line.push('}');
+        self.write_line(&line);
+    }
+}

@@ -22,11 +22,32 @@
 //!   worker hit an error first on the wall clock.
 //! * **Panic transparent.** A panicking worker re-raises its payload on
 //!   the calling thread via [`std::panic::resume_unwind`].
+//! * **Observable on request.** [`Pool::map_chunks_observed`] times each
+//!   worker's chunk and its spawn latency through an [`ivm_obs::Obs`]
+//!   handle (`pool.chunk_micros`, `pool.queue_wait_micros`,
+//!   `pool.chunks` — see `docs/OBSERVABILITY.md`). With the no-op
+//!   handle it degenerates to [`Pool::map_chunks`]: one branch, no
+//!   clocks read, so the fan-out hot path costs nothing extra when
+//!   nobody is watching.
+//!
+//! # Fan-out example
+//!
+//! ```
+//! use ivm_parallel::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let items: Vec<i64> = (0..100).collect();
+//! let squares = pool.map(&items, |x| x * x);
+//! assert_eq!(squares[7], 49); // input order, every width
+//! ```
 
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
 use std::ops::Range;
+use std::time::Instant;
+
+use ivm_obs::{names, Obs};
 
 /// Number of hardware threads, with a conservative fallback of 1 when the
 /// platform cannot say.
@@ -124,6 +145,42 @@ impl Pool {
                     Err(payload) => std::panic::resume_unwind(payload),
                 })
                 .collect()
+        })
+    }
+
+    /// [`Pool::map_chunks`] with per-chunk instrumentation: when `obs`
+    /// has a recorder installed, each chunk reports its spawn latency
+    /// (`pool.queue_wait_micros` — wall time between fan-out start and
+    /// the chunk body beginning to run) and its body duration
+    /// (`pool.chunk_micros`), plus a `pool.chunks` count. With the
+    /// disabled handle this is exactly [`Pool::map_chunks`] — the
+    /// `enabled` branch is taken once per call, not per chunk.
+    ///
+    /// Timings are observational only: chunk boundaries, work order and
+    /// results are bit-identical with and without a recorder.
+    pub fn map_chunks_observed<R, F>(&self, n: usize, f: F, obs: &Obs) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        if !obs.enabled() {
+            return self.map_chunks(n, f);
+        }
+        let dispatched = Instant::now();
+        self.map_chunks(n, |range| {
+            let started = Instant::now();
+            let wait = started.duration_since(dispatched);
+            let out = f(range);
+            obs.add(names::POOL_CHUNKS, 1);
+            obs.observe(
+                names::POOL_QUEUE_WAIT_MICROS,
+                wait.as_micros().min(u64::MAX as u128) as u64,
+            );
+            obs.observe(
+                names::POOL_CHUNK_MICROS,
+                started.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            );
+            out
         })
     }
 
@@ -265,6 +322,24 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn map_chunks_observed_matches_plain_and_reports_timings() {
+        use std::sync::Arc;
+        let pool = Pool::new(3);
+        let plain = pool.map_chunks(10, |r| r.len());
+        let disabled = pool.map_chunks_observed(10, |r| r.len(), &ivm_obs::Obs::disabled());
+        assert_eq!(plain, disabled);
+        let rec = Arc::new(ivm_obs::InMemoryRecorder::new());
+        let obs = ivm_obs::Obs::new(rec.clone());
+        let observed = pool.map_chunks_observed(10, |r| r.len(), &obs);
+        assert_eq!(plain, observed);
+        assert_eq!(rec.counter(ivm_obs::names::POOL_CHUNKS), 3);
+        let chunk = rec.histogram(ivm_obs::names::POOL_CHUNK_MICROS);
+        let wait = rec.histogram(ivm_obs::names::POOL_QUEUE_WAIT_MICROS);
+        assert_eq!(chunk.count, 3);
+        assert_eq!(wait.count, 3);
     }
 
     #[test]

@@ -183,6 +183,26 @@ impl TaggedRelation {
         v
     }
 
+    /// Tag-algebra outcome tally: distinct entries carrying each tag, as
+    /// `(inserts, deletes, olds)`. The `old` component counts context
+    /// tuples that survived the joins but cancel out of the final delta
+    /// (`Tag::sign() == 0`) — the observability layer reports it as
+    /// `diff.tag_olds` so the cost of carrying context through §5.3 rows
+    /// is visible.
+    pub fn tag_counts(&self) -> (u64, u64, u64) {
+        let mut inserts = 0;
+        let mut deletes = 0;
+        let mut olds = 0;
+        for (_, tag, _) in self.iter() {
+            match tag {
+                Tag::Insert => inserts += 1,
+                Tag::Delete => deletes += 1,
+                Tag::Old => olds += 1,
+            }
+        }
+        (inserts, deletes, olds)
+    }
+
     /// Collapse to a signed delta: `Insert → +count`, `Delete → −count`,
     /// `Old → 0`. This is the view transaction of Algorithm 5.1 step 3
     /// ("insert all tuples tagged insert, delete all tuples tagged delete").

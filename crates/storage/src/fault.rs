@@ -5,7 +5,7 @@
 //! the middle (bit rot, bad sector), or a zeroed range (a block that never
 //! made it out of the drive cache). Recovery tests drive them at arbitrary
 //! offsets and assert that the storage layer answers with typed
-//! [`StorageError`](crate::StorageError)s — never a panic.
+//! [`StorageError`]s — never a panic.
 
 use std::fs::OpenOptions;
 use std::io::{Read, Seek, SeekFrom, Write};

@@ -25,6 +25,36 @@
 //!
 //! Every failure mode of the on-disk formats is a typed [`StorageError`];
 //! reading corrupt bytes never panics.
+//!
+//! # Log discipline and cost accounting
+//!
+//! The WAL follows *log before apply*: the maintenance layer appends and
+//! syncs a record describing an operation before mutating in-memory
+//! state, so the sync is the commit point. Every handle keeps
+//! [`WalStats`] — records/bytes appended, sync points, compaction passes
+//! and bytes reclaimed — which the `ivm` crate re-emits through its
+//! observability layer as the `wal.*` counters documented in
+//! `docs/OBSERVABILITY.md`. Note the stats are cumulative per handle;
+//! the *live* file size after compaction comes from [`Wal::len_bytes`].
+//!
+//! # Example: a WAL round trip
+//!
+//! ```
+//! use ivm_storage::{Wal, WalRecord};
+//! use ivm_relational::prelude::*;
+//!
+//! let dir = ivm_storage::temp::scratch_dir("wal-doc");
+//! let path = dir.join("wal.log");
+//! let mut wal = Wal::create(&path, 1).unwrap();
+//! let mut txn = Transaction::new();
+//! txn.insert("R", [1, 2]).unwrap();
+//! wal.append(&WalRecord::Txn(txn)).unwrap();
+//! wal.sync().unwrap(); // commit point
+//!
+//! let scan = Wal::scan(&path).unwrap();
+//! assert_eq!(scan.records.len(), 1);
+//! assert!(scan.truncated_by.is_none());
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

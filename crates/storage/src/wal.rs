@@ -148,7 +148,13 @@ impl WalRecord {
 }
 
 /// Running counters for one open WAL handle, surfaced by the shell's
-/// `\wal-stats` command and the benches.
+/// `\wal-stats` command, the observability layer and the benches.
+///
+/// These are *cumulative for the handle's lifetime*: compaction rewrites
+/// the file smaller but does not roll any of them back. The live file
+/// size is a property of the file, not the handle — use
+/// [`Wal::len_bytes`] (or `fs::metadata`) for that, and
+/// [`WalStats::bytes_reclaimed`] for how much compaction has saved.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct WalStats {
     /// Records appended through this handle.
@@ -157,6 +163,11 @@ pub struct WalStats {
     pub bytes_appended: u64,
     /// Explicit sync points issued.
     pub syncs: u64,
+    /// Compaction passes that actually rewrote the log (no-op passes with
+    /// nothing to drop are not counted).
+    pub compactions: u64,
+    /// Total bytes removed from the log file by compaction.
+    pub bytes_reclaimed: u64,
 }
 
 /// The outcome of scanning a WAL file from the start.
@@ -355,6 +366,8 @@ impl Wal {
         file.seek(SeekFrom::Start(new_len))
             .map_err(|e| StorageError::io("seek compacted wal to end", e))?;
         self.file = BufWriter::new(file);
+        self.stats.compactions += 1;
+        self.stats.bytes_reclaimed += self.end_offset.saturating_sub(new_len);
         self.end_offset = new_len;
         Ok(new_len)
     }

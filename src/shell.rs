@@ -9,7 +9,8 @@
 //! begin / insert <rel> (<tuple>) / delete <rel> (<tuple>) / commit
 //! insert|delete outside begin..commit run as single-op transactions
 //! show <rel-or-view>                         print contents
-//! stats <view>                               maintenance statistics
+//! stats <view>                               per-view maintenance statistics
+//! stats                                      session-wide metrics snapshot
 //! refresh <view>                             fold pending changes in
 //! check <rel> (<tuple>) against <view>       Theorem 4.1 relevance verdict
 //! verify                                     compare views vs full re-eval
@@ -20,6 +21,13 @@
 //! ```
 //!
 //! Every command also accepts a psql-style `\` prefix (`\checkpoint`).
+//!
+//! The shell keeps an [`InMemoryRecorder`] attached to its manager, so
+//! `\stats` (no argument) prints the full metric snapshot — every
+//! `filter.*`, `diff.*`, `manager.*`, `pool.*` and `wal.*` counter plus
+//! the `execute/...` span tree documented in `docs/OBSERVABILITY.md`.
+
+use std::sync::Arc;
 
 use ivm::prelude::*;
 use ivm_relational::parser::{parse_condition, parse_schema, parse_tuple};
@@ -28,6 +36,8 @@ use ivm_relational::parser::{parse_condition, parse_schema, parse_tuple};
 /// transaction.
 pub struct Shell {
     manager: ViewManager,
+    /// Session-wide metrics backend; `\stats` prints its snapshot.
+    recorder: Arc<InMemoryRecorder>,
     pending: Option<Transaction>,
 }
 
@@ -40,8 +50,10 @@ impl Default for Shell {
 impl Shell {
     /// A fresh session over an empty database.
     pub fn new() -> Self {
+        let recorder = Arc::new(InMemoryRecorder::new());
         Shell {
-            manager: ViewManager::new(),
+            manager: ViewManager::new().with_recorder(recorder.clone()),
+            recorder,
             pending: None,
         }
     }
@@ -49,6 +61,11 @@ impl Shell {
     /// Access the underlying manager (e.g. for inspection in tests).
     pub fn manager(&self) -> &ViewManager {
         &self.manager
+    }
+
+    /// The session metrics recorder behind `\stats`.
+    pub fn recorder(&self) -> &Arc<InMemoryRecorder> {
+        &self.recorder
     }
 
     /// Interpret one command line, returning the text to print.
@@ -84,7 +101,13 @@ impl Shell {
                 }
             },
             "show" => self.cmd_show(rest),
-            "stats" => self.cmd_stats(rest),
+            "stats" => {
+                if rest.is_empty() {
+                    Ok(self.recorder.snapshot().to_string())
+                } else {
+                    self.cmd_stats(rest)
+                }
+            }
             "refresh" => {
                 self.manager.refresh(rest)?;
                 Ok(format!("view {rest} refreshed"))
@@ -264,7 +287,7 @@ impl Shell {
         if self.pending.is_some() {
             return Err(parse_err("commit or discard the open transaction first"));
         }
-        self.manager = ViewManager::open(rest)?;
+        self.manager = ViewManager::open(rest)?.with_recorder(self.recorder.clone());
         let report = self.manager.recovery_report().cloned().unwrap_or_default();
         let mut out = format!("opened {rest}");
         match report.checkpoint_seq {
@@ -294,15 +317,23 @@ impl Shell {
         let Some(status) = self.manager.durability_status() else {
             return Ok("in-memory session — no WAL (use `open <dir>`)".into());
         };
+        // The headline size is re-read from the live file: cumulative
+        // append counters keep growing across checkpoints, while
+        // compaction shrinks the file, so the two diverge the moment a
+        // checkpoint truncates the log.
         Ok(format!(
-            "dir {}\nwal: {} record(s) appended, {} byte(s), {} sync(s)\n\
-             next lsn {}, file {} byte(s), {} txn(s) since last checkpoint",
+            "dir {}\nwal file: {} byte(s), next lsn {}\n\
+             appended since open: {} record(s), {} byte(s), {} sync(s)\n\
+             compaction: {} pass(es), {} byte(s) reclaimed\n\
+             {} txn(s) since last checkpoint",
             status.dir.display(),
+            status.wal_file_bytes,
+            status.next_lsn,
             status.wal.records_appended,
             status.wal.bytes_appended,
             status.wal.syncs,
-            status.next_lsn,
-            status.wal_len_bytes,
+            status.wal.compactions,
+            status.wal.bytes_reclaimed,
             status.txns_since_checkpoint,
         ))
     }
@@ -448,7 +479,8 @@ create <rel> (<attrs>)                        create a base relation
 load <rel> (<tuple>) [(<tuple>)...]           bulk-load rows
 view <name> [deferred|ondemand] = from <rels> [where <cond>] [project <attrs>]
 begin / insert <rel> (<t>) / delete <rel> (<t>) / commit
-show <rel-or-view> | stats <view> | refresh <view>
+show <rel-or-view> | stats [<view>] | refresh <view>
+stats without a view prints the session-wide metrics snapshot
 check <rel> (<tuple>) against <view>          Theorem 4.1 relevance verdict
 dump | save <file> | source <file>            persist / replay a session
 open <dir>                                    switch to a durable (WAL-backed) session
@@ -616,6 +648,62 @@ mod tests {
         let out = fresh.dispatch(&format!("open {dir_str}")).unwrap();
         assert!(out.contains("checkpoint 1"), "{out}");
         assert!(fresh.dispatch("show R").unwrap().contains("(3, 30)"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_without_view_prints_metrics_snapshot() {
+        let mut s = seeded();
+        s.dispatch("view v = from R, S where A < 10").unwrap();
+        s.dispatch("insert R (3, 10)").unwrap(); // relevant: engine runs
+        s.dispatch("insert R (50, 10)").unwrap(); // irrelevant: filtered
+        let out = s.dispatch("\\stats").unwrap();
+        assert!(out.contains("manager.transactions"), "{out}");
+        assert!(out.contains("diff.rows_evaluated"), "{out}");
+        assert!(out.contains("filter.tuples_filtered"), "{out}");
+        assert!(out.contains("execute"), "{out}");
+    }
+
+    #[test]
+    fn wal_stats_reports_live_file_size_after_compaction() {
+        let dir = ivm_storage::temp::scratch_dir("shell-wal-stats");
+        let dir_str = dir.to_str().unwrap().to_string();
+
+        let mut s = Shell::new();
+        s.dispatch(&format!("open {dir_str}")).unwrap();
+        run(&mut s, &["create R (A, B)", "load R (1,10) (2,20)"]);
+        for i in 0..10 {
+            s.dispatch(&format!("insert R ({}, {})", 100 + i, i))
+                .unwrap();
+        }
+        // Two checkpoints: the second prunes to the retained pair and
+        // compacts the WAL behind the older image, shrinking the file.
+        s.dispatch("checkpoint").unwrap();
+        for i in 0..5 {
+            s.dispatch(&format!("insert R ({}, {})", 200 + i, i))
+                .unwrap();
+        }
+        s.dispatch("checkpoint").unwrap();
+
+        let status = s.manager().durability_status().unwrap();
+        assert!(status.wal.compactions >= 1, "compaction must have run");
+        let on_disk = std::fs::metadata(dir.join(ivm_storage::WAL_FILE))
+            .unwrap()
+            .len();
+        assert_eq!(status.wal_file_bytes, on_disk);
+        assert!(
+            status.wal.bytes_appended > on_disk,
+            "cumulative appends ({}) must exceed the compacted live file ({on_disk})",
+            status.wal.bytes_appended,
+        );
+
+        // The report's headline is the live size, not the cumulative count.
+        let out = s.dispatch("\\wal-stats").unwrap();
+        assert!(
+            out.contains(&format!("wal file: {on_disk} byte(s)")),
+            "{out}"
+        );
+        assert!(out.contains("reclaimed"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

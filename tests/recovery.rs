@@ -77,7 +77,7 @@ fn apply_step(mgr: &mut ViewManager, step: Step) {
     // A delete of an absent tuple fails validation before anything is
     // logged or applied — a no-op on durable and in-memory managers alike.
     match mgr.execute(&txn) {
-        Ok(()) => {}
+        Ok(_) => {}
         Err(IvmError::Relational(_)) => {}
         Err(e) => panic!("unexpected execute error: {e}"),
     }
