@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Compare a PR bench run against the committed baseline; WARN on slowdowns.
+#
+#   ./ci/check_bench_regression.sh [BASELINE.json] [PR.json]
+#
+# Policy: warn-only. Shared-runner timings are too noisy to hard-fail a
+# PR; a slowdown past the threshold (default 15%, override with
+# BENCH_REGRESSION_PCT) prints a GitHub warning annotation and a table,
+# and the job still exits 0. Hard failures are reserved for broken input
+# (missing files, zero parsed benchmarks).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-BENCH_baseline.json}"
+PR="${2:-BENCH_pr.json}"
+THRESHOLD="${BENCH_REGRESSION_PCT:-15}"
+
+for f in "$BASELINE" "$PR"; do
+    if [ ! -f "$f" ]; then
+        echo "check_bench_regression: missing $f" >&2
+        exit 1
+    fi
+done
+
+awk -v threshold="$THRESHOLD" -v base_file="$BASELINE" -v pr_file="$PR" '
+BEGIN { n = 0; file = 0 }
+# Both files are the flat format bench_to_json.sh emits:
+#   "group/id/param": 1234.5,
+FNR == 1 { file++ }
+/"measurement_ms"/ { next }
+match($0, /"[^"]+": [0-9.]+/) {
+    entry = substr($0, RSTART + 1, RLENGTH - 1)
+    q = index(entry, "\"")
+    name = substr(entry, 1, q - 1)
+    value = substr(entry, q + 2) + 0
+    if (file == 1) {
+        base[name] = value
+    } else {
+        pr[name] = value
+        order[n++] = name
+    }
+}
+END {
+    if (n == 0) {
+        print "check_bench_regression: zero benchmarks in " pr_file > "/dev/stderr"
+        exit 1
+    }
+    regressions = 0
+    printf "%-55s %12s %12s %8s\n", "benchmark", "baseline_ns", "pr_ns", "delta"
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        if (!(name in base)) {
+            printf "%-55s %12s %12.1f %8s\n", name, "(new)", pr[name], "-"
+            continue
+        }
+        delta = (pr[name] - base[name]) / base[name] * 100
+        flag = ""
+        if (delta > threshold) {
+            flag = "  <-- SLOWER"
+            regressions++
+            printf "::warning title=bench regression::%s is %.1f%% slower than baseline (%.1f ns -> %.1f ns)\n", \
+                name, delta, base[name], pr[name]
+        }
+        printf "%-55s %12.1f %12.1f %+7.1f%%%s\n", name, base[name], pr[name], delta, flag
+    }
+    for (name in base)
+        if (!(name in pr))
+            printf "%-55s %12.1f %12s %8s\n", name, base[name], "(gone)", "-"
+    if (regressions > 0)
+        printf "\n%d benchmark(s) regressed past %s%% (warn-only; not failing the job)\n", regressions, threshold
+    else
+        printf "\nno regression past %s%%\n", threshold
+}' "$BASELINE" "$PR"

@@ -84,6 +84,14 @@ pub(crate) struct DurabilityState {
     report: RecoveryReport,
 }
 
+impl DurabilityState {
+    /// Path of the live WAL file (the corruption target for injected
+    /// torn-write/bit-flip faults).
+    pub(crate) fn wal_path(&self) -> &Path {
+        self.wal.path()
+    }
+}
+
 /// A point-in-time snapshot of WAL/checkpoint counters, surfaced by the
 /// shell's `\wal-stats`.
 #[derive(Debug, Clone)]
@@ -321,6 +329,11 @@ impl ViewManager {
             )
             .into());
         };
+        crate::manager::fire_failpoint(
+            &self.failpoints,
+            ivm_storage::fault::FP_CHECKPOINT_BEFORE,
+            Some(state.wal.path()),
+        )?;
         let wal_before = state.wal.stats();
         // Never let a checkpoint claim an LSN that is not yet durable.
         state.wal.sync()?;
@@ -361,6 +374,15 @@ impl ViewManager {
             .map(|newest| newest + 1)
             .unwrap_or(1);
         checkpoint::write_checkpoint(&state.dir, seq, &data)?;
+        // The image is on disk but old checkpoints are not yet pruned and
+        // the WAL is not yet compacted. A crash here must leave recovery
+        // free to pick either the new image or an older one — both replay
+        // to the same state.
+        crate::manager::fire_failpoint(
+            &self.failpoints,
+            ivm_storage::fault::FP_CHECKPOINT_MID,
+            Some(state.wal.path()),
+        )?;
         checkpoint::prune_checkpoints(&state.dir, 2)?;
 
         // Compact the WAL behind the retained checkpoints. Recovery falls

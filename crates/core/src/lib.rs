@@ -89,4 +89,9 @@ pub mod prelude {
         names as metric_names, InMemoryRecorder, JsonLinesRecorder, NoopRecorder, Obs, Recorder,
         Snapshot,
     };
+    pub use ivm_storage::fault::{
+        FP_APPLY_MID, FP_CHECKPOINT_BEFORE, FP_CHECKPOINT_MID, FP_WAL_AFTER_APPEND,
+        FP_WAL_BEFORE_APPEND,
+    };
+    pub use ivm_storage::{CorruptSpec, FailpointAction, FailpointPlan, FaultPos};
 }

@@ -217,6 +217,33 @@ pub struct ViewManager {
     /// Durable-state machinery (`None` for the default, purely in-memory
     /// manager). Installed by [`ViewManager::open`].
     pub(crate) durability: Option<Box<crate::durability::DurabilityState>>,
+    /// Fault-injection plan evaluated at the commit-critical points of
+    /// [`ViewManager::execute`] and [`ViewManager::checkpoint`] (`None` —
+    /// the default — skips every check). Installed by tests and the
+    /// deterministic simulator via [`ViewManager::set_failpoints`].
+    pub(crate) failpoints: Option<Arc<ivm_storage::FailpointPlan>>,
+}
+
+/// Evaluate one named failpoint against an optional plan. On trigger, any
+/// file-corruption action is applied to the WAL (when one exists) and an
+/// [`ivm_storage::StorageError::Injected`] error is returned: the caller
+/// aborts mid-operation exactly as if the process had died there, and the
+/// manager must be discarded and re-opened. A free function (not a
+/// method) so call sites inside `checkpoint()` can evaluate it while the
+/// durability state is mutably borrowed.
+pub(crate) fn fire_failpoint(
+    plan: &Option<Arc<ivm_storage::FailpointPlan>>,
+    name: &'static str,
+    wal_path: Option<&std::path::Path>,
+) -> Result<()> {
+    let Some(plan) = plan else { return Ok(()) };
+    let Some(action) = plan.hit(name) else {
+        return Ok(());
+    };
+    if let (ivm_storage::FailpointAction::CorruptAndCrash(spec), Some(path)) = (action, wal_path) {
+        ivm_storage::fault::corrupt(path, spec)?;
+    }
+    Err(ivm_storage::StorageError::Injected(name.to_owned()).into())
 }
 
 impl ViewManager {
@@ -235,6 +262,7 @@ impl ViewManager {
             filtering_enabled: true,
             obs: Obs::disabled(),
             durability: None,
+            failpoints: None,
         }
     }
 
@@ -267,6 +295,21 @@ impl ViewManager {
     /// installed).
     pub fn observability(&self) -> &Obs {
         &self.obs
+    }
+
+    /// Install a fault-injection plan (see [`ivm_storage::FailpointPlan`]).
+    /// When an armed failpoint triggers during [`ViewManager::execute`] or
+    /// [`ViewManager::checkpoint`], the call returns
+    /// [`ivm_storage::StorageError::Injected`] and this manager must be
+    /// treated as crashed: discard it and re-open the storage directory.
+    pub fn set_failpoints(&mut self, plan: Arc<ivm_storage::FailpointPlan>) {
+        self.failpoints = Some(plan);
+    }
+
+    /// Builder form of [`ViewManager::set_failpoints`].
+    pub fn with_failpoints(mut self, plan: Arc<ivm_storage::FailpointPlan>) -> Self {
+        self.failpoints = Some(plan);
+        self
     }
 
     /// Override only the maintenance worker thread count (`0` = available
@@ -546,7 +589,20 @@ impl ViewManager {
         self.db.validate(txn)?;
         if self.durability.is_some() && !txn.is_empty() {
             let _log_span = obs.span(names::SPAN_LOG);
+            let wal_path = self.durability.as_deref().map(|s| s.wal_path().to_owned());
+            fire_failpoint(
+                &self.failpoints,
+                ivm_storage::fault::FP_WAL_BEFORE_APPEND,
+                wal_path.as_deref(),
+            )?;
             self.log_txn(txn)?;
+            // The record is synced: this is the commit point. A crash here
+            // loses no acknowledged work — recovery replays the record.
+            fire_failpoint(
+                &self.failpoints,
+                ivm_storage::fault::FP_WAL_AFTER_APPEND,
+                wal_path.as_deref(),
+            )?;
         }
         // Phase 1: compute deltas for immediate views against the
         // pre-transaction state. `None` marks a view scheduled for full
@@ -683,6 +739,15 @@ impl ViewManager {
         let _apply_span = obs.span(names::SPAN_APPLY);
         // Phase 2: apply to base relations.
         self.db.apply(txn)?;
+        // Base relations updated, view deltas not yet applied: the most
+        // inconsistent instant of the whole operation. A crash here must
+        // recover to a fully consistent post-transaction state (the WAL
+        // record is already durable).
+        fire_failpoint(
+            &self.failpoints,
+            ivm_storage::fault::FP_APPLY_MID,
+            self.durability.as_deref().map(|s| s.wal_path()),
+        )?;
         // Phase 3: apply view deltas (or full recomputations) and notify
         // listeners.
         for (name, delta) in deltas {
@@ -938,6 +1003,110 @@ mod tests {
         assert_eq!(s.maintenance_runs, 0);
         assert_eq!(s.filter.irrelevant, 1);
         m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn failpoint_crash_before_append_loses_transaction() {
+        let dir = ivm_storage::temp::scratch_dir("fp-before-append");
+        let plan = Arc::new(ivm_storage::FailpointPlan::new());
+        {
+            let mut m = ViewManager::open(&dir).unwrap();
+            m.create_relation("R", Schema::new(["A"]).unwrap()).unwrap();
+            m.set_failpoints(Arc::clone(&plan));
+            plan.arm(
+                ivm_storage::fault::FP_WAL_BEFORE_APPEND,
+                0,
+                ivm_storage::FailpointAction::Crash,
+            );
+            let mut txn = Transaction::new();
+            txn.insert("R", [1]).unwrap();
+            let err = m.execute(&txn).unwrap_err();
+            match err {
+                crate::error::IvmError::Storage(e) => assert!(e.is_injected()),
+                other => panic!("expected injected crash, got {other}"),
+            }
+        }
+        assert!(plan.fired(ivm_storage::fault::FP_WAL_BEFORE_APPEND));
+        // The crash hit before the WAL append: the transaction was never
+        // acknowledged, so recovery must not resurrect it.
+        let m = ViewManager::open(&dir).unwrap();
+        assert_eq!(m.database().relation("R").unwrap().len(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failpoint_crash_mid_apply_recovers_transaction() {
+        let dir = ivm_storage::temp::scratch_dir("fp-mid-apply");
+        let plan = Arc::new(ivm_storage::FailpointPlan::new());
+        {
+            let mut m = ViewManager::open(&dir).unwrap();
+            m.create_relation("R", Schema::new(["A", "B"]).unwrap())
+                .unwrap();
+            m.create_relation("S", Schema::new(["B", "C"]).unwrap())
+                .unwrap();
+            m.register_view("v", view_expr(), RefreshPolicy::Immediate)
+                .unwrap();
+            m.set_failpoints(Arc::clone(&plan));
+            plan.arm(
+                ivm_storage::fault::FP_APPLY_MID,
+                0,
+                ivm_storage::FailpointAction::Crash,
+            );
+            let mut txn = Transaction::new();
+            txn.insert("R", [1, 10]).unwrap();
+            txn.insert("S", [10, 100]).unwrap();
+            let err = m.execute(&txn).unwrap_err();
+            assert!(matches!(
+                err,
+                crate::error::IvmError::Storage(ref e) if e.is_injected()
+            ));
+        }
+        // The crash hit after the WAL sync (the commit point): recovery
+        // replays the record and the view catches up differentially.
+        let m = ViewManager::open(&dir).unwrap();
+        assert!(m
+            .database()
+            .relation("R")
+            .unwrap()
+            .contains(&Tuple::from([1, 10])));
+        let v = m.view_contents("v").unwrap();
+        assert!(v.contains(&Tuple::from([1, 100])));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failpoint_torn_write_after_append_loses_only_last_txn() {
+        let dir = ivm_storage::temp::scratch_dir("fp-torn-append");
+        let plan = Arc::new(ivm_storage::FailpointPlan::new());
+        {
+            let mut m = ViewManager::open(&dir).unwrap();
+            m.create_relation("R", Schema::new(["A"]).unwrap()).unwrap();
+            let mut txn = Transaction::new();
+            txn.insert("R", [1]).unwrap();
+            m.execute(&txn).unwrap();
+            m.set_failpoints(Arc::clone(&plan));
+            // Tear the tail of the record we just appended, then crash: the
+            // transaction is lost even though the append itself succeeded.
+            plan.arm(
+                ivm_storage::fault::FP_WAL_AFTER_APPEND,
+                0,
+                ivm_storage::FailpointAction::CorruptAndCrash(
+                    ivm_storage::CorruptSpec::TruncateAt(ivm_storage::FaultPos::FromEnd(3)),
+                ),
+            );
+            let mut txn = Transaction::new();
+            txn.insert("R", [2]).unwrap();
+            let err = m.execute(&txn).unwrap_err();
+            assert!(matches!(
+                err,
+                crate::error::IvmError::Storage(ref e) if e.is_injected()
+            ));
+        }
+        let m = ViewManager::open(&dir).unwrap();
+        let r = m.database().relation("R").unwrap();
+        assert!(r.contains(&Tuple::from([1])));
+        assert!(!r.contains(&Tuple::from([2])));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

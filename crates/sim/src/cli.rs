@@ -1,0 +1,206 @@
+//! Argument parsing for the `ivm-sim` binary and the corpus replay tests.
+//!
+//! Hand-rolled (the container vendors no argument parser) and shared with
+//! `tests/simulation.rs`, which parses each committed corpus line with
+//! [`parse_args`] — so a corpus entry is exactly a saved command line.
+
+use std::path::PathBuf;
+
+use crate::harness::SimConfig;
+
+/// A fully parsed invocation.
+#[derive(Debug, Clone, Default)]
+pub struct CliOptions {
+    /// The run parameters (seed, steps, threads, faults, ...).
+    pub config: SimConfigOptions,
+    /// Shrink on failure and print the minimized scenario.
+    pub shrink: bool,
+    /// Also run with this many threads and require an identical digest.
+    pub invariance: Option<usize>,
+    /// Replay every `*.args` file in this directory instead of running.
+    pub corpus: Option<PathBuf>,
+    /// On failure, append the repro to this corpus directory.
+    pub corpus_append: Option<PathBuf>,
+    /// Sweep this many derived seeds instead of one run.
+    pub sweep: Option<u64>,
+    /// Print per-run detail.
+    pub verbose: bool,
+}
+
+/// The subset of options that map onto [`SimConfig`]. Split out so
+/// defaults live in one place.
+#[derive(Debug, Clone)]
+pub struct SimConfigOptions {
+    /// See [`SimConfig::seed`].
+    pub seed: u64,
+    /// See [`SimConfig::steps`].
+    pub steps: usize,
+    /// See [`SimConfig::threads`].
+    pub threads: usize,
+    /// See [`SimConfig::faults`].
+    pub faults: bool,
+    /// Inverse of [`SimConfig::durable`].
+    pub in_memory: bool,
+    /// See [`SimConfig::check_every`].
+    pub check_every: usize,
+}
+
+impl Default for SimConfigOptions {
+    fn default() -> Self {
+        SimConfigOptions {
+            seed: 0,
+            steps: 100,
+            threads: 0,
+            faults: false,
+            in_memory: false,
+            check_every: 1,
+        }
+    }
+}
+
+impl SimConfigOptions {
+    /// Convert to the harness config.
+    pub fn to_config(&self) -> SimConfig {
+        SimConfig {
+            seed: self.seed,
+            steps: self.steps,
+            threads: self.threads,
+            faults: self.faults,
+            durable: !self.in_memory,
+            check_every: self.check_every,
+        }
+    }
+}
+
+/// Parse `0x`-prefixed hex or decimal.
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| format!("not a number: {s}"))
+}
+
+/// Parse a token list (everything after the binary name).
+pub fn parse_args(args: &[String]) -> Result<CliOptions, String> {
+    let mut opts = CliOptions::default();
+    let mut it = args.iter();
+    let next_value = |flag: &str, it: &mut std::slice::Iter<'_, String>| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => opts.config.seed = parse_u64(&next_value("--seed", &mut it)?)?,
+            "--steps" => opts.config.steps = parse_u64(&next_value("--steps", &mut it)?)? as usize,
+            "--threads" => {
+                opts.config.threads = parse_u64(&next_value("--threads", &mut it)?)? as usize
+            }
+            "--check-every" => {
+                opts.config.check_every =
+                    (parse_u64(&next_value("--check-every", &mut it)?)? as usize).max(1)
+            }
+            "--faults" => opts.config.faults = true,
+            "--in-memory" => opts.config.in_memory = true,
+            "--shrink" => opts.shrink = true,
+            "--invariance" => {
+                opts.invariance = Some(parse_u64(&next_value("--invariance", &mut it)?)? as usize)
+            }
+            "--corpus" => opts.corpus = Some(PathBuf::from(next_value("--corpus", &mut it)?)),
+            "--corpus-append" => {
+                opts.corpus_append = Some(PathBuf::from(next_value("--corpus-append", &mut it)?))
+            }
+            "--sweep" => opts.sweep = Some(parse_u64(&next_value("--sweep", &mut it)?)?),
+            "--verbose" => opts.verbose = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Parse one corpus line (whitespace-separated tokens, `#` comments).
+pub fn parse_line(line: &str) -> Result<CliOptions, String> {
+    let tokens: Vec<String> = line
+        .split_whitespace()
+        .take_while(|t| !t.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+    parse_args(&tokens)
+}
+
+/// Usage text (`--help`).
+pub const USAGE: &str = "\
+ivm-sim: deterministic simulation harness for the IVM engine
+
+USAGE: cargo run -p ivm-sim -- [FLAGS]
+
+  --seed N           workload seed (hex with 0x prefix, or decimal) [0]
+  --steps N          steps to generate [100]
+  --threads N        maintenance thread count (0 = sequential) [0]
+  --faults           inject crashes + WAL corruption (implies durable)
+  --in-memory        skip the WAL/scratch directory (no durability)
+  --check-every N    full oracle check every N steps [1]
+  --invariance N     also run with N threads; digests must match
+  --shrink           on failure, minimize the scenario and print it
+  --sweep N          run N seeds derived from --seed; report failures
+  --corpus DIR       replay every *.args file in DIR
+  --corpus-append DIR  append the repro line of a failing run to DIR
+  --verbose          per-run detail
+
+Exit status: 0 when every run is oracle-equivalent, 1 otherwise.";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> CliOptions {
+        parse_args(&tokens.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_the_repro_line_shape() {
+        let o = parse(&["--seed", "0xDEAD", "--steps", "412", "--faults"]);
+        assert_eq!(o.config.seed, 0xDEAD);
+        assert_eq!(o.config.steps, 412);
+        assert!(o.config.faults);
+        assert!(!o.config.in_memory);
+    }
+
+    #[test]
+    fn config_round_trips_through_args_line() {
+        let o = parse(&[
+            "--seed",
+            "0xBEEF",
+            "--steps",
+            "77",
+            "--faults",
+            "--threads",
+            "2",
+        ]);
+        let cfg = o.config.to_config();
+        let line = cfg.args_line();
+        let o2 = parse_line(&line).unwrap();
+        let cfg2 = o2.config.to_config();
+        assert_eq!(cfg.seed, cfg2.seed);
+        assert_eq!(cfg.steps, cfg2.steps);
+        assert_eq!(cfg.threads, cfg2.threads);
+        assert_eq!(cfg.faults, cfg2.faults);
+        assert_eq!(cfg.durable, cfg2.durable);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_missing_values() {
+        assert!(parse_args(&["--bogus".to_string()]).is_err());
+        assert!(parse_args(&["--seed".to_string()]).is_err());
+    }
+
+    #[test]
+    fn comments_in_corpus_lines_are_ignored() {
+        let o = parse_line("--seed 3 --steps 9 # torn-tail regression").unwrap();
+        assert_eq!(o.config.seed, 3);
+        assert_eq!(o.config.steps, 9);
+    }
+}

@@ -1,0 +1,51 @@
+//! Deterministic simulation harness for the IVM engine.
+//!
+//! The paper's value proposition is an *equivalence*: differential view
+//! maintenance (§5) behind irrelevant-update filtering (§4) must always
+//! produce the exact state full re-evaluation would. This crate turns
+//! that equivalence into a machine-checkable invariant over randomized
+//! histories, FoundationDB-style:
+//!
+//! * [`rng`] — a seeded, splittable PRNG; every run is a pure function
+//!   of a `u64` seed (no clocks, no entropy, no thread identity);
+//! * [`workload`] — generates random schemas, SPJ view definitions
+//!   (conditions in the Rosenkrantz–Hunt-decidable fragment) and
+//!   transaction streams;
+//! * [`harness`] — drives the real [`ivm::prelude::ViewManager`] through
+//!   the scenario, arms crash/corruption failpoints inside
+//!   `ViewManager::execute` and `checkpoint`, recovers by re-opening the
+//!   storage directory, and cross-checks `MaintenanceReport` counts
+//!   against recorder metrics;
+//! * [`oracle`] — the independent from-scratch model every step is
+//!   compared against;
+//! * [`mod@shrink`] — minimizes failing scenarios (steps → views → columns)
+//!   and keeps the one-line seed repro valid throughout;
+//! * [`cli`] — the `ivm-sim` binary's argument parser, shared with the
+//!   corpus replay test so a corpus entry is exactly a saved command
+//!   line.
+//!
+//! See `docs/TESTING.md` for the workflow (seeds, replay, shrinking, the
+//! committed corpus under `tests/sim_corpus/`, and CI gating).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cli;
+pub mod harness;
+pub mod oracle;
+pub mod rng;
+pub mod shrink;
+pub mod workload;
+
+pub use harness::{run, run_invariance, run_scenario, SimConfig, SimOutcome};
+pub use oracle::Oracle;
+pub use rng::SimRng;
+pub use shrink::shrink;
+pub use workload::{generate, generate_with_faults, Scenario};
+
+/// Derive the i-th sweep seed from a base seed (pure; used by `--sweep`
+/// and the nightly CI job so a failing sweep index is replayable).
+pub fn sweep_seed(base: u64, index: u64) -> u64 {
+    let mut r = SimRng::for_stream(base, index ^ 0x5EED);
+    r.next_u64()
+}

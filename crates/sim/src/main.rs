@@ -1,0 +1,191 @@
+//! The `ivm-sim` binary: run, sweep, replay and shrink simulated
+//! histories. See `--help` (or [`ivm_sim::cli::USAGE`]) for flags and
+//! `docs/TESTING.md` for the workflow.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use ivm_sim::cli::{parse_args, CliOptions};
+use ivm_sim::harness::{run, run_invariance, SimConfig, SimOutcome};
+use ivm_sim::{shrink, sweep_seed};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(dir) = &opts.corpus {
+        return replay_corpus(dir, &opts);
+    }
+    if let Some(count) = opts.sweep {
+        return sweep(count, &opts);
+    }
+    single_run(&opts)
+}
+
+fn describe(cfg: &SimConfig, out: &SimOutcome) -> String {
+    format!(
+        "seed {:#X}: {} steps, {} committed, {} rejected, {} crash(es), {} check(s), digest {:#018X}",
+        cfg.seed,
+        out.steps_run,
+        out.txns_committed,
+        out.txns_rejected,
+        out.crashes,
+        out.checks,
+        out.digest
+    )
+}
+
+fn execute(cfg: &SimConfig, opts: &CliOptions) -> SimOutcome {
+    match opts.invariance {
+        Some(threads) => run_invariance(cfg, threads),
+        None => run(cfg),
+    }
+}
+
+fn single_run(opts: &CliOptions) -> ExitCode {
+    let cfg = opts.config.to_config();
+    let out = execute(&cfg, opts);
+    println!("{}", describe(&cfg, &out));
+    let Some(failure) = &out.failure else {
+        return ExitCode::SUCCESS;
+    };
+    eprintln!("FAIL {failure}");
+    eprintln!("repro: {}", cfg.repro_line());
+    if opts.shrink {
+        eprintln!("shrinking...");
+        let scenario = ivm_sim::generate_with_faults(cfg.seed, cfg.steps, cfg.faults);
+        let shrunk = shrink(&scenario, &cfg);
+        eprintln!(
+            "minimized to {} step(s), {} view(s) after {} run(s); failure: {}",
+            shrunk.scenario.steps.len(),
+            shrunk.scenario.views.len(),
+            shrunk.runs,
+            shrunk.failure
+        );
+        eprintln!("{}", shrunk.scenario);
+    }
+    if let Some(dir) = &opts.corpus_append {
+        append_to_corpus(dir, &cfg);
+    }
+    ExitCode::FAILURE
+}
+
+fn sweep(count: u64, opts: &CliOptions) -> ExitCode {
+    let base = opts.config.seed;
+    let mut failures: Vec<SimConfig> = Vec::new();
+    for i in 0..count {
+        let cfg = SimConfig {
+            seed: sweep_seed(base, i),
+            ..opts.config.to_config()
+        };
+        let out = execute(&cfg, opts);
+        if opts.verbose {
+            println!("[{i}/{count}] {}", describe(&cfg, &out));
+        }
+        if let Some(failure) = &out.failure {
+            eprintln!("FAIL seed {:#X} (sweep index {i}): {failure}", cfg.seed);
+            eprintln!("repro: {}", cfg.repro_line());
+            if let Some(dir) = &opts.corpus_append {
+                append_to_corpus(dir, &cfg);
+            }
+            failures.push(cfg);
+        }
+    }
+    if failures.is_empty() {
+        println!("sweep of {count} seed(s) from base {base:#X}: all oracle-equivalent");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("sweep: {}/{count} seed(s) failed", failures.len());
+        for cfg in &failures {
+            // One line per failing seed on stdout: CI uploads this as the
+            // failing-seed artifact.
+            println!("FAILING_SEED {}", cfg.args_line());
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn replay_corpus(dir: &Path, opts: &CliOptions) -> ExitCode {
+    let mut entries: Vec<_> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "args"))
+            .collect(),
+        Err(e) => {
+            eprintln!("cannot read corpus dir {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    entries.sort();
+    if entries.is_empty() {
+        eprintln!("corpus dir {} holds no *.args files", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let mut failed = 0usize;
+    for path in &entries {
+        let line = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                failed += 1;
+                continue;
+            }
+        };
+        let entry_opts = match ivm_sim::cli::parse_line(line.trim()) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("bad corpus entry {}: {e}", path.display());
+                failed += 1;
+                continue;
+            }
+        };
+        let cfg = entry_opts.config.to_config();
+        // Honor the entry's own --invariance flag so a corpus line is a
+        // complete, self-describing repro.
+        let out = match entry_opts.invariance.or(opts.invariance) {
+            Some(threads) => run_invariance(&cfg, threads),
+            None => run(&cfg),
+        };
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        match &out.failure {
+            None => {
+                if opts.verbose {
+                    println!("ok   {name}: {}", describe(&cfg, &out));
+                }
+            }
+            Some(failure) => {
+                eprintln!("FAIL {name}: {failure}");
+                eprintln!("repro: {}", cfg.repro_line());
+                failed += 1;
+            }
+        }
+    }
+    if failed == 0 {
+        println!(
+            "corpus replay: {} entr(ies), all oracle-equivalent",
+            entries.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("corpus replay: {failed}/{} entr(ies) failed", entries.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn append_to_corpus(dir: &Path, cfg: &SimConfig) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create corpus dir {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("seed-{:016x}.args", cfg.seed));
+    match std::fs::write(&path, format!("{}\n", cfg.args_line())) {
+        Ok(()) => eprintln!("appended repro to {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}

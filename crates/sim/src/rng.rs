@@ -1,0 +1,168 @@
+//! Seeded, splittable PRNG for deterministic simulation.
+//!
+//! Every random decision in the simulator flows from a [`SimRng`], and
+//! every [`SimRng`] is a pure function of a `u64` seed — there is no
+//! entropy source, no time, no thread identity. Two runs with the same
+//! seed make byte-identical decisions on any machine.
+//!
+//! The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a
+//! 64-bit counter stepped by a Weyl increment and scrambled by a
+//! fixed-point avalanche function. It is not cryptographic and does not
+//! need to be; it is chosen because *splitting* — deriving an independent
+//! child stream from a parent — is a single scramble, which lets the
+//! workload stream, the fault stream and per-step decisions stay
+//! independent of each other. Deleting a simulation step during shrinking
+//! must not perturb the faults injected into the surviving steps, so
+//! per-step randomness is derived from [`SimRng::for_stream`] keyed by a
+//! stable step id rather than drawn from one shared sequence.
+
+/// A splittable SplitMix64 generator. See the module docs for why this
+/// algorithm and not the engine's vendored `rand`.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+}
+
+/// SplitMix64's Weyl increment (odd, irrational-ish bit pattern).
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One round of the SplitMix64 finalizer: a full-avalanche bijection.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Build a generator from a raw seed. Identical seeds produce
+    /// identical streams forever.
+    pub fn new(seed: u64) -> Self {
+        SimRng { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix(self.state)
+    }
+
+    /// Derive an independent child stream tagged by `stream`. The child's
+    /// sequence is a pure function of `(parent seed, draws so far,
+    /// stream)`; distinct tags give uncorrelated streams.
+    pub fn split(&mut self, stream: u64) -> SimRng {
+        SimRng::new(mix(self.next_u64() ^ mix(stream)))
+    }
+
+    /// A stream that depends only on `(seed, tag)` — *not* on how many
+    /// draws the parent has made. This is what gives shrinking stability:
+    /// per-step decisions keyed by a stable id survive the deletion of
+    /// earlier steps.
+    pub fn for_stream(seed: u64, tag: u64) -> SimRng {
+        SimRng::new(mix(mix(seed) ^ mix(tag ^ GOLDEN_GAMMA)))
+    }
+
+    /// Uniform draw from the inclusive range `lo..=hi`.
+    ///
+    /// Uses the modulo method; for the simulator's tiny ranges (widths
+    /// ≤ a few dozen against a 2^64 space) the bias is beneath relevance.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let width = hi - lo + 1;
+        lo + self.next_u64() % width
+    }
+
+    /// Uniform draw from the inclusive signed range `lo..=hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let width = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % width) as i64
+    }
+
+    /// True with probability `num`/`den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        debug_assert!(den > 0 && num <= den);
+        self.next_u64() % den < num
+    }
+
+    /// Uniformly chosen index into a slice of length `len` (> 0).
+    pub fn index(&mut self, len: usize) -> usize {
+        debug_assert!(len > 0);
+        (self.next_u64() % len as u64) as usize
+    }
+
+    /// Uniformly chosen element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.index(xs.len())]
+    }
+
+    /// `k` distinct indices from `0..len`, in ascending order
+    /// (partial Fisher–Yates over an index vector, then sort).
+    pub fn distinct_indices(&mut self, len: usize, k: usize) -> Vec<usize> {
+        debug_assert!(k <= len);
+        let mut idx: Vec<usize> = (0..len).collect();
+        for i in 0..k {
+            let j = i + self.index(len - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx.sort_unstable();
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(0xDEAD_BEEF);
+        let mut b = SimRng::new(0xDEAD_BEEF);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_streams_are_uncorrelated_prefixes() {
+        let mut parent = SimRng::new(7);
+        let mut c1 = parent.split(1);
+        let mut c2 = parent.split(2);
+        let s1: Vec<u64> = (0..8).map(|_| c1.next_u64()).collect();
+        let s2: Vec<u64> = (0..8).map(|_| c2.next_u64()).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn for_stream_ignores_parent_position() {
+        // The whole point: a step's stream depends on (seed, id) only.
+        let a = SimRng::for_stream(42, 9).next_u64();
+        let mut parent = SimRng::new(42);
+        parent.next_u64();
+        parent.next_u64();
+        let b = SimRng::for_stream(42, 9).next_u64();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut r = SimRng::new(1);
+        for _ in 0..1000 {
+            let v = r.range_i64(-3, 3);
+            assert!((-3..=3).contains(&v));
+            let u = r.range_u64(5, 9);
+            assert!((5..=9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn distinct_indices_are_distinct_and_sorted() {
+        let mut r = SimRng::new(99);
+        for _ in 0..100 {
+            let ix = r.distinct_indices(6, 3);
+            assert_eq!(ix.len(), 3);
+            assert!(ix.windows(2).all(|w| w[0] < w[1]));
+            assert!(ix.iter().all(|&i| i < 6));
+        }
+    }
+}

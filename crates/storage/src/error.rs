@@ -71,6 +71,11 @@ pub enum StorageError {
     /// manager with no durable state attached; the payload says what was
     /// required.
     NoDurableState(String),
+    /// A fault-injection failpoint fired (see [`crate::fault`]): the
+    /// simulated process died at the named point. Only ever produced when
+    /// a [`crate::fault::FailpointPlan`] is installed; the payload is the
+    /// failpoint name.
+    Injected(String),
 }
 
 impl fmt::Display for StorageError {
@@ -120,6 +125,9 @@ impl fmt::Display for StorageError {
             StorageError::NoDurableState(what) => {
                 write!(f, "no durable state: {what}")
             }
+            StorageError::Injected(point) => {
+                write!(f, "injected crash at failpoint {point}")
+            }
         }
     }
 }
@@ -158,6 +166,13 @@ impl StorageError {
             context: context.into(),
             source,
         }
+    }
+
+    /// True when this error is an injected failpoint crash (the simulated
+    /// process died; the manager that raised it must be discarded and the
+    /// storage directory re-opened, exactly as after a real crash).
+    pub fn is_injected(&self) -> bool {
+        matches!(self, StorageError::Injected(_))
     }
 
     /// True when this error denotes on-disk corruption (as opposed to an

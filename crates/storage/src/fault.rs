@@ -1,15 +1,29 @@
 //! Fault injection for crash and corruption testing.
 //!
-//! These helpers damage durable files the way real failures do: a torn
-//! write (the file simply ends early), a flipped bit or byte somewhere in
-//! the middle (bit rot, bad sector), or a zeroed range (a block that never
-//! made it out of the drive cache). Recovery tests drive them at arbitrary
-//! offsets and assert that the storage layer answers with typed
-//! [`StorageError`]s — never a panic.
+//! Two layers live here:
+//!
+//! * **Raw helpers** ([`truncate_file`], [`flip_byte`], [`flip_bit`],
+//!   [`zero_range`]) damage durable files the way real failures do: a torn
+//!   write (the file simply ends early), a flipped bit or byte somewhere in
+//!   the middle (bit rot, bad sector), or a zeroed range (a block that
+//!   never made it out of the drive cache).
+//! * **Declarative plans** ([`FailpointPlan`]) name *where* in the
+//!   execution a failure strikes (the maintenance layer evaluates named
+//!   failpoints at its commit-critical points) and *what* happens there
+//!   ([`FailpointAction`]): a plain crash, or file corruption described by
+//!   a [`CorruptSpec`] followed by a crash. Recovery tests and the
+//!   deterministic simulator (`crates/sim`) share this one mechanism
+//!   instead of duplicating truncate/flip logic.
+//!
+//! Recovery tests drive both layers at arbitrary offsets and assert that
+//! the storage layer answers with typed [`StorageError`]s — never a panic.
 
+use std::collections::HashMap;
+use std::fmt;
 use std::fs::OpenOptions;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Mutex;
 
 use crate::error::{Result, StorageError};
 
@@ -81,6 +95,223 @@ pub fn file_len(path: impl AsRef<Path>) -> Result<u64> {
         .map_err(|e| StorageError::io(format!("stat {}", path.display()), e))
 }
 
+/// Where within a file a corruption lands, resolved against the file's
+/// length at strike time (so a plan armed before the file reaches its
+/// final size still hits the intended region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPos {
+    /// Absolute offset from the start of the file.
+    FromStart(u64),
+    /// Offset counted back from the end of the file (`FromEnd(1)` is the
+    /// last byte).
+    FromEnd(u64),
+    /// `len * num / den`, clamped to the last byte — e.g. `Fraction(1, 2)`
+    /// is the middle of the file.
+    Fraction(u32, u32),
+}
+
+impl FaultPos {
+    /// Resolve to an absolute offset for a file of `len` bytes.
+    pub fn resolve(self, len: u64) -> u64 {
+        match self {
+            FaultPos::FromStart(o) => o.min(len.saturating_sub(1)),
+            FaultPos::FromEnd(back) => len.saturating_sub(back),
+            FaultPos::Fraction(num, den) => {
+                let den = den.max(1) as u128;
+                ((len as u128 * num as u128 / den) as u64).min(len.saturating_sub(1))
+            }
+        }
+    }
+}
+
+/// One declarative corruption: a position plus what to do there. The
+/// recovery tests, the crash-boundary sweep and the simulator all express
+/// damage this way and apply it through [`corrupt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptSpec {
+    /// Cut the file so it ends at the resolved position (torn write).
+    TruncateAt(FaultPos),
+    /// Flip one bit (`0..8`) of the byte at the resolved position.
+    FlipBit(FaultPos, u8),
+    /// XOR the byte at the resolved position with a non-zero mask.
+    FlipByte(FaultPos, u8),
+    /// Zero `len` bytes starting at the resolved position.
+    ZeroRange(FaultPos, u64),
+}
+
+impl fmt::Display for CorruptSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptSpec::TruncateAt(p) => write!(f, "truncate at {p:?}"),
+            CorruptSpec::FlipBit(p, b) => write!(f, "flip bit {b} at {p:?}"),
+            CorruptSpec::FlipByte(p, m) => write!(f, "flip byte (mask {m:#04x}) at {p:?}"),
+            CorruptSpec::ZeroRange(p, n) => write!(f, "zero {n} bytes at {p:?}"),
+        }
+    }
+}
+
+/// Apply a [`CorruptSpec`] to a file, resolving its position against the
+/// current file length. A no-op (and `Ok`) on an empty file — there is
+/// nothing left to damage.
+pub fn corrupt(path: impl AsRef<Path>, spec: CorruptSpec) -> Result<()> {
+    let path = path.as_ref();
+    let len = file_len(path)?;
+    if len == 0 {
+        return Ok(());
+    }
+    match spec {
+        CorruptSpec::TruncateAt(pos) => {
+            // For truncation the position is a *length*, not a byte index:
+            // FromEnd(3) keeps len-3 bytes, FromStart(n) keeps n bytes.
+            let keep = match pos {
+                FaultPos::FromStart(o) => o.min(len),
+                FaultPos::FromEnd(back) => len.saturating_sub(back),
+                FaultPos::Fraction(num, den) => {
+                    (len as u128 * num as u128 / den.max(1) as u128) as u64
+                }
+            };
+            truncate_file(path, keep)
+        }
+        CorruptSpec::FlipBit(pos, bit) => flip_bit(path, pos.resolve(len), bit),
+        CorruptSpec::FlipByte(pos, mask) => flip_byte(path, pos.resolve(len), mask),
+        CorruptSpec::ZeroRange(pos, n) => {
+            let off = pos.resolve(len);
+            zero_range(path, off, n.min(len - off))
+        }
+    }
+}
+
+/// What happens when an armed failpoint triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailpointAction {
+    /// Stop the process at this point: the evaluating layer returns
+    /// [`StorageError::Injected`] without touching any file. Everything
+    /// synced before the point survives; everything after is lost.
+    Crash,
+    /// Damage the durable file per the spec, then crash. Models a torn or
+    /// rotted write that the process died in the middle of.
+    CorruptAndCrash(CorruptSpec),
+}
+
+// Named failpoints evaluated by the maintenance layer (`ivm::manager` /
+// `ivm::durability`). Kept here so the arming side (tests, simulator) and
+// the evaluating side agree on spelling.
+
+/// Before the transaction's WAL record is appended: nothing durable yet.
+pub const FP_WAL_BEFORE_APPEND: &str = "wal.before_append";
+/// After the WAL record is appended *and synced* (the commit point), but
+/// before any in-memory state changes.
+pub const FP_WAL_AFTER_APPEND: &str = "wal.after_append";
+/// Mid-apply: base relations updated, view deltas not yet applied.
+pub const FP_APPLY_MID: &str = "apply.mid";
+/// At the start of a checkpoint, before the image is written.
+pub const FP_CHECKPOINT_BEFORE: &str = "checkpoint.before";
+/// Mid-checkpoint: the new image is on disk, pruning/compaction not yet
+/// run.
+pub const FP_CHECKPOINT_MID: &str = "checkpoint.mid";
+
+/// Every failpoint name the maintenance layer evaluates, for sweeps.
+pub const ALL_FAILPOINTS: &[&str] = &[
+    FP_WAL_BEFORE_APPEND,
+    FP_WAL_AFTER_APPEND,
+    FP_APPLY_MID,
+    FP_CHECKPOINT_BEFORE,
+    FP_CHECKPOINT_MID,
+];
+
+#[derive(Debug)]
+struct Armed {
+    /// Hits to let pass before triggering (0 = trigger on the next hit).
+    skip: u64,
+    action: FailpointAction,
+}
+
+/// A declarative fault plan: named failpoints armed with trigger counts
+/// and actions. The maintenance layer calls [`FailpointPlan::hit`] at each
+/// named point; arming is done by tests and the simulator. Each armed
+/// entry fires exactly once. Thread-safe (`Mutex`), shareable via `Arc`.
+///
+/// ```
+/// use ivm_storage::fault::{FailpointPlan, FailpointAction, FP_WAL_AFTER_APPEND};
+///
+/// let plan = FailpointPlan::new();
+/// plan.arm(FP_WAL_AFTER_APPEND, 2, FailpointAction::Crash); // 3rd hit fires
+/// assert!(plan.hit(FP_WAL_AFTER_APPEND).is_none());
+/// assert!(plan.hit(FP_WAL_AFTER_APPEND).is_none());
+/// assert_eq!(plan.hit(FP_WAL_AFTER_APPEND), Some(FailpointAction::Crash));
+/// assert!(plan.hit(FP_WAL_AFTER_APPEND).is_none()); // one-shot
+/// assert!(plan.fired(FP_WAL_AFTER_APPEND));
+/// ```
+#[derive(Debug, Default)]
+pub struct FailpointPlan {
+    armed: Mutex<HashMap<String, Armed>>,
+    fired: Mutex<Vec<String>>,
+}
+
+impl FailpointPlan {
+    /// An empty plan: every hit passes.
+    pub fn new() -> Self {
+        FailpointPlan::default()
+    }
+
+    /// Arm `name`: let `skip` hits pass, trigger `action` on the next one.
+    /// Re-arming an already-armed name replaces its entry.
+    pub fn arm(&self, name: impl Into<String>, skip: u64, action: FailpointAction) {
+        self.armed
+            .lock()
+            .expect("failpoint plan poisoned")
+            .insert(name.into(), Armed { skip, action });
+    }
+
+    /// Disarm `name` without firing it.
+    pub fn disarm(&self, name: &str) {
+        self.armed
+            .lock()
+            .expect("failpoint plan poisoned")
+            .remove(name);
+    }
+
+    /// Evaluate a failpoint: `None` passes, `Some(action)` means the
+    /// caller must perform the action and abort as if the process died.
+    pub fn hit(&self, name: &str) -> Option<FailpointAction> {
+        let mut armed = self.armed.lock().expect("failpoint plan poisoned");
+        let entry = armed.get_mut(name)?;
+        if entry.skip > 0 {
+            entry.skip -= 1;
+            return None;
+        }
+        let action = entry.action;
+        armed.remove(name);
+        self.fired
+            .lock()
+            .expect("failpoint plan poisoned")
+            .push(name.to_owned());
+        Some(action)
+    }
+
+    /// True when the named failpoint has triggered.
+    pub fn fired(&self, name: &str) -> bool {
+        self.fired
+            .lock()
+            .expect("failpoint plan poisoned")
+            .iter()
+            .any(|n| n == name)
+    }
+
+    /// Names of failpoints that have triggered, in firing order.
+    pub fn fired_names(&self) -> Vec<String> {
+        self.fired.lock().expect("failpoint plan poisoned").clone()
+    }
+
+    /// True when nothing is armed (all entries fired or disarmed).
+    pub fn is_exhausted(&self) -> bool {
+        self.armed
+            .lock()
+            .expect("failpoint plan poisoned")
+            .is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +335,49 @@ mod tests {
         assert_eq!(bytes[4], 0xAB);
         assert_eq!(&bytes[7..9], &[0, 0]);
         assert_eq!(bytes[0], 0xAA);
+    }
+
+    #[test]
+    fn corrupt_specs_resolve_positions() {
+        let dir = scratch_dir("spec");
+        let path = dir.join("f");
+        std::fs::write(&path, [0xAAu8; 16]).unwrap();
+
+        corrupt(&path, CorruptSpec::FlipByte(FaultPos::Fraction(1, 2), 0xFF)).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap()[8], 0x55);
+
+        corrupt(&path, CorruptSpec::FlipBit(FaultPos::FromStart(0), 0)).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap()[0], 0xAB);
+
+        corrupt(&path, CorruptSpec::ZeroRange(FaultPos::FromEnd(2), 99)).unwrap();
+        assert_eq!(&std::fs::read(&path).unwrap()[14..], &[0, 0]);
+
+        corrupt(&path, CorruptSpec::TruncateAt(FaultPos::FromEnd(3))).unwrap();
+        assert_eq!(file_len(&path).unwrap(), 13);
+        corrupt(&path, CorruptSpec::TruncateAt(FaultPos::FromStart(4))).unwrap();
+        assert_eq!(file_len(&path).unwrap(), 4);
+
+        // Corrupting an empty file is a no-op, never an error.
+        corrupt(&path, CorruptSpec::TruncateAt(FaultPos::FromStart(0))).unwrap();
+        corrupt(&path, CorruptSpec::FlipBit(FaultPos::FromEnd(1), 0)).unwrap();
+        assert_eq!(file_len(&path).unwrap(), 0);
+    }
+
+    #[test]
+    fn failpoint_plan_skip_counts_and_one_shot() {
+        let plan = FailpointPlan::new();
+        assert!(plan.hit(FP_APPLY_MID).is_none(), "unarmed point fires");
+        plan.arm(FP_APPLY_MID, 1, FailpointAction::Crash);
+        assert!(!plan.is_exhausted());
+        assert!(plan.hit(FP_APPLY_MID).is_none());
+        assert_eq!(plan.hit(FP_APPLY_MID), Some(FailpointAction::Crash));
+        assert!(plan.hit(FP_APPLY_MID).is_none());
+        assert!(plan.fired(FP_APPLY_MID));
+        assert_eq!(plan.fired_names(), vec![FP_APPLY_MID.to_string()]);
+        assert!(plan.is_exhausted());
+
+        plan.arm(FP_WAL_BEFORE_APPEND, 0, FailpointAction::Crash);
+        plan.disarm(FP_WAL_BEFORE_APPEND);
+        assert!(plan.hit(FP_WAL_BEFORE_APPEND).is_none());
     }
 }

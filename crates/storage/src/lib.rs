@@ -13,8 +13,11 @@
 //! * [`checkpoint`] — atomic (write-temp-then-rename) snapshots of the full
 //!   database plus every view's counted materialization and the last
 //!   applied LSN;
-//! * [`fault`] — fault injection (torn writes, flipped bits/bytes, zeroed
-//!   ranges) for crash and corruption tests;
+//! * [`fault`] — fault injection for crash and corruption tests: raw
+//!   helpers (torn writes, flipped bits/bytes, zeroed ranges) plus
+//!   declarative [`FailpointPlan`]s (named failpoints, trigger counts,
+//!   corrupt-then-crash actions) shared by the recovery tests and the
+//!   deterministic simulator;
 //! * [`temp`] — collision-free scratch directories for tests and examples.
 //!
 //! Recovery policy is split across layers: this crate finds the newest
@@ -70,4 +73,5 @@ pub mod wal;
 pub use checkpoint::{CheckpointData, StoredView, StoredViewKind};
 pub use codec::{ByteReader, Codec};
 pub use error::{Result, StorageError};
+pub use fault::{CorruptSpec, FailpointAction, FailpointPlan, FaultPos};
 pub use wal::{Wal, WalRecord, WalScan, WalStats, FORMAT_VERSION, WAL_FILE};

@@ -1,0 +1,168 @@
+//! Exhaustive crash-boundary sweep: truncate the WAL at *every* byte
+//! boundary of a multi-view transaction's frame and assert recovery
+//! lands in an oracle-equivalent state each time.
+//!
+//! This generalizes the single torn-tail spot check in
+//! `tests/recovery.rs`: the WAL discipline promises that a crash at any
+//! byte offset leaves either the full final transaction (a clean scan)
+//! or none of it (a detected torn record) — never a partial apply. The
+//! oracle here is a pair of uninterrupted in-memory managers, one
+//! stopped before the final transaction and one after.
+
+use std::path::{Path, PathBuf};
+
+use ivm::prelude::*;
+use ivm_storage::fault;
+
+/// Fresh scratch directory for one test; removed on drop.
+struct TestDir(PathBuf);
+
+impl TestDir {
+    fn new(label: &str) -> Self {
+        TestDir(ivm_storage::temp::scratch_dir(label))
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+
+    fn wal(&self) -> PathBuf {
+        self.0.join(ivm_storage::WAL_FILE)
+    }
+}
+
+impl Drop for TestDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// R(A,B), S(B,C), one immediate join view, one deferred filter view,
+/// one algebra-tree view — the final transaction must touch all of them.
+fn setup(mgr: &mut ViewManager) {
+    mgr.create_relation("R", Schema::new(["A", "B"]).unwrap())
+        .unwrap();
+    mgr.create_relation("S", Schema::new(["B", "C"]).unwrap())
+        .unwrap();
+    let join = SpjExpr::new(
+        ["R", "S"],
+        Atom::lt_const("A", 8).into(),
+        Some(vec!["A".into(), "C".into()]),
+    );
+    mgr.register_view("v_join", join, RefreshPolicy::Immediate)
+        .unwrap();
+    let filter = SpjExpr::new(["R"], Atom::lt_const("B", 5).into(), None);
+    mgr.register_view("v_def", filter, RefreshPolicy::Deferred)
+        .unwrap();
+    let tree = Expr::base("R")
+        .select(Condition::from(Atom::lt_const("A", 6)))
+        .project(["A"]);
+    mgr.register_tree_view("v_tree", tree).unwrap();
+}
+
+/// The workload prefix every manager (durable and oracle) runs before
+/// the swept transaction.
+fn prefix(mgr: &mut ViewManager) {
+    for (a, b) in [(1, 1), (2, 4), (3, 2), (7, 3)] {
+        let mut txn = Transaction::new();
+        txn.insert("R", [a, b]).unwrap();
+        mgr.execute(&txn).unwrap();
+    }
+    let mut txn = Transaction::new();
+    txn.insert("S", [1, 10]).unwrap();
+    txn.insert("S", [4, 11]).unwrap();
+    mgr.execute(&txn).unwrap();
+}
+
+/// The multi-view transaction under test: touches both base relations in
+/// one commit, changing every registered view (join rows appear, the
+/// deferred filter gains and loses rows, the tree projection shifts).
+fn final_txn() -> Transaction {
+    let mut txn = Transaction::new();
+    txn.insert("R", [4, 1]).unwrap();
+    txn.delete("R", [2, 4]).unwrap();
+    txn.insert("S", [2, 12]).unwrap();
+    txn.delete("S", [4, 11]).unwrap();
+    txn
+}
+
+fn assert_same_state(recovered: &ViewManager, reference: &ViewManager, label: &str) {
+    for rel in ["R", "S"] {
+        assert_eq!(
+            recovered.database().relation(rel).unwrap(),
+            reference.database().relation(rel).unwrap(),
+            "{label}: base relation {rel} diverged"
+        );
+    }
+    for view in ["v_join", "v_def", "v_tree"] {
+        assert_eq!(
+            recovered.view_contents(view).unwrap(),
+            reference.view_contents(view).unwrap(),
+            "{label}: view {view} diverged"
+        );
+    }
+}
+
+#[test]
+fn every_byte_boundary_of_a_multi_view_txn_recovers_to_oracle_state() {
+    // Record the durable run: prefix, measure the WAL, final txn.
+    let recorded = TestDir::new("sweep-rec");
+    let (len_before, len_after);
+    {
+        let mut m = ViewManager::open(recorded.path()).unwrap();
+        setup(&mut m);
+        prefix(&mut m);
+        len_before = fault::file_len(recorded.wal()).unwrap();
+        m.execute(&final_txn()).unwrap();
+        len_after = fault::file_len(recorded.wal()).unwrap();
+    }
+    assert!(
+        len_after > len_before + 8,
+        "final frame suspiciously small: {len_before} -> {len_after} bytes"
+    );
+    let wal_bytes = std::fs::read(recorded.wal()).unwrap();
+    assert_eq!(wal_bytes.len() as u64, len_after);
+
+    // Oracles: the same history replayed in memory, uninterrupted.
+    let mut before = ViewManager::new();
+    setup(&mut before);
+    prefix(&mut before);
+    let mut after = ViewManager::new();
+    setup(&mut after);
+    prefix(&mut after);
+    after.execute(&final_txn()).unwrap();
+    // Deferred views in the oracles must be brought current: recovery
+    // refreshes nothing on its own, so compare against the state the
+    // durable run materialized at commit time.
+    //
+    // (Immediate and tree views are maintained at commit; the deferred
+    // view's *persisted* materialization is what recovery restores, and
+    // the durable run never refreshed it — neither do the oracles.)
+
+    // Sweep: every byte boundary of the final frame, from "frame absent"
+    // (len_before) through every torn prefix to "frame whole" (len_after).
+    let scratch = TestDir::new("sweep-cut");
+    for cut in len_before..=len_after {
+        let _ = std::fs::remove_dir_all(scratch.path());
+        std::fs::create_dir_all(scratch.path()).unwrap();
+        std::fs::write(scratch.wal(), &wal_bytes[..cut as usize]).unwrap();
+
+        let m = ViewManager::open(scratch.path())
+            .unwrap_or_else(|e| panic!("recovery at byte {cut} failed: {e}"));
+        let report = m.recovery_report().unwrap();
+        if cut == len_before || cut == len_after {
+            assert!(
+                report.wal_truncated.is_none(),
+                "clean log at byte {cut} reported torn"
+            );
+        } else {
+            assert!(
+                report.wal_truncated.is_some(),
+                "torn frame at byte {cut} not detected"
+            );
+        }
+        // Atomicity: the final transaction is all-there or all-gone.
+        let oracle = if cut == len_after { &after } else { &before };
+        assert_same_state(&m, oracle, &format!("cut at byte {cut}"));
+    }
+}

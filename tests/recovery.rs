@@ -177,9 +177,9 @@ fn torn_final_frame_loses_only_last_txn() {
         apply_step(&mut m, (0, true, 3, 3));
     }
     // Tear the tail: drop the last few bytes of the final frame, as if the
-    // process died mid-write.
-    let len = fault::file_len(dir.wal()).unwrap();
-    fault::truncate_file(dir.wal(), len - 3).unwrap();
+    // process died mid-write. Same `CorruptSpec` the simulation harness
+    // injects through its failpoint plan.
+    fault::corrupt(dir.wal(), CorruptSpec::TruncateAt(FaultPos::FromEnd(3))).unwrap();
 
     let m = ViewManager::open(dir.path()).unwrap();
     let report = m.recovery_report().unwrap();
@@ -205,8 +205,7 @@ fn bit_flip_mid_log_truncates_at_corruption_without_panicking() {
             apply_step(&mut m, (0, true, i, i));
         }
     }
-    let len = fault::file_len(dir.wal()).unwrap();
-    fault::flip_bit(dir.wal(), len / 2, 3).unwrap();
+    fault::corrupt(dir.wal(), CorruptSpec::FlipBit(FaultPos::Fraction(1, 2), 3)).unwrap();
 
     // Open must succeed with a typed truncation report — never a panic.
     let mut m = ViewManager::open(dir.path()).unwrap();
@@ -255,8 +254,7 @@ fn corrupt_newest_checkpoint_falls_back_to_older() {
     }
     // Trash the newest checkpoint's interior.
     let ckpt = dir.path().join(format!("checkpoint-{newest:016}.ckpt"));
-    let len = fault::file_len(&ckpt).unwrap();
-    fault::flip_byte(&ckpt, len / 2, 0xFF).unwrap();
+    fault::corrupt(&ckpt, CorruptSpec::FlipByte(FaultPos::Fraction(1, 2), 0xFF)).unwrap();
 
     let m = ViewManager::open(dir.path()).unwrap();
     let report = m.recovery_report().unwrap();
@@ -269,6 +267,48 @@ fn corrupt_newest_checkpoint_falls_back_to_older() {
     for i in 1..=3 {
         assert!(r.contains(&Tuple::from([i, i])), "lost tuple ({i},{i})");
     }
+}
+
+/// The declarative failpoint plan — the same mechanism the simulation
+/// harness arms — drives a torn-write crash end to end: the armed
+/// transaction is corrupted on disk and reported as a crash, and recovery
+/// keeps exactly the acknowledged prefix.
+#[test]
+fn failpoint_plan_torn_write_is_rolled_back_on_recovery() {
+    let dir = TestDir::new("fp-plan");
+    let plan = std::sync::Arc::new(FailpointPlan::new());
+    plan.arm(
+        FP_WAL_AFTER_APPEND,
+        1, // skip the first append, fire on the second
+        FailpointAction::CorruptAndCrash(CorruptSpec::TruncateAt(FaultPos::FromEnd(2))),
+    );
+    {
+        let mut m = ViewManager::open(dir.path())
+            .unwrap()
+            .with_failpoints(plan.clone());
+        setup(&mut m);
+        apply_step(&mut m, (0, true, 1, 1));
+        let mut txn = Transaction::new();
+        txn.insert("R", [2, 2]).unwrap();
+        match m.execute(&txn) {
+            Err(IvmError::Storage(e)) if e.is_injected() => {}
+            other => panic!("failpoint did not fire: {other:?}"),
+        }
+        // The manager is now "dead": drop it without further use.
+    }
+    assert!(plan.fired(FP_WAL_AFTER_APPEND), "plan never fired");
+
+    let m = ViewManager::open(dir.path()).unwrap();
+    assert!(
+        m.recovery_report().unwrap().wal_truncated.is_some(),
+        "torn record not detected"
+    );
+    let r = m.database().relation("R").unwrap();
+    assert!(r.contains(&Tuple::from([1, 1])), "acknowledged tuple lost");
+    assert!(
+        !r.contains(&Tuple::from([2, 2])),
+        "unacknowledged (torn) tuple resurrected"
+    );
 }
 
 #[test]

@@ -1,0 +1,122 @@
+//! Simulation-harness integration tests: replay the committed corpus and
+//! assert the cross-cutting determinism properties end to end.
+//!
+//! The corpus under `tests/sim_corpus/` is the regression memory of the
+//! nightly fuzz sweep: every file is one saved `ivm-sim` command line
+//! (flags only), replayed here on every PR. To add an entry, drop a
+//! `*.args` file in that directory — `docs/TESTING.md` has the workflow.
+
+use std::path::PathBuf;
+
+use ivm_sim::harness::{run, run_invariance, SimConfig};
+use ivm_sim::{cli, generate_with_faults, sweep_seed};
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/sim_corpus")
+}
+
+/// Every committed corpus entry must stay oracle-equivalent. A failure
+/// here is a regression against a previously-found (or previously-clean)
+/// seed; the repro line in the assertion message replays it directly.
+#[test]
+fn committed_corpus_replays_clean() {
+    let mut entries: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("tests/sim_corpus missing")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "args"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "corpus is empty — nothing gates CI");
+
+    for path in &entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let line = std::fs::read_to_string(path).unwrap();
+        let opts = cli::parse_line(line.trim())
+            .unwrap_or_else(|e| panic!("corpus entry {name} does not parse: {e}"));
+        let cfg = opts.config.to_config();
+        let out = match opts.invariance {
+            Some(threads) => run_invariance(&cfg, threads),
+            None => run(&cfg),
+        };
+        assert!(
+            out.ok(),
+            "corpus entry {name} diverged: {}\nrepro: {}",
+            out.failure.unwrap(),
+            cfg.repro_line()
+        );
+    }
+}
+
+/// The same seed must produce bit-identical outcomes — counts and state
+/// digest — across independent runs. This is the foundation every repro
+/// line rests on.
+#[test]
+fn same_seed_is_bit_reproducible() {
+    let cfg = SimConfig {
+        seed: 0xC0FFEE,
+        steps: 90,
+        faults: true,
+        ..SimConfig::default()
+    };
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert!(a.ok(), "run diverged: {}", a.failure.unwrap());
+    assert_eq!(a.digest, b.digest, "same seed, different final state");
+    assert_eq!(a.txns_committed, b.txns_committed);
+    assert_eq!(a.crashes, b.crashes);
+}
+
+/// Thread count must not be observable in the final state: the parallel
+/// maintenance engine merges per-view deltas deterministically.
+#[test]
+fn digest_is_thread_count_invariant() {
+    for threads in [2, 4] {
+        let cfg = SimConfig {
+            seed: 0x7EAD ^ threads as u64,
+            steps: 70,
+            ..SimConfig::default()
+        };
+        let out = run_invariance(&cfg, threads);
+        assert!(
+            out.ok(),
+            "1-vs-{threads} thread divergence: {}",
+            out.failure.unwrap()
+        );
+    }
+}
+
+/// Fault injection must actually exercise recovery — a sweep where no
+/// crash ever fires would silently gut the harness's coverage.
+#[test]
+fn fault_sweep_injects_crashes_and_stays_oracle_equivalent() {
+    let mut crashes = 0usize;
+    for i in 0..4 {
+        let cfg = SimConfig {
+            seed: sweep_seed(0x5133D, i),
+            steps: 60,
+            faults: true,
+            ..SimConfig::default()
+        };
+        let out = run(&cfg);
+        assert!(
+            out.ok(),
+            "seed {:#X} diverged: {}\nrepro: {}",
+            cfg.seed,
+            out.failure.unwrap(),
+            cfg.repro_line()
+        );
+        crashes += out.crashes;
+    }
+    assert!(crashes > 0, "fault plan never fired across the sweep");
+}
+
+/// The generator is a pure function of the seed: regenerating a scenario
+/// yields a structurally identical workload (the property `--shrink`
+/// and corpus replay both depend on).
+#[test]
+fn scenario_generation_is_pure() {
+    let a = generate_with_faults(0xFEED, 150, true);
+    let b = generate_with_faults(0xFEED, 150, true);
+    assert_eq!(a.to_string(), b.to_string());
+    assert_eq!(a.steps.len(), b.steps.len());
+}
