@@ -5,39 +5,13 @@
 # drifting apart; run by the CI docs job and runnable locally:
 #
 #   ./ci/check_metrics.sh
+#
+# A thin wrapper: the actual diff lives in the `ivm-lint` engine
+# (crates/lint/src/catalog.rs), shared with the `metric-literal` source
+# lint so both checks parse the catalog exactly the same way.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-DOC=docs/OBSERVABILITY.md
-CATALOG=crates/obs/src/names.rs
-
-# Metric names look like layer.metric_name (lowercase, dot-separated).
-# File-path lookalikes (filter.rs, manager.rs, ...) are excluded.
-extract() {
-    grep -oE '\b(filter|diff|manager|pool|wal|checkpoint)\.[a-z][a-z0-9_]*\b' "$1" |
-        grep -vE '\.(rs|md|sh|toml|yml|log)$' |
-        sort -u
-}
-
-doc_names=$(extract "$DOC")
-catalog_names=$(extract "$CATALOG")
-
-status=0
-missing=$(comm -23 <(echo "$doc_names") <(echo "$catalog_names"))
-if [ -n "$missing" ]; then
-    echo "ERROR: $DOC names metrics that do not exist in $CATALOG:" >&2
-    echo "$missing" | sed 's/^/  /' >&2
-    status=1
-fi
-
-undocumented=$(comm -13 <(echo "$doc_names") <(echo "$catalog_names"))
-if [ -n "$undocumented" ]; then
-    echo "ERROR: $CATALOG defines metrics that $DOC never mentions:" >&2
-    echo "$undocumented" | sed 's/^/  /' >&2
-    status=1
-fi
-
-if [ "$status" -eq 0 ]; then
-    echo "ok: $(echo "$doc_names" | wc -l | tr -d ' ') metric names agree between $DOC and $CATALOG"
-fi
-exit "$status"
+cargo run --release -q -p ivm-lint -- \
+    --metrics-doc docs/OBSERVABILITY.md \
+    --catalog crates/obs/src/names.rs

@@ -330,6 +330,7 @@ struct RowCtx<'a> {
 /// Scheme of the view, derived from the operand relations in definition
 /// order.
 fn output_schema(view: &SpjExpr, old: &[&Relation]) -> Result<Schema> {
+    // ivm-lint: allow(no-unchecked-index) — SPJ views have p ≥ 1 operands, enforced at registration
     let mut joined = old[0].schema().clone();
     for rel in &old[1..] {
         joined = joined.join(rel.schema());
@@ -489,13 +490,16 @@ fn tagged_differential(
                 .enumerate()
                 .map(|(j, &one)| {
                     if one {
+                        // ivm-lint: allow(no-panic) — truth_table::rows sets B=1 only at updated positions, whose `one` operand is always materialized
                         operands[j].one.as_ref().expect("B=1 only for updated")
                     } else {
+                        // ivm-lint: allow(no-panic) — every operand's zero relation is materialized before differentiation starts
                         operands[j].zero.as_ref().expect("zero operand needed")
                     }
                 })
                 .collect();
             stats.operand_tuples += inputs.iter().map(|r| r.len() as u64).sum::<u64>();
+            // ivm-lint: allow(no-unchecked-index) — p ≥ 1 operands, so every truth-table row has a first input
             let mut joined = inputs[0].clone();
             for input in &inputs[1..] {
                 stats.joins_performed += 1;
@@ -559,8 +563,10 @@ fn eval_tagged_rows(
     let mut stats = DiffStats::default();
     let pick = |j: usize, one: bool| -> &TaggedRelation {
         if one {
+            // ivm-lint: allow(no-panic) — truth_table::rows sets B=1 only at updated positions, whose `one` operand is always materialized
             operands[j].one.as_ref().expect("B=1 only for updated")
         } else {
+            // ivm-lint: allow(no-panic) — every operand's zero relation is materialized before differentiation starts
             operands[j].zero.as_ref().expect("zero operand needed")
         }
     };
@@ -632,6 +638,7 @@ fn dfs_tagged(
         // Reached only on useful rows (pruning guarantees any_one).
         debug_assert!(any_one);
         stats.rows_evaluated += 1;
+        // ivm-lint: allow(no-panic) — descend only reaches j = p with a prefix built at depth 0
         let joined = prefix.expect("p ≥ 1 so prefix exists at leaf");
         return emit_tagged_leaf(ctx, joined, acc);
     }
@@ -836,13 +843,16 @@ fn signed_differential(
                 .enumerate()
                 .map(|(j, &one)| {
                     if one {
+                        // ivm-lint: allow(no-panic) — truth_table::rows sets B=1 only at updated positions, whose `one` operand is always materialized
                         operands[j].one.as_ref().expect("B=1 only for updated")
                     } else {
+                        // ivm-lint: allow(no-panic) — every operand's zero relation is materialized before differentiation starts
                         operands[j].zero.as_ref().expect("zero operand needed")
                     }
                 })
                 .collect();
             stats.operand_tuples += inputs.iter().map(|r| r.len() as u64).sum::<u64>();
+            // ivm-lint: allow(no-unchecked-index) — p ≥ 1 operands, so every truth-table row has a first input
             let mut joined = inputs[0].clone();
             for input in &inputs[1..] {
                 stats.joins_performed += 1;
@@ -889,8 +899,10 @@ fn eval_signed_rows(
     let mut stats = DiffStats::default();
     let pick = |j: usize, one: bool| -> &DeltaRelation {
         if one {
+            // ivm-lint: allow(no-panic) — truth_table::rows sets B=1 only at updated positions, whose `one` operand is always materialized
             operands[j].one.as_ref().expect("B=1 only for updated")
         } else {
+            // ivm-lint: allow(no-panic) — every operand's zero relation is materialized before differentiation starts
             operands[j].zero.as_ref().expect("zero operand needed")
         }
     };
@@ -952,6 +964,7 @@ fn dfs_signed(
     if j == operands.len() {
         debug_assert!(any_one);
         stats.rows_evaluated += 1;
+        // ivm-lint: allow(no-panic) — descend only reaches j = p with a prefix built at depth 0
         let joined = prefix.expect("p ≥ 1 so prefix exists at leaf");
         return emit_signed_leaf(ctx, joined, acc);
     }

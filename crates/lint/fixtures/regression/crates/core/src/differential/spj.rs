@@ -1,0 +1,9 @@
+//! Seeded regression fixture (see ../../../parallel/src/lib.rs). Never
+//! compiled.
+
+pub fn differentiate(obs: &Obs) {
+    // metric-literal: a catalog name inlined outside the catalog file.
+    obs.add("pool.chunks", 1);
+    // no-panic: unreachable! in an engine hot path.
+    unreachable!("fixture");
+}

@@ -1,0 +1,6 @@
+//! Seeded regression fixture: the fake workspace's metric catalog.
+//! String literals here are legal — the `metric-literal` rule confines
+//! metric names to this file. Never compiled.
+
+/// Chunks fanned out by the fixture pool.
+pub const POOL_CHUNKS: &str = "pool.chunks";

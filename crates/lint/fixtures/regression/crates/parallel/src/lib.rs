@@ -1,0 +1,16 @@
+//! Seeded regression fixture: every construct in this tree must be
+//! caught by `ivm-lint` — `ci/analyze.sh` fails its self-test if the
+//! scan of this fake workspace comes back clean. Never compiled.
+
+use std::time::Instant;
+
+pub fn hot_path(items: &[u64]) -> u64 {
+    // no-ambient-time: a wall clock in a sim-deterministic crate.
+    let started = Instant::now();
+    // no-panic: unwrap in an engine hot path.
+    let first = items.first().unwrap();
+    // no-unchecked-index: literal index without a guard.
+    let second = items[1];
+    let _ = started.elapsed();
+    first + second
+}

@@ -1,0 +1,13 @@
+//! Seeded regression fixture (see ../../parallel/src/lib.rs). Never
+//! compiled.
+
+pub fn append(buf: &mut Vec<u8>, record: Option<&[u8]>) {
+    // no-panic: expect in the WAL hot path.
+    let bytes = record.expect("record must be framed");
+    buf.extend_from_slice(bytes);
+    let first = unsafe { *bytes.as_ptr() }; // safety-comment: undocumented unsafe
+    // no-panic: panic! in a hot path.
+    if first == 0 {
+        panic!("zero frame");
+    }
+}

@@ -1,0 +1,324 @@
+//! The committed baseline: grandfathered findings that gate only on
+//! regressions.
+//!
+//! `lint-baseline.toml` holds `[[allow]]` entries keyed by `(rule, file)`
+//! with a `count` ceiling — line numbers would churn on every edit, so
+//! the baseline allows *up to N* findings of a rule in a file. New
+//! findings beyond the ceiling are regressions and fail the run; a
+//! ceiling above the actual count is reported as stale so the baseline
+//! ratchets downward over time.
+//!
+//! The format is a deliberately tiny TOML subset (table arrays of
+//! scalar `key = value` pairs) parsed by hand — the container is
+//! offline, so no `toml` crate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::diag::{Finding, Report, RuleId};
+
+/// One grandfathered `(rule, file)` ceiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule being grandfathered.
+    pub rule: RuleId,
+    /// Repo-relative file the findings live in.
+    pub file: String,
+    /// Maximum findings of `rule` allowed in `file`.
+    pub count: usize,
+    /// Why this is grandfathered (free text, shown on regressions).
+    pub reason: String,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// All ceilings, in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// Outcome of filtering a report through a baseline.
+#[derive(Debug, Default)]
+pub struct BaselineOutcome {
+    /// Findings not covered by any ceiling — these fail the run.
+    pub regressions: Vec<Finding>,
+    /// Findings absorbed by ceilings.
+    pub grandfathered: usize,
+    /// Entries whose ceiling exceeds the actual count (ratchet these
+    /// down) or whose `(rule, file)` no longer fires at all.
+    pub stale: Vec<BaselineEntry>,
+}
+
+/// An `[[allow]]` entry mid-parse: (rule, file, count, reason).
+type PartialEntry = (Option<RuleId>, Option<String>, Option<usize>, String);
+
+impl Baseline {
+    /// Parse the TOML subset. Unknown keys are ignored; malformed lines
+    /// return an error naming the line number.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries: Vec<BaselineEntry> = Vec::new();
+        let mut current: Option<PartialEntry> = None;
+        let mut finish = |cur: &mut Option<PartialEntry>| -> Result<(), String> {
+            if let Some((rule, file, count, reason)) = cur.take() {
+                let rule = rule.ok_or("entry missing `rule`")?;
+                let file = file.ok_or("entry missing `file`")?;
+                entries.push(BaselineEntry {
+                    rule,
+                    file,
+                    count: count.unwrap_or(1),
+                    reason,
+                });
+            }
+            Ok(())
+        };
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                finish(&mut current)?;
+                current = Some((None, None, None, String::new()));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", n + 1));
+            };
+            let Some(cur) = current.as_mut() else {
+                return Err(format!("line {}: key outside an [[allow]] entry", n + 1));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let unquote = |v: &str| -> Result<String, String> {
+                v.strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .map(str::to_owned)
+                    .ok_or(format!("line {}: expected a quoted string", n + 1))
+            };
+            match key {
+                "rule" => {
+                    let name = unquote(value)?;
+                    cur.0 = Some(
+                        RuleId::parse(&name)
+                            .ok_or(format!("line {}: unknown rule `{name}`", n + 1))?,
+                    );
+                }
+                "file" => cur.1 = Some(unquote(value)?),
+                "count" => {
+                    cur.2 = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("line {}: bad count `{value}`", n + 1))?,
+                    )
+                }
+                "reason" => cur.3 = unquote(value)?,
+                _ => {}
+            }
+        }
+        finish(&mut current)?;
+        Ok(Baseline { entries })
+    }
+
+    /// Render back to the TOML subset (for `--write-baseline`).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# ivm-lint baseline — grandfathered findings, gating on regressions only.\n\
+             # Each entry allows up to `count` findings of `rule` in `file`; anything\n\
+             # beyond the ceiling fails ci/analyze.sh. Regenerate with:\n\
+             #   cargo run -p ivm-lint -- --write-baseline\n",
+        );
+        for e in &self.entries {
+            out.push_str("\n[[allow]]\n");
+            out.push_str(&format!("rule = \"{}\"\n", e.rule.name()));
+            out.push_str(&format!("file = \"{}\"\n", e.file));
+            out.push_str(&format!("count = {}\n", e.count));
+            if !e.reason.is_empty() {
+                out.push_str(&format!("reason = \"{}\"\n", e.reason));
+            }
+        }
+        out
+    }
+
+    /// Build a baseline that exactly covers `report` (ceilings = actual
+    /// counts).
+    pub fn from_report(report: &Report) -> Baseline {
+        let mut counts: BTreeMap<(RuleId, String), usize> = BTreeMap::new();
+        for f in &report.findings {
+            *counts.entry((f.rule, f.file.clone())).or_default() += 1;
+        }
+        Baseline {
+            entries: counts
+                .into_iter()
+                .map(|((rule, file), count)| BaselineEntry {
+                    rule,
+                    file,
+                    count,
+                    reason: String::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Filter a report: absorb up to each ceiling, surface the rest as
+    /// regressions, and report stale ceilings.
+    pub fn apply(&self, report: &Report) -> BaselineOutcome {
+        let mut allowed: BTreeMap<(RuleId, &str), usize> = BTreeMap::new();
+        for e in &self.entries {
+            *allowed.entry((e.rule, e.file.as_str())).or_default() += e.count;
+        }
+        let mut used: BTreeMap<(RuleId, &str), usize> = BTreeMap::new();
+        let mut out = BaselineOutcome::default();
+        for f in &report.findings {
+            let key = (f.rule, f.file.as_str());
+            let cap = allowed.get(&key).copied().unwrap_or(0);
+            let u = used.entry(key).or_default();
+            if *u < cap {
+                *u += 1;
+                out.grandfathered += 1;
+            } else {
+                out.regressions.push(f.clone());
+            }
+        }
+        for e in &self.entries {
+            let key = (e.rule, e.file.as_str());
+            if used.get(&key).copied().unwrap_or(0) < allowed.get(&key).copied().unwrap_or(0) {
+                out.stale.push(e.clone());
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for BaselineEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} in {} (count {})", self.rule, self.file, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: RuleId, file: &str, line: usize) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line,
+            col: 1,
+            message: String::new(),
+        }
+    }
+
+    const SAMPLE: &str = r#"
+# comment
+[[allow]]
+rule = "no-ambient-time"
+file = "crates/core/src/relevance/filter.rs"
+count = 1
+reason = "observational clock behind obs.enabled()"
+
+[[allow]]
+rule = "no-panic"
+file = "crates/core/src/differential/spj.rs"
+count = 2
+"#;
+
+    #[test]
+    fn parse_and_render_round_trip() {
+        let b = Baseline::parse(SAMPLE).unwrap();
+        assert_eq!(b.entries.len(), 2);
+        assert_eq!(b.entries[0].rule, RuleId::NoAmbientTime);
+        assert_eq!(b.entries[0].count, 1);
+        assert!(b.entries[0].reason.contains("observational"));
+        let again = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(again.entries, b.entries);
+    }
+
+    #[test]
+    fn parse_errors_name_lines() {
+        assert!(Baseline::parse("rule = \"no-panic\"")
+            .unwrap_err()
+            .contains("outside"));
+        assert!(Baseline::parse("[[allow]]\nrule = \"nope\"")
+            .unwrap_err()
+            .contains("unknown rule"));
+        assert!(Baseline::parse("[[allow]]\ncount = x")
+            .unwrap_err()
+            .contains("bad count"));
+        assert!(Baseline::parse("[[allow]]\nfile = \"f\"")
+            .unwrap_err()
+            .contains("missing `rule`"));
+    }
+
+    #[test]
+    fn apply_absorbs_up_to_ceiling() {
+        let b = Baseline::parse(SAMPLE).unwrap();
+        let mut r = Report::default();
+        r.findings.push(finding(
+            RuleId::NoAmbientTime,
+            "crates/core/src/relevance/filter.rs",
+            10,
+        ));
+        r.findings.push(finding(
+            RuleId::NoPanic,
+            "crates/core/src/differential/spj.rs",
+            5,
+        ));
+        r.findings.push(finding(
+            RuleId::NoPanic,
+            "crates/core/src/differential/spj.rs",
+            6,
+        ));
+        let out = b.apply(&r);
+        assert_eq!(out.grandfathered, 3);
+        assert!(out.regressions.is_empty());
+        assert!(out.stale.is_empty());
+    }
+
+    #[test]
+    fn excess_findings_are_regressions() {
+        let b = Baseline::parse(SAMPLE).unwrap();
+        let mut r = Report::default();
+        for line in 0..3 {
+            r.findings.push(finding(
+                RuleId::NoPanic,
+                "crates/core/src/differential/spj.rs",
+                line,
+            ));
+        }
+        let out = b.apply(&r);
+        assert_eq!(out.grandfathered, 2);
+        assert_eq!(out.regressions.len(), 1);
+    }
+
+    #[test]
+    fn uncovered_findings_are_regressions() {
+        let b = Baseline::default();
+        let mut r = Report::default();
+        r.findings.push(finding(RuleId::NoPanic, "a.rs", 1));
+        let out = b.apply(&r);
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.grandfathered, 0);
+    }
+
+    #[test]
+    fn stale_ceilings_reported() {
+        let b = Baseline::parse(SAMPLE).unwrap();
+        let r = Report::default();
+        let out = b.apply(&r);
+        assert_eq!(out.stale.len(), 2);
+    }
+
+    #[test]
+    fn from_report_covers_exactly() {
+        let mut r = Report::default();
+        r.findings.push(finding(RuleId::NoPanic, "a.rs", 1));
+        r.findings.push(finding(RuleId::NoPanic, "a.rs", 2));
+        let b = Baseline::from_report(&r);
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(b.entries[0].count, 2);
+        let out = b.apply(&r);
+        assert!(out.regressions.is_empty());
+        assert!(out.stale.is_empty());
+    }
+}

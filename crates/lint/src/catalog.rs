@@ -1,0 +1,217 @@
+//! The metric/span name catalog: parsed from `crates/obs/src/names.rs`
+//! and compared against `docs/OBSERVABILITY.md`.
+//!
+//! Two consumers:
+//!
+//! * the `metric-literal` source rule needs the set of catalog names to
+//!   spot stray literals elsewhere in the workspace,
+//! * `ci/check_metrics.sh` delegates its two-way docs↔catalog diff here
+//!   (`ivm-lint --metrics-doc …`), so there is exactly one parser of the
+//!   catalog.
+
+use std::collections::BTreeSet;
+
+use crate::tokenizer::{tokenize, TokenKind};
+
+/// The parsed catalog: constant name → string value.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    /// `(CONST_NAME, value)` pairs in declaration order.
+    pub entries: Vec<(String, String)>,
+}
+
+impl Catalog {
+    /// Parse `pub const NAME: &str = "value";` items out of Rust source.
+    pub fn parse(source: &str) -> Catalog {
+        let toks: Vec<_> = tokenize(source)
+            .into_iter()
+            .filter(|t| !t.is_comment())
+            .collect();
+        let mut entries = Vec::new();
+        let mut i = 0;
+        while i + 8 < toks.len() {
+            let window = &toks[i..i + 9];
+            let is_const = window[0].ident() == Some("pub")
+                && window[1].ident() == Some("const")
+                && window[3].is_punct(':')
+                && window[4].is_punct('&')
+                && window[5].ident() == Some("str")
+                && window[6].is_punct('=');
+            if is_const {
+                if let (Some(name), TokenKind::Str(value)) = (window[2].ident(), &window[7].kind) {
+                    entries.push((name.to_owned(), value.clone()));
+                    i += 9;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        Catalog { entries }
+    }
+
+    /// Dotted metric names (`layer.metric` — counters and histograms).
+    pub fn metric_names(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|(_, v)| v.contains('.'))
+            .map(|(_, v)| v.clone())
+            .collect()
+    }
+
+    /// Bare span names (`execute`, `checkpoint`, …).
+    pub fn span_names(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|(_, v)| !v.contains('.'))
+            .map(|(_, v)| v.clone())
+            .collect()
+    }
+
+    /// The set of `layer` prefixes in use (`filter`, `wal`, …).
+    pub fn prefixes(&self) -> BTreeSet<String> {
+        self.entries
+            .iter()
+            .filter_map(|(_, v)| v.split_once('.').map(|(p, _)| p.to_owned()))
+            .collect()
+    }
+}
+
+/// File-extension lookalikes that must not count as metric names when
+/// extracting `layer.name` tokens from prose (`filter.rs`, `wal.log`, …).
+const EXTENSIONS: &[&str] = &[
+    "rs", "md", "sh", "toml", "yml", "yaml", "log", "txt", "json",
+];
+
+/// Extract every `prefix.suffix` token from free text where `prefix` is a
+/// known catalog layer and `suffix` is a metric-shaped identifier.
+pub fn extract_dotted_names(text: &str, prefixes: &BTreeSet<String>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let bytes: Vec<char> = text.chars().collect();
+    let is_word = |c: char| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_';
+    let mut i = 0;
+    while i < bytes.len() {
+        if !(bytes[i].is_ascii_lowercase()) || (i > 0 && is_word(bytes[i - 1])) {
+            i += 1;
+            continue;
+        }
+        // Candidate word start.
+        let start = i;
+        while i < bytes.len() && is_word(bytes[i]) {
+            i += 1;
+        }
+        let prefix: String = bytes[start..i].iter().collect();
+        if i < bytes.len() && bytes[i] == '.' && prefixes.contains(&prefix) {
+            let sstart = i + 1;
+            let mut j = sstart;
+            while j < bytes.len() && is_word(bytes[j]) {
+                j += 1;
+            }
+            if j > sstart {
+                let suffix: String = bytes[sstart..j].iter().collect();
+                if !EXTENSIONS.contains(&suffix.as_str()) && bytes[sstart].is_ascii_lowercase() {
+                    out.insert(format!("{prefix}.{suffix}"));
+                }
+                i = j;
+                continue;
+            }
+        }
+    }
+    out
+}
+
+/// Result of the two-way docs↔catalog comparison.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsDocDiff {
+    /// Names the doc mentions that the catalog does not define.
+    pub missing_in_catalog: Vec<String>,
+    /// Names the catalog defines that the doc never mentions.
+    pub undocumented: Vec<String>,
+    /// How many names agreed.
+    pub agreed: usize,
+}
+
+impl MetricsDocDiff {
+    /// True when the doc and the catalog agree exactly.
+    pub fn is_clean(&self) -> bool {
+        self.missing_in_catalog.is_empty() && self.undocumented.is_empty()
+    }
+}
+
+/// Compare a prose document against the catalog, both directions — the
+/// logic `ci/check_metrics.sh` wraps.
+pub fn check_metrics_doc(doc_text: &str, catalog_source: &str) -> MetricsDocDiff {
+    let catalog = Catalog::parse(catalog_source);
+    let prefixes = catalog.prefixes();
+    let doc_names = extract_dotted_names(doc_text, &prefixes);
+    let catalog_names: BTreeSet<String> = catalog.metric_names().into_iter().collect();
+    MetricsDocDiff {
+        missing_in_catalog: doc_names.difference(&catalog_names).cloned().collect(),
+        undocumented: catalog_names.difference(&doc_names).cloned().collect(),
+        agreed: doc_names.intersection(&catalog_names).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CATALOG: &str = r#"
+        /// Counter.
+        pub const FILTER_TUPLES: &str = "filter.tuples_checked";
+        /// Histogram.
+        pub const POOL_MICROS: &str = "pool.chunk_micros";
+        /// Span.
+        pub const SPAN_EXECUTE: &str = "execute";
+        pub const ALL: &[&str] = &[FILTER_TUPLES];
+    "#;
+
+    #[test]
+    fn parses_consts() {
+        let c = Catalog::parse(CATALOG);
+        assert_eq!(c.entries.len(), 3);
+        assert_eq!(
+            c.metric_names(),
+            ["filter.tuples_checked", "pool.chunk_micros"]
+        );
+        assert_eq!(c.span_names(), ["execute"]);
+        assert!(c.prefixes().contains("filter"));
+    }
+
+    #[test]
+    fn extracts_dotted_names_not_file_paths() {
+        let c = Catalog::parse(CATALOG);
+        let text = "see filter.tuples_checked and filter.rs plus pool.chunk_micros; wal.log";
+        let names = extract_dotted_names(text, &c.prefixes());
+        assert!(names.contains("filter.tuples_checked"));
+        assert!(names.contains("pool.chunk_micros"));
+        assert!(!names.iter().any(|n| n.ends_with(".rs")));
+        // `wal` is not a prefix of this mini-catalog at all.
+        assert!(!names.iter().any(|n| n.starts_with("wal.")));
+    }
+
+    #[test]
+    fn doc_diff_both_directions() {
+        let doc = "documents filter.tuples_checked and the phantom filter.not_real";
+        let d = check_metrics_doc(doc, CATALOG);
+        assert_eq!(d.missing_in_catalog, ["filter.not_real"]);
+        assert_eq!(d.undocumented, ["pool.chunk_micros"]);
+        assert_eq!(d.agreed, 1);
+        assert!(!d.is_clean());
+    }
+
+    #[test]
+    fn clean_diff() {
+        let doc = "filter.tuples_checked pool.chunk_micros";
+        let d = check_metrics_doc(doc, CATALOG);
+        assert!(d.is_clean(), "{d:?}");
+        assert_eq!(d.agreed, 2);
+    }
+
+    #[test]
+    fn mid_word_dots_ignored() {
+        let c = Catalog::parse(CATALOG);
+        // `xfilter.foo` must not match: prefix must start at a word edge.
+        let names = extract_dotted_names("xfilter.foo", &c.prefixes());
+        assert!(names.is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! The shared diagnostic model: findings, rule metadata, and the report
+//! both frontends feed into.
+//!
+//! A [`Finding`] is one rule violation at one source location (Frontend A)
+//! or one view-analysis verdict (Frontend B, where the "file" is the view
+//! name and the line is 0). Findings aggregate into a [`Report`], which is
+//! what the baseline engine ([`crate::baseline`]) filters and what the CLI
+//! renders.
+
+use std::fmt;
+
+/// Identifier of one lint rule. Stable across releases: baselines and
+/// suppression comments reference these strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// `no-panic`: no `unwrap`/`expect`/`panic!`-family calls in engine
+    /// hot paths.
+    NoPanic,
+    /// `no-unchecked-index`: no literal-index slice access (`xs[0]`) in
+    /// engine hot paths.
+    NoUncheckedIndex,
+    /// `safety-comment`: every `unsafe` keyword needs a `// SAFETY:`
+    /// comment on the lines directly above it.
+    SafetyComment,
+    /// `metric-literal`: metric/span name string literals belong in
+    /// `crates/obs/src/names.rs` only.
+    MetricLiteral,
+    /// `no-ambient-time`: no `Instant::now` / `SystemTime::now` /
+    /// `thread::sleep` / `thread_rng` in sim-deterministic crates.
+    NoAmbientTime,
+    /// `unsat-view`: a view condition that is statically unsatisfiable
+    /// (the materialization is empty forever).
+    UnsatView,
+    /// `always-irrelevant`: a (view, relation) pair where *every* update
+    /// to the relation is provably irrelevant (degenerate Theorem 4.2).
+    AlwaysIrrelevant,
+    /// `redundant-atom`: a condition atom implied by the transitive
+    /// closure of the remaining atoms' RH constraint digraph.
+    RedundantAtom,
+}
+
+impl RuleId {
+    /// Every rule, in catalog order (drives `--list-rules` and the docs
+    /// self-test).
+    pub const ALL: &'static [RuleId] = &[
+        RuleId::NoPanic,
+        RuleId::NoUncheckedIndex,
+        RuleId::SafetyComment,
+        RuleId::MetricLiteral,
+        RuleId::NoAmbientTime,
+        RuleId::UnsatView,
+        RuleId::AlwaysIrrelevant,
+        RuleId::RedundantAtom,
+    ];
+
+    /// The stable kebab-case name used in output, suppressions and
+    /// baselines.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::NoPanic => "no-panic",
+            RuleId::NoUncheckedIndex => "no-unchecked-index",
+            RuleId::SafetyComment => "safety-comment",
+            RuleId::MetricLiteral => "metric-literal",
+            RuleId::NoAmbientTime => "no-ambient-time",
+            RuleId::UnsatView => "unsat-view",
+            RuleId::AlwaysIrrelevant => "always-irrelevant",
+            RuleId::RedundantAtom => "redundant-atom",
+        }
+    }
+
+    /// Parse a stable rule name (as used by `// ivm-lint: allow(...)` and
+    /// baseline files).
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.iter().copied().find(|r| r.name() == s)
+    }
+
+    /// One-line rationale, shown by `--list-rules` and documented in
+    /// `docs/ANALYSIS.md`.
+    pub fn rationale(self) -> &'static str {
+        match self {
+            RuleId::NoPanic => {
+                "engine hot paths must fail through typed errors, not process aborts"
+            }
+            RuleId::NoUncheckedIndex => {
+                "literal indexing hides bounds assumptions; use get() or document the invariant"
+            }
+            RuleId::SafetyComment => {
+                "every unsafe block must state the invariant that makes it sound"
+            }
+            RuleId::MetricLiteral => {
+                "metric/span names live in the obs catalog so docs and code cannot drift"
+            }
+            RuleId::NoAmbientTime => {
+                "sim-reachable code must be a pure function of its inputs and the seed"
+            }
+            RuleId::UnsatView => "the §4 satisfiability test proves this view is empty forever",
+            RuleId::AlwaysIrrelevant => {
+                "every update to this relation is provably irrelevant to the view (Thm 4.2)"
+            }
+            RuleId::RedundantAtom => {
+                "the atom is implied by the RH digraph's transitive closure of the others"
+            }
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Repo-relative path (Frontend A) or `view:<name>` (Frontend B).
+    pub file: String,
+    /// 1-based line, or 0 for whole-entity findings.
+    pub line: usize,
+    /// 1-based column, or 0.
+    pub col: usize,
+    /// Human-readable description of the specific violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: {}: {}", self.file, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}:{}: {}: {}",
+                self.file, self.line, self.col, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// A batch of findings plus bookkeeping from a scan.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, in file/line order.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned (Frontend A) or views analyzed (B).
+    pub scanned: usize,
+    /// Findings suppressed by inline `ivm-lint: allow(...)` comments.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Merge another report into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+        self.scanned += other.scanned;
+        self.suppressed += other.suppressed;
+    }
+
+    /// True when no findings survived.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Sort findings into stable file/line/col/rule order.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+        });
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        write!(
+            f,
+            "{} finding(s), {} suppressed, {} file(s) scanned",
+            self.findings.len(),
+            self.suppressed,
+            self.scanned
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_round_trip() {
+        for &rule in RuleId::ALL {
+            assert_eq!(RuleId::parse(rule.name()), Some(rule));
+        }
+        assert_eq!(RuleId::parse("no-such-rule"), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let f = Finding {
+            rule: RuleId::NoPanic,
+            file: "a.rs".into(),
+            line: 3,
+            col: 7,
+            message: "x".into(),
+        };
+        assert_eq!(f.to_string(), "a.rs:3:7: no-panic: x");
+        let v = Finding {
+            rule: RuleId::UnsatView,
+            file: "view:v".into(),
+            line: 0,
+            col: 0,
+            message: "empty".into(),
+        };
+        assert_eq!(v.to_string(), "view:v: unsat-view: empty");
+    }
+
+    #[test]
+    fn report_merge_and_sort() {
+        let mut r = Report::default();
+        r.findings.push(Finding {
+            rule: RuleId::NoPanic,
+            file: "b.rs".into(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+        });
+        let mut o = Report {
+            scanned: 2,
+            ..Default::default()
+        };
+        o.findings.push(Finding {
+            rule: RuleId::NoPanic,
+            file: "a.rs".into(),
+            line: 9,
+            col: 1,
+            message: String::new(),
+        });
+        r.merge(o);
+        r.sort();
+        assert_eq!(r.findings[0].file, "a.rs");
+        assert_eq!(r.scanned, 2);
+        assert!(!r.is_clean());
+    }
+}

@@ -1,0 +1,42 @@
+//! `ivm-lint` — workspace static analysis for the IVM reproduction.
+//!
+//! The paper's §4 relevance test is itself a static analysis: it decides,
+//! independent of database state, that an update cannot affect a view, by
+//! running the Rosenkrantz–Hunt satisfiability check on the view
+//! condition. This crate applies the same discipline in two directions,
+//! sharing one diagnostic/report/baseline engine:
+//!
+//! * **Frontend A** ([`source`]) — token-level lints over the workspace's
+//!   own Rust source: no panics or unchecked indexing in engine hot
+//!   paths, `// SAFETY:` comments on every `unsafe`, metric/span name
+//!   literals confined to the obs catalog, and no ambient clocks/RNG in
+//!   sim-deterministic crates. Driven by `ci/analyze.sh` and the
+//!   required `analyze` CI job.
+//! * **Frontend B** ([`views`]) — definition-time analysis of view
+//!   definitions: statically-unsatisfiable (empty-forever) conditions,
+//!   always-irrelevant `(view, relation)` pairs (the degenerate case of
+//!   Theorem 4.2), and predicates implied by the RH digraph's transitive
+//!   closure. Surfaced through the shell's `\analyze` command.
+//!
+//! Pre-existing findings are grandfathered by `lint-baseline.toml`
+//! ([`baseline`]) so the gate fails only on regressions; one-off
+//! exceptions use `// ivm-lint: allow(rule)` comments. Every rule is
+//! catalogued with its rationale in `docs/ANALYSIS.md`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baseline;
+pub mod catalog;
+pub mod config;
+pub mod diag;
+pub mod source;
+pub mod tokenizer;
+pub mod views;
+pub mod workspace;
+
+pub use baseline::{Baseline, BaselineOutcome};
+pub use config::LintConfig;
+pub use diag::{Finding, Report, RuleId};
+pub use views::{analyze_all, analyze_view, ViewAnalysisReport};
+pub use workspace::{lint_workspace, load_catalog};

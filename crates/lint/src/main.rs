@@ -1,0 +1,172 @@
+//! The `ivm-lint` binary: scans the workspace (Frontend A), applies the
+//! committed baseline, and exits non-zero on regressions. Also hosts the
+//! docs↔catalog metric check that `ci/check_metrics.sh` wraps.
+//!
+//! ```text
+//! ivm-lint [--root DIR] [--baseline FILE | --no-baseline]
+//!          [--write-baseline] [--quiet]
+//! ivm-lint --metrics-doc DOC [--catalog FILE] [--root DIR]
+//! ivm-lint --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings/regressions, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ivm_lint::baseline::Baseline;
+use ivm_lint::config::LintConfig;
+use ivm_lint::diag::RuleId;
+use ivm_lint::{catalog, lint_workspace, load_catalog};
+
+struct Args {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: bool,
+    quiet: bool,
+    metrics_doc: Option<PathBuf>,
+    catalog: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: ivm-lint [--root DIR] [--baseline FILE | --no-baseline] [--write-baseline] [--quiet]\n\
+     \x20      ivm-lint --metrics-doc DOC [--catalog FILE] [--root DIR]\n\
+     \x20      ivm-lint --list-rules"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        baseline: None,
+        no_baseline: false,
+        write_baseline: false,
+        quiet: false,
+        metrics_doc: None,
+        catalog: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let path_arg = |it: &mut dyn Iterator<Item = String>| {
+            it.next()
+                .map(PathBuf::from)
+                .ok_or(format!("{a} needs a value"))
+        };
+        match a.as_str() {
+            "--root" => args.root = path_arg(&mut it)?,
+            "--baseline" => args.baseline = Some(path_arg(&mut it)?),
+            "--no-baseline" => args.no_baseline = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--metrics-doc" => args.metrics_doc = Some(path_arg(&mut it)?),
+            "--catalog" => args.catalog = Some(path_arg(&mut it)?),
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => return Err(usage().to_owned()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+
+    if args.list_rules {
+        for &rule in RuleId::ALL {
+            println!("{:<20} {}", rule.name(), rule.rationale());
+        }
+        return Ok(true);
+    }
+
+    let mut cfg = LintConfig::default();
+
+    // Metrics-doc mode: the two-way docs↔catalog diff check_metrics.sh
+    // delegates to, sharing the catalog parser with the source lints.
+    if let Some(doc) = &args.metrics_doc {
+        let catalog_path = args
+            .catalog
+            .clone()
+            .unwrap_or_else(|| args.root.join(&cfg.catalog_file));
+        let doc_text =
+            std::fs::read_to_string(doc).map_err(|e| format!("cannot read {doc:?}: {e}"))?;
+        let catalog_text = std::fs::read_to_string(&catalog_path)
+            .map_err(|e| format!("cannot read {catalog_path:?}: {e}"))?;
+        let diff = catalog::check_metrics_doc(&doc_text, &catalog_text);
+        for name in &diff.missing_in_catalog {
+            eprintln!("ERROR: doc names metric `{name}` that the catalog does not define");
+        }
+        for name in &diff.undocumented {
+            eprintln!("ERROR: catalog defines metric `{name}` that the doc never mentions");
+        }
+        if diff.is_clean() {
+            println!(
+                "ok: {} metric name(s) agree between {} and the catalog",
+                diff.agreed,
+                doc.display()
+            );
+        }
+        return Ok(diff.is_clean());
+    }
+
+    // Frontend A over the workspace.
+    load_catalog(&args.root, &mut cfg)
+        .map_err(|e| format!("cannot load catalog {}: {e}", cfg.catalog_file))?;
+    let report = lint_workspace(&args.root, &cfg).map_err(|e| format!("scan failed: {e}"))?;
+
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint-baseline.toml"));
+
+    if args.write_baseline {
+        let b = Baseline::from_report(&report);
+        std::fs::write(&baseline_path, b.render())
+            .map_err(|e| format!("cannot write {baseline_path:?}: {e}"))?;
+        println!(
+            "wrote {} with {} ceiling(s) covering {} finding(s)",
+            baseline_path.display(),
+            b.entries.len(),
+            report.findings.len()
+        );
+        return Ok(true);
+    }
+
+    let baseline = if args.no_baseline || !baseline_path.exists() {
+        Baseline::default()
+    } else {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read {baseline_path:?}: {e}"))?;
+        Baseline::parse(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?
+    };
+
+    let outcome = baseline.apply(&report);
+    for finding in &outcome.regressions {
+        println!("{finding}");
+    }
+    if !args.quiet {
+        for stale in &outcome.stale {
+            eprintln!("warning: stale baseline ceiling: {stale} — ratchet it down");
+        }
+        println!(
+            "{} regression(s), {} grandfathered, {} suppressed inline, {} file(s) scanned",
+            outcome.regressions.len(),
+            outcome.grandfathered,
+            report.suppressed,
+            report.scanned
+        );
+    }
+    Ok(outcome.regressions.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,534 @@
+//! Frontend A: token-level source lints.
+//!
+//! Mirrors the paper's §4 discipline — decide statically, before anything
+//! runs, that a class of failures cannot happen. Five rules (catalogued
+//! with rationale and suppression syntax in `docs/ANALYSIS.md`):
+//!
+//! | rule | scope |
+//! |------|-------|
+//! | `no-panic`           | engine hot paths |
+//! | `no-unchecked-index` | engine hot paths |
+//! | `safety-comment`     | whole workspace |
+//! | `metric-literal`     | whole workspace except the catalog |
+//! | `no-ambient-time`    | sim-deterministic crates |
+//!
+//! `#[cfg(test)]` regions are exempt from every rule except
+//! `safety-comment` (an undocumented `unsafe` is a problem in a test
+//! too). A finding is suppressed by a comment on the same or preceding
+//! line:
+//!
+//! ```text
+//! // ivm-lint: allow(no-panic) — invariant: rows only select present operands
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::LintConfig;
+use crate::diag::{Finding, Report, RuleId};
+use crate::tokenizer::{tokenize, Token, TokenKind};
+
+/// Lint one file's source text. `path` is the repo-relative path used for
+/// scoping and reporting.
+pub fn lint_file(path: &str, source: &str, cfg: &LintConfig) -> Report {
+    let tokens = tokenize(source);
+    let suppressions = Suppressions::collect(&tokens);
+    let safety_lines = safety_comment_lines(&tokens);
+    let test_spans = test_region_spans(&tokens);
+    let in_test = |idx: usize| test_spans.iter().any(|&(s, e)| idx >= s && idx < e);
+
+    // Code view: comments stripped, original indices retained.
+    let code: Vec<(usize, &Token)> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_comment())
+        .collect();
+
+    let mut report = Report {
+        scanned: 1,
+        ..Report::default()
+    };
+    let mut emit = |rule: RuleId, tok: &Token, idx: usize, skip_tests: bool, message: String| {
+        if skip_tests && in_test(idx) {
+            return;
+        }
+        if suppressions.allows(rule, tok.line) {
+            report.suppressed += 1;
+            return;
+        }
+        report.findings.push(Finding {
+            rule,
+            file: path.to_owned(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        });
+    };
+
+    let hot = cfg.is_hot_path(path);
+    let deterministic = cfg.is_deterministic(path);
+    let is_catalog = path == cfg.catalog_file;
+    let metric_names: BTreeSet<&str> = cfg.metric_names.iter().map(String::as_str).collect();
+    let span_names: BTreeSet<&str> = cfg.span_names.iter().map(String::as_str).collect();
+
+    fn ident_at<'t>(w: &[(usize, &'t Token)], i: usize) -> Option<&'t str> {
+        w.get(i).and_then(|(_, t)| t.ident())
+    }
+    fn punct_at(w: &[(usize, &Token)], i: usize, c: char) -> bool {
+        w.get(i).is_some_and(|(_, t)| t.is_punct(c))
+    }
+
+    for i in 0..code.len() {
+        let (idx, tok) = code[i];
+
+        if hot {
+            // no-panic: `.unwrap()` / `.expect(` method calls.
+            if tok.is_punct('.') {
+                if let Some(name @ ("unwrap" | "expect")) = ident_at(&code, i + 1) {
+                    if punct_at(&code, i + 2, '(') {
+                        let (_, t) = code[i + 1];
+                        emit(
+                            RuleId::NoPanic,
+                            t,
+                            idx,
+                            true,
+                            format!("`.{name}()` in an engine hot path; return a typed error or document the invariant"),
+                        );
+                    }
+                }
+            }
+            // no-panic: panic-family macros.
+            if let Some(name @ ("panic" | "unreachable" | "todo" | "unimplemented")) = tok.ident() {
+                if punct_at(&code, i + 1, '!') {
+                    emit(
+                        RuleId::NoPanic,
+                        tok,
+                        idx,
+                        true,
+                        format!("`{name}!` in an engine hot path; return a typed error instead"),
+                    );
+                }
+            }
+            // no-unchecked-index: `expr[<literal>]`.
+            let index_base = matches!(
+                tok.kind,
+                TokenKind::Ident(_)
+                    | TokenKind::Number(_)
+                    | TokenKind::Punct(']')
+                    | TokenKind::Punct(')')
+            );
+            if index_base && punct_at(&code, i + 1, '[') {
+                if let Some((_, num)) = code.get(i + 2) {
+                    if matches!(num.kind, TokenKind::Number(_)) && punct_at(&code, i + 3, ']') {
+                        let (nidx, ntok) = code[i + 1];
+                        emit(
+                            RuleId::NoUncheckedIndex,
+                            ntok,
+                            nidx,
+                            true,
+                            "literal slice index in an engine hot path; use get() or document the bound".into(),
+                        );
+                    }
+                }
+            }
+        }
+
+        // safety-comment: every `unsafe` keyword, tests included.
+        if tok.ident() == Some("unsafe") {
+            let documented =
+                (tok.line.saturating_sub(3)..=tok.line).any(|l| safety_lines.contains(&l));
+            if !documented {
+                emit(
+                    RuleId::SafetyComment,
+                    tok,
+                    idx,
+                    false,
+                    "`unsafe` without a `// SAFETY:` comment on the preceding lines".into(),
+                );
+            }
+        }
+
+        // metric-literal: catalog names spelled as literals elsewhere.
+        if !is_catalog {
+            if let TokenKind::Str(value) = &tok.kind {
+                if metric_names.contains(value.as_str()) {
+                    emit(
+                        RuleId::MetricLiteral,
+                        tok,
+                        idx,
+                        true,
+                        format!(
+                            "metric name \"{value}\" as a literal; use the ivm_obs::names constant"
+                        ),
+                    );
+                } else if span_names.contains(value.as_str())
+                    && i >= 2
+                    && punct_at(&code, i - 1, '(')
+                    && matches!(ident_at(&code, i - 2), Some("span" | "span_enter"))
+                {
+                    emit(
+                        RuleId::MetricLiteral,
+                        tok,
+                        idx,
+                        true,
+                        format!(
+                            "span name \"{value}\" as a literal; use the ivm_obs::names constant"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if deterministic {
+            // no-ambient-time: wall clocks, sleeps and ambient RNGs.
+            let path_call = |head: &str, tail: &str| -> bool {
+                tok.ident() == Some(head)
+                    && punct_at(&code, i + 1, ':')
+                    && punct_at(&code, i + 2, ':')
+                    && ident_at(&code, i + 3) == Some(tail)
+            };
+            if path_call("Instant", "now") {
+                emit(
+                    RuleId::NoAmbientTime,
+                    tok,
+                    idx,
+                    true,
+                    "`Instant::now` in sim-deterministic code; results must be a pure function of the seed".into(),
+                );
+            } else if path_call("SystemTime", "now") {
+                emit(
+                    RuleId::NoAmbientTime,
+                    tok,
+                    idx,
+                    true,
+                    "`SystemTime::now` in sim-deterministic code".into(),
+                );
+            } else if path_call("thread", "sleep") {
+                emit(
+                    RuleId::NoAmbientTime,
+                    tok,
+                    idx,
+                    true,
+                    "`thread::sleep` in sim-deterministic code".into(),
+                );
+            } else if tok.ident() == Some("thread_rng") {
+                emit(
+                    RuleId::NoAmbientTime,
+                    tok,
+                    idx,
+                    true,
+                    "ambient RNG in sim-deterministic code; thread a seeded rng instead".into(),
+                );
+            }
+        }
+    }
+
+    report.sort();
+    report
+}
+
+/// Inline suppressions: `// ivm-lint: allow(rule[, rule…])` covers the
+/// comment's own line and the next; `allow-file(rule)` covers the file.
+#[derive(Debug, Default)]
+struct Suppressions {
+    /// rule → lines on which a same-or-next-line allow was written.
+    lines: BTreeMap<RuleId, BTreeSet<usize>>,
+    /// rules allowed for the whole file.
+    file_wide: BTreeSet<RuleId>,
+}
+
+impl Suppressions {
+    fn collect(tokens: &[Token]) -> Suppressions {
+        let mut s = Suppressions::default();
+        for tok in tokens {
+            let text = match &tok.kind {
+                TokenKind::LineComment(t) | TokenKind::BlockComment(t) => t,
+                _ => continue,
+            };
+            let Some(rest) = text.split("ivm-lint:").nth(1) else {
+                continue;
+            };
+            let rest = rest.trim_start();
+            let (file_wide, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+                (true, r)
+            } else if let Some(r) = rest.strip_prefix("allow(") {
+                (false, r)
+            } else {
+                continue;
+            };
+            let Some(end) = rest.find(')') else { continue };
+            for name in rest[..end].split(',') {
+                if let Some(rule) = RuleId::parse(name.trim()) {
+                    if file_wide {
+                        s.file_wide.insert(rule);
+                    } else {
+                        s.lines.entry(rule).or_default().insert(tok.line);
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    fn allows(&self, rule: RuleId, line: usize) -> bool {
+        if self.file_wide.contains(&rule) {
+            return true;
+        }
+        self.lines
+            .get(&rule)
+            .is_some_and(|ls| ls.contains(&line) || ls.contains(&line.saturating_sub(1)))
+    }
+}
+
+/// Lines bearing a `SAFETY:` comment.
+fn safety_comment_lines(tokens: &[Token]) -> BTreeSet<usize> {
+    tokens
+        .iter()
+        .filter_map(|t| match &t.kind {
+            TokenKind::LineComment(text) | TokenKind::BlockComment(text)
+                if text.contains("SAFETY:") =>
+            {
+                Some(t.line)
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Token-index spans `[start, end)` of items annotated `#[cfg(test)]`
+/// (or any `#[cfg(…)]` mentioning `test`, e.g. `all(test, …)`).
+fn test_region_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let code: Vec<(usize, &Token)> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_comment())
+        .collect();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 3 < code.len() {
+        let attr_start = code[i].1.is_punct('#')
+            && code[i + 1].1.is_punct('[')
+            && code[i + 2].1.ident() == Some("cfg")
+            && code[i + 3].1.is_punct('(');
+        if !attr_start {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body for `test`, then find its closing `]`.
+        let mut j = i + 4;
+        let mut depth = 1usize; // inside the cfg(...) parens
+        let mut mentions_test = false;
+        while j < code.len() && depth > 0 {
+            let t = code[j].1;
+            if t.is_punct('(') {
+                depth += 1;
+            } else if t.is_punct(')') {
+                depth -= 1;
+            } else if t.ident() == Some("test") {
+                mentions_test = true;
+            }
+            j += 1;
+        }
+        // j is just past the closing ')'; expect the attribute's ']'.
+        if j < code.len() && code[j].1.is_punct(']') {
+            j += 1;
+        }
+        if !mentions_test {
+            i = j;
+            continue;
+        }
+        // The annotated item runs to its matching closing brace (or a `;`
+        // for `mod name;` forms, which have no body to skip).
+        let mut k = j;
+        while k < code.len() && !code[k].1.is_punct('{') && !code[k].1.is_punct(';') {
+            k += 1;
+        }
+        if k < code.len() && code[k].1.is_punct('{') {
+            let mut braces = 0usize;
+            let mut end = k;
+            while end < code.len() {
+                let t = code[end].1;
+                if t.is_punct('{') {
+                    braces += 1;
+                } else if t.is_punct('}') {
+                    braces -= 1;
+                    if braces == 0 {
+                        break;
+                    }
+                }
+                end += 1;
+            }
+            spans.push((code[i].0, code[end.min(code.len() - 1)].0 + 1));
+            i = end + 1;
+        } else {
+            i = k + 1;
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot_cfg() -> LintConfig {
+        LintConfig {
+            metric_names: vec!["pool.chunks".into(), "filter.tuples_checked".into()],
+            span_names: vec!["execute".into()],
+            ..LintConfig::default()
+        }
+    }
+
+    const HOT: &str = "crates/parallel/src/lib.rs";
+    const COLD: &str = "crates/bench/src/lib.rs";
+
+    fn rules(path: &str, src: &str) -> Vec<RuleId> {
+        lint_file(path, src, &hot_cfg())
+            .findings
+            .iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_flagged_in_hot_path_only() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(rules(HOT, src), [RuleId::NoPanic]);
+        assert_eq!(rules(COLD, src), []);
+    }
+
+    #[test]
+    fn expect_and_panic_macros_flagged() {
+        let src = "fn f() { y.expect(\"m\"); panic!(\"boom\"); unreachable!(); }";
+        assert_eq!(
+            rules(HOT, src),
+            [RuleId::NoPanic, RuleId::NoPanic, RuleId::NoPanic]
+        );
+    }
+
+    #[test]
+    fn unwrap_in_comment_or_string_ignored() {
+        let src = "// x.unwrap()\nfn f() { let s = \"a.unwrap()\"; }";
+        assert_eq!(rules(HOT, src), []);
+    }
+
+    #[test]
+    fn unwrap_in_test_module_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { x.unwrap(); } }\nfn g() { y.unwrap(); }";
+        let found = lint_file(HOT, src, &hot_cfg());
+        assert_eq!(found.findings.len(), 1);
+        assert_eq!(found.findings[0].line, 3);
+    }
+
+    #[test]
+    fn literal_index_flagged() {
+        let src = "fn f(xs: &[u8]) -> u8 { xs[0] }";
+        assert_eq!(rules(HOT, src), [RuleId::NoUncheckedIndex]);
+        // Computed indices and ranges are not flagged.
+        assert_eq!(rules(HOT, "fn f(xs: &[u8], i: usize) -> u8 { xs[i] }"), []);
+        assert_eq!(rules(HOT, "fn f(xs: &[u8]) -> &[u8] { &xs[1..] }"), []);
+        // Array type annotations are not indexing.
+        assert_eq!(rules(HOT, "fn f(xs: [u8; 4]) {}"), []);
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let bad = "fn f() { unsafe { core(); } }";
+        assert_eq!(rules(COLD, bad), [RuleId::SafetyComment]);
+        let good =
+            "fn f() {\n    // SAFETY: the pointer outlives the call.\n    unsafe { core(); }\n}";
+        assert_eq!(rules(COLD, good), []);
+        // Comment too far above does not count.
+        let far =
+            "// SAFETY: stale\nfn a() {}\nfn b() {}\nfn c() {}\nfn f() { unsafe { core(); } }";
+        assert_eq!(rules(COLD, far), [RuleId::SafetyComment]);
+    }
+
+    #[test]
+    fn unsafe_in_tests_still_checked() {
+        let src = "#[cfg(test)]\nmod tests { fn f() { unsafe { x(); } } }";
+        assert_eq!(rules(COLD, src), [RuleId::SafetyComment]);
+    }
+
+    #[test]
+    fn metric_literal_flagged_outside_catalog() {
+        let src = "fn f(o: &Obs) { o.add(\"pool.chunks\", 1); }";
+        assert_eq!(rules(COLD, src), [RuleId::MetricLiteral]);
+        // The catalog itself is exempt.
+        assert_eq!(rules("crates/obs/src/names.rs", src), []);
+        // Unrelated literals are fine.
+        assert_eq!(rules(COLD, "fn f() { let s = \"pool.boats\"; }"), []);
+    }
+
+    #[test]
+    fn span_literal_flagged_only_in_span_calls() {
+        let src = "fn f(o: &Obs) { let _g = o.span(\"execute\"); }";
+        assert_eq!(rules(COLD, src), [RuleId::MetricLiteral]);
+        // The bare word "execute" elsewhere is prose, not a span name.
+        assert_eq!(rules(COLD, "fn f() { let s = \"execute\"; }"), []);
+    }
+
+    #[test]
+    fn ambient_time_flagged_in_deterministic_crates() {
+        let src = "fn f() { let t = Instant::now(); }";
+        assert_eq!(rules("crates/sim/src/lib.rs", src), [RuleId::NoAmbientTime]);
+        assert_eq!(rules("crates/obs/src/lib.rs", src), []);
+        assert_eq!(
+            rules(
+                "crates/storage/src/lib.rs",
+                "fn f() { let t = SystemTime::now(); }"
+            ),
+            [RuleId::NoAmbientTime]
+        );
+        assert_eq!(
+            rules("crates/core/src/manager.rs", "fn f() { thread::sleep(d); }"),
+            [RuleId::NoAmbientTime]
+        );
+        assert_eq!(
+            rules(
+                "crates/relational/src/lib.rs",
+                "fn f() { let mut r = thread_rng(); }"
+            ),
+            [RuleId::NoAmbientTime]
+        );
+    }
+
+    #[test]
+    fn inline_suppression_same_and_previous_line() {
+        let same = "fn f() { x.unwrap() } // ivm-lint: allow(no-panic) — invariant: x is Some";
+        let r = lint_file(HOT, same, &hot_cfg());
+        assert!(r.is_clean());
+        assert_eq!(r.suppressed, 1);
+        let above = "// ivm-lint: allow(no-panic) — checked above\nfn f() { x.unwrap() }";
+        assert!(lint_file(HOT, above, &hot_cfg()).is_clean());
+        // A suppression for a different rule does not apply.
+        let wrong = "// ivm-lint: allow(no-ambient-time)\nfn f() { x.unwrap() }";
+        assert_eq!(rules(HOT, wrong), [RuleId::NoPanic]);
+        // A suppression two lines up does not apply.
+        let far = "// ivm-lint: allow(no-panic)\n\nfn f() { x.unwrap() }";
+        assert_eq!(rules(HOT, far), [RuleId::NoPanic]);
+    }
+
+    #[test]
+    fn file_wide_suppression() {
+        let src = "// ivm-lint: allow-file(no-panic)\nfn f() { x.unwrap() }\nfn g() { y.unwrap() }";
+        let r = lint_file(HOT, src, &hot_cfg());
+        assert!(r.is_clean());
+        assert_eq!(r.suppressed, 2);
+    }
+
+    #[test]
+    fn multi_rule_suppression() {
+        let src =
+            "fn f() { t(Instant::now()).unwrap() } // ivm-lint: allow(no-panic, no-ambient-time)";
+        assert!(lint_file("crates/parallel/src/lib.rs", src, &hot_cfg()).is_clean());
+    }
+
+    #[test]
+    fn findings_carry_positions() {
+        let src = "fn f() {\n    x.unwrap();\n}";
+        let r = lint_file(HOT, src, &hot_cfg());
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].line, 2);
+        assert!(r.findings[0].col > 1);
+    }
+}

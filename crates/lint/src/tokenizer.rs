@@ -1,0 +1,483 @@
+//! A lightweight Rust tokenizer — enough lexical fidelity for the source
+//! lints, with no `syn`/`proc-macro2` dependency (the build container is
+//! offline; like `crates/compat/*` this stays plain `std`).
+//!
+//! The lexer understands exactly what the rules need to not lie:
+//!
+//! * line (`//`) and nested block (`/* */`) comments — kept as tokens so
+//!   [`crate::source`] can see `// SAFETY:` and `// ivm-lint: allow(...)`,
+//! * string literals: `"…"` with escapes, raw strings `r"…"`/`r#"…"#`,
+//!   byte and byte-raw strings — kept with their *decoded-enough* text so
+//!   the metric-literal rule can compare against the catalog,
+//! * char literals vs. lifetimes (`'a'` vs `'a`),
+//! * identifiers/keywords, integers (just enough to spot `xs[0]`), and
+//!   single-character punctuation.
+//!
+//! Everything carries a 1-based line/column so findings are clickable.
+
+/// What a token is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `unwrap`, …).
+    Ident(String),
+    /// `//`-style comment, text includes the slashes.
+    LineComment(String),
+    /// `/* */` comment (possibly nested), text includes delimiters.
+    BlockComment(String),
+    /// String literal of any flavor; payload is the raw contents between
+    /// the quotes (escapes left as written — catalog names contain none).
+    Str(String),
+    /// Char literal (contents between the quotes).
+    Char(String),
+    /// Lifetime (`'a` — without the quote).
+    Lifetime(String),
+    /// Integer or float literal as written.
+    Number(String),
+    /// Any other single character (`.`, `(`, `[`, `!`, …).
+    Punct(char),
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The classified token.
+    pub kind: TokenKind,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column of the token's first character.
+    pub col: usize,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self.kind, TokenKind::Punct(p) if p == c)
+    }
+
+    /// True for either comment flavor.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment(_) | TokenKind::BlockComment(_)
+        )
+    }
+}
+
+/// Tokenize Rust source. Never fails: unterminated constructs just run to
+/// end of input (the lints degrade gracefully on files rustc would reject).
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+    out: Vec<Token>,
+    _src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+            _src: src,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, line: usize, col: usize) {
+        self.out.push(Token { kind, line, col });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => {
+                    let text = self.take_line_comment();
+                    self.push(TokenKind::LineComment(text), line, col);
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    let text = self.take_block_comment();
+                    self.push(TokenKind::BlockComment(text), line, col);
+                }
+                '"' => {
+                    let text = self.take_string();
+                    self.push(TokenKind::Str(text), line, col);
+                }
+                'r' | 'b' if self.is_string_prefix() => {
+                    let text = self.take_prefixed_string();
+                    self.push(TokenKind::Str(text), line, col);
+                }
+                '\'' => self.take_char_or_lifetime(line, col),
+                c if c.is_alphabetic() || c == '_' => {
+                    let text = self.take_ident();
+                    self.push(TokenKind::Ident(text), line, col);
+                }
+                c if c.is_ascii_digit() => {
+                    let text = self.take_number();
+                    self.push(TokenKind::Number(text), line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct(c), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Is the `r`/`b` at the cursor the prefix of a raw/byte string (and
+    /// not the start of an identifier like `row`)?
+    fn is_string_prefix(&self) -> bool {
+        // Longest prefixes: br##"  r#"  b"  r"
+        let mut i = 1;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            i = 2;
+        }
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn take_line_comment(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            s.push(c);
+            self.bump();
+        }
+        s
+    }
+
+    fn take_block_comment(&mut self) -> String {
+        let mut s = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                s.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth = depth.saturating_sub(1);
+                s.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                s.push(c);
+                self.bump();
+            }
+        }
+        s
+    }
+
+    /// Plain `"…"` string: cursor on the opening quote.
+    fn take_string(&mut self) -> String {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // Keep the escape as written; consume the escaped char.
+                    s.push('\\');
+                    if let Some(e) = self.bump() {
+                        s.push(e);
+                    }
+                }
+                '"' => break,
+                _ => s.push(c),
+            }
+        }
+        s
+    }
+
+    /// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`: cursor on the `r`/`b`.
+    fn take_prefixed_string(&mut self) -> String {
+        let mut raw = false;
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        if self.peek(0) == Some('r') {
+            raw = true;
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut s = String::new();
+        while let Some(c) = self.bump() {
+            if c == '\\' && !raw {
+                s.push('\\');
+                if let Some(e) = self.bump() {
+                    s.push(e);
+                }
+                continue;
+            }
+            if c == '"' {
+                // A raw string only closes on `"` followed by its hashes.
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            s.push(c);
+        }
+        s
+    }
+
+    /// Distinguish `'a'`/`'\n'` (char) from `'a` (lifetime). Cursor on the
+    /// opening quote.
+    fn take_char_or_lifetime(&mut self, line: usize, col: usize) {
+        self.bump(); // quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal.
+                let mut s = String::new();
+                s.push(self.bump().unwrap_or('\\'));
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                    s.push(c);
+                }
+                self.push(TokenKind::Char(s), line, col);
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                if self.peek(1) == Some('\'') {
+                    // 'x' — a char literal.
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::Char(c.to_string()), line, col);
+                } else {
+                    // 'ident — a lifetime.
+                    let text = self.take_ident();
+                    self.push(TokenKind::Lifetime(text), line, col);
+                }
+            }
+            Some(c) => {
+                // Punctuation char literal like '(' or unterminated quote.
+                if self.peek(1) == Some('\'') {
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::Char(c.to_string()), line, col);
+                } else {
+                    self.push(TokenKind::Punct('\''), line, col);
+                }
+            }
+            None => self.push(TokenKind::Punct('\''), line, col),
+        }
+    }
+
+    fn take_ident(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn take_number(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek(0) {
+            // Good enough for `0`, `0x1f`, `1_000`, `1.5e3`, `0usize`.
+            if c.is_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn basic_idents_and_punct() {
+        let toks = tokenize("let x = a.unwrap();");
+        assert_eq!(idents("let x = a.unwrap();"), ["let", "x", "a", "unwrap"]);
+        assert!(toks.iter().any(|t| t.is_punct('.')));
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].col, 1);
+    }
+
+    #[test]
+    fn comments_are_tokens_not_code() {
+        let toks = tokenize("// unwrap()\n/* expect( */ real");
+        assert_eq!(idents("// unwrap()\n/* expect( */ real"), ["real"]);
+        assert!(matches!(&toks[0].kind, TokenKind::LineComment(t) if t.contains("unwrap")));
+        assert!(matches!(&toks[1].kind, TokenKind::BlockComment(t) if t.contains("expect")));
+        assert_eq!(toks[2].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = tokenize("/* a /* b */ c */ x");
+        assert_eq!(idents("/* a /* b */ c */ x"), ["x"]);
+        assert!(matches!(&toks[0].kind, TokenKind::BlockComment(t) if t.contains('c')));
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let toks = tokenize(r#"let s = "unwrap() // not a comment";"#);
+        assert_eq!(
+            idents(r#"let s = "unwrap() // not a comment";"#),
+            ["let", "s"]
+        );
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Str(s) if s.contains("unwrap"))));
+    }
+
+    #[test]
+    fn string_payload_extracted() {
+        let toks = tokenize(r#"obs.add("pool.chunks", 1);"#);
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Str(s) if s == "pool.chunks")));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = tokenize(r##"let a = r#"filter.x "quoted""#; let b = b"bytes"; let r = row;"##);
+        let strs: Vec<&String> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Str(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[0].contains("filter.x"));
+        assert_eq!(strs[1], "bytes");
+        // `row` must lex as an identifier, not a raw-string prefix.
+        assert!(toks.iter().any(|t| t.ident() == Some("row")));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let toks = tokenize(r#"let s = "a\"b"; next"#);
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Str(s) if s == "a\\\"b")));
+        assert!(toks.iter().any(|t| t.ident() == Some("next")));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = tokenize("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<&String> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Lifetime(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, [&"a".to_string(), &"a".to_string()]);
+        let chars: Vec<&String> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Char(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn numbers_lex() {
+        let toks = tokenize("xs[0]; ys[1_000]; z = 0x1f;");
+        let nums: Vec<&String> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Number(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            nums,
+            [&"0".to_string(), &"1_000".to_string(), &"0x1f".to_string()]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = tokenize("a\n  b\n    c");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!((toks[2].line, toks[2].col), (3, 5));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_hang() {
+        tokenize("let s = \"never closed");
+        tokenize("/* never closed");
+        tokenize("let c = '");
+    }
+}

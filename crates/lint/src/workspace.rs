@@ -1,0 +1,166 @@
+//! Walking a workspace tree and linting every Rust source file.
+//!
+//! The walk starts at the workspace root, visits `.rs` files under any
+//! directory except `target/`, `.git/` and `fixtures/` (the seeded
+//! regression trees under `crates/lint/fixtures` must not lint the real
+//! workspace run), and applies [`crate::source::lint_file`] to each.
+//! Integration-test and bench trees (`tests/`, `benches/`) keep only the
+//! `safety-comment` rule — everything else is a production-code rule.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::LintConfig;
+use crate::diag::{Report, RuleId};
+use crate::source::lint_file;
+
+/// Load the metric/span catalog out of `cfg.catalog_file` under `root`
+/// into the config, so the `metric-literal` rule knows the names.
+pub fn load_catalog(root: &Path, cfg: &mut LintConfig) -> io::Result<()> {
+    let path = root.join(&cfg.catalog_file);
+    let text = fs::read_to_string(path)?;
+    let catalog = crate::catalog::Catalog::parse(&text);
+    cfg.metric_names = catalog.metric_names();
+    cfg.span_names = catalog.span_names();
+    Ok(())
+}
+
+/// Recursively collect `.rs` files under `root`, repo-relative with `/`
+/// separators, in sorted order (deterministic reports).
+pub fn rust_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue, // unreadable dirs are skipped, not fatal
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Is this a test/bench tree where only `safety-comment` applies?
+pub fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.contains("/tests/")
+        || rel.starts_with("benches/")
+        || rel.contains("/benches/")
+}
+
+/// Lint every Rust file under `root` with the given config (call
+/// [`load_catalog`] first for `metric-literal` coverage).
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> io::Result<Report> {
+    let mut report = Report::default();
+    for rel in rust_files(root)? {
+        let text = fs::read_to_string(root.join(&rel))?;
+        let mut file_report = lint_file(&rel, &text, cfg);
+        if is_test_path(&rel) {
+            file_report
+                .findings
+                .retain(|f| f.rule == RuleId::SafetyComment);
+        }
+        report.merge(file_report);
+    }
+    report.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(dir: &Path, rel: &str, text: &str) {
+        let p = dir.join(rel);
+        fs::create_dir_all(p.parent().unwrap()).unwrap();
+        fs::write(p, text).unwrap();
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ivm-lint-ws-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn walks_and_scopes() {
+        let d = tmpdir("walk");
+        write(&d, "crates/parallel/src/lib.rs", "fn f() { x.unwrap(); }");
+        write(&d, "crates/other/src/lib.rs", "fn f() { x.unwrap(); }");
+        write(&d, "target/debug/gen.rs", "fn f() { x.unwrap(); }");
+        write(
+            &d,
+            "crates/lint/fixtures/bad/crates/parallel/src/lib.rs",
+            "fn f() { x.unwrap(); }",
+        );
+        let cfg = LintConfig::default();
+        let report = lint_workspace(&d, &cfg).unwrap();
+        // Only the real hot-path file fires; target/ and fixtures/ are
+        // skipped entirely, the non-hot crate is out of scope.
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].file, "crates/parallel/src/lib.rs");
+        assert_eq!(report.scanned, 2);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn test_trees_keep_only_safety_rule() {
+        let d = tmpdir("tests");
+        write(
+            &d,
+            "tests/integration.rs",
+            "fn f() { x.unwrap(); unsafe { y(); } }",
+        );
+        // tests/ is not a hot path, but make one that would fire anyway:
+        write(
+            &d,
+            "crates/storage/tests/t.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        let cfg = LintConfig::default();
+        let report = lint_workspace(&d, &cfg).unwrap();
+        assert_eq!(report.findings.len(), 1, "{report}");
+        assert_eq!(report.findings[0].rule, RuleId::SafetyComment);
+        let _ = fs::remove_dir_all(&d);
+    }
+
+    #[test]
+    fn catalog_loading_feeds_metric_rule() {
+        let d = tmpdir("catalog");
+        write(
+            &d,
+            "crates/obs/src/names.rs",
+            "/// X.\npub const A: &str = \"pool.chunks\";\npub const S: &str = \"execute\";",
+        );
+        write(
+            &d,
+            "crates/core/src/x.rs",
+            "fn f(o: &Obs) { o.add(\"pool.chunks\", 1); }",
+        );
+        let mut cfg = LintConfig::default();
+        load_catalog(&d, &mut cfg).unwrap();
+        assert_eq!(cfg.metric_names, ["pool.chunks"]);
+        assert_eq!(cfg.span_names, ["execute"]);
+        let report = lint_workspace(&d, &cfg).unwrap();
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, RuleId::MetricLiteral);
+        let _ = fs::remove_dir_all(&d);
+    }
+}

@@ -43,6 +43,8 @@
 
 #![warn(missing_docs)]
 
+pub mod model;
+
 use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::time::Instant;
@@ -166,8 +168,10 @@ impl Pool {
         if !obs.enabled() {
             return self.map_chunks(n, f);
         }
+        // ivm-lint: allow(no-ambient-time) — observational timing only, behind obs.enabled(); results are bit-identical with and without it
         let dispatched = Instant::now();
         self.map_chunks(n, |range| {
+            // ivm-lint: allow(no-ambient-time) — observational timing only, never influences chunking or results
             let started = Instant::now();
             let wait = started.duration_since(dispatched);
             let out = f(range);

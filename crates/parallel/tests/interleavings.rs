@@ -1,0 +1,117 @@
+//! Exhaustive schedule exploration of the pool's coordination
+//! protocols, via the mini-loom model checker in `ivm_parallel::model`.
+//!
+//! These tests pin the PR's acceptance bar: the error-selection and
+//! shutdown models each cover well over 100 distinct interleavings, the
+//! exploration is bit-identical across runs, and the harness actually
+//! catches a schedule-dependence bug when handed one.
+
+use ivm_parallel::model::{
+    replay, Explorer, FirstErrorModel, Model, ScheduleBug, Selection, ShutdownModel, Status,
+};
+
+/// try_map's protocol: two failing chunks in different positions, so a
+/// racy selection could surface either error depending on the schedule.
+fn error_model() -> FirstErrorModel {
+    FirstErrorModel {
+        chunks: vec![
+            vec![Ok(10), Err(17)],
+            vec![Ok(20), Ok(21)],
+            vec![Ok(30), Err(63)],
+        ],
+        selection: Selection::InputOrder,
+    }
+}
+
+/// map_chunks' shutdown: three workers, the middle one panics mid-chunk.
+fn shutdown_model() -> ShutdownModel {
+    ShutdownModel {
+        steps_per_worker: vec![2, 3, 2],
+        panics: vec![(1, 1)],
+    }
+}
+
+#[test]
+fn first_error_selection_holds_under_all_interleavings() {
+    let model = error_model();
+    let stats = Explorer::default()
+        .explore(&model)
+        .expect("input-order selection must be schedule independent");
+    assert!(
+        stats.interleavings >= 100,
+        "exhaustive coverage too small: {stats:?}"
+    );
+    assert_eq!(model.oracle(), Err(17), "earliest error in input order");
+}
+
+#[test]
+fn shutdown_joins_every_worker_under_all_interleavings() {
+    let model = shutdown_model();
+    let stats = Explorer::default()
+        .explore(&model)
+        .expect("scope shutdown must never leak a worker or lose a panic");
+    assert!(
+        stats.interleavings >= 100,
+        "exhaustive coverage too small: {stats:?}"
+    );
+}
+
+#[test]
+fn clean_shutdown_without_panics_is_also_covered() {
+    let model = ShutdownModel {
+        steps_per_worker: vec![2, 2, 2],
+        panics: vec![],
+    };
+    let stats = Explorer::default().explore(&model).expect("clean path");
+    assert!(stats.interleavings >= 100, "{stats:?}");
+    assert_eq!(model.expected_panic(), None);
+}
+
+#[test]
+fn exploration_is_deterministic_across_runs() {
+    for model in [error_model(), error_model()] {
+        let a = Explorer::default().explore(&model).unwrap();
+        let b = Explorer::default().explore(&model).unwrap();
+        assert_eq!(a, b, "two explorations of the same model must agree");
+    }
+    let a = Explorer::default().explore(&shutdown_model()).unwrap();
+    let b = Explorer::default().explore(&shutdown_model()).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn harness_catches_completion_order_bug_with_replayable_counterexample() {
+    let model = FirstErrorModel {
+        selection: Selection::CompletionOrder,
+        ..error_model()
+    };
+    let ScheduleBug { schedule, message } = Explorer::default()
+        .explore(&model)
+        .expect_err("completion-order selection is schedule dependent");
+    assert!(message.contains("schedule-dependent"), "{message}");
+    // The counterexample is a complete, replayable schedule.
+    replay(&model, &schedule).expect("counterexample must replay");
+}
+
+#[test]
+fn model_semantics_match_the_real_pool() {
+    // The model's oracle and the real try_map agree on the same inputs,
+    // at several widths — tying the abstraction back to the code it
+    // models.
+    let items: Vec<Result<u64, u64>> = vec![Ok(10), Err(17), Ok(20), Ok(21), Ok(30), Err(63)];
+    let expected = error_model().oracle();
+    for threads in [1, 2, 3, 8] {
+        let got = ivm_parallel::Pool::new(threads).try_map(&items, |item| *item);
+        assert_eq!(got, expected, "threads={threads}");
+    }
+}
+
+#[test]
+fn blocked_threads_never_step() {
+    // The main thread must be Blocked until worker 0 finishes — the
+    // join-order constraint that makes input-order selection sound.
+    let model = error_model();
+    let state = model.init();
+    let main = model.threads() - 1;
+    assert_eq!(model.status(&state, main), Status::Blocked);
+}

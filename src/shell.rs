@@ -13,6 +13,7 @@
 //! stats                                      session-wide metrics snapshot
 //! refresh <view>                             fold pending changes in
 //! check <rel> (<tuple>) against <view>       Theorem 4.1 relevance verdict
+//! analyze [<view> | from <body>]             definition-time static analysis
 //! verify                                     compare views vs full re-eval
 //! open <dir>                                 switch to a durable session
 //! checkpoint                                 atomic snapshot of the session
@@ -113,6 +114,7 @@ impl Shell {
                 Ok(format!("view {rest} refreshed"))
             }
             "check" => self.cmd_check(rest),
+            "analyze" => self.cmd_analyze(rest),
             "dump" => self.dump_script(),
             "save" => {
                 let script = self.dump_script()?;
@@ -185,47 +187,69 @@ impl Shell {
             Some(p) if p.eq_ignore_ascii_case("ondemand") => RefreshPolicy::OnDemand,
             Some(p) => return Err(parse_err(format!("unknown policy {p:?}"))),
         };
-        let body = body.trim();
-        let lower = body.to_ascii_lowercase();
-        if !lower.starts_with("from ") {
-            return Err(parse_err("view body must start with `from`"));
+        let expr = parse_view_body(body)?;
+        // Definition-time static analysis (Frontend B of `ivm-lint`): a
+        // statically-unsatisfiable condition means the materialization is
+        // empty for every database instance — registering it is a bug in
+        // the definition, so the shell refuses outright. Softer findings
+        // (dead disjuncts, redundant atoms) register fine but warn.
+        let analysis = ivm_lint::analyze_view(name, &expr, self.manager.database());
+        if !analysis.satisfiable {
+            return Err(parse_err(format!(
+                "view {name} rejected: condition is statically unsatisfiable \
+                 (empty for every database instance)\n{analysis}"
+            )));
         }
-        let after_from = &body[5..];
-        let lower_after = after_from.to_ascii_lowercase();
-        let where_pos = lower_after.find(" where ");
-        let project_pos = lower_after.find(" project ");
-        let rel_end = [where_pos, project_pos]
-            .into_iter()
-            .flatten()
-            .min()
-            .unwrap_or(after_from.len());
-        let relations: Vec<String> = after_from[..rel_end]
-            .split(',')
-            .map(|s| s.trim().to_string())
-            .filter(|s| !s.is_empty())
-            .collect();
-        let condition = match where_pos {
-            None => Condition::always_true(),
-            Some(pos) => {
-                let start = pos + " where ".len();
-                let end = match project_pos {
-                    Some(p) if p > pos => p,
-                    _ => after_from.len(),
-                };
-                parse_condition(&after_from[start..end])?
-            }
-        };
-        let projection = match project_pos {
-            None => None,
-            Some(pos) => {
-                let start = pos + " project ".len();
-                let schema = parse_schema(&after_from[start..])?;
-                Some(schema.attrs().to_vec())
-            }
-        };
-        let expr = SpjExpr::new(relations, condition, projection);
         self.manager.register_view(name, expr.clone(), policy)?;
-        Ok(format!("registered {name} := {expr}"))
+        let mut out = format!("registered {name} := {expr}");
+        if !analysis.is_clean() {
+            out.push_str(&format!(
+                "\nwarning: definition-time findings (run `\\analyze {name}`):\n{}",
+                analysis.to_string().trim_end()
+            ));
+        }
+        Ok(out)
+    }
+
+    /// `analyze` — definition-time static analysis of view definitions
+    /// (Frontend B of `ivm-lint`). Three forms:
+    ///
+    /// * `analyze` — every registered view
+    /// * `analyze <view>` — one registered view
+    /// * `analyze from …` — an ad-hoc candidate definition, without
+    ///   registering it (the only way to inspect the full report of an
+    ///   unsatisfiable definition, since `view` refuses to register one)
+    fn cmd_analyze(&self, rest: &str) -> Result<String> {
+        if rest.to_ascii_lowercase().starts_with("from") {
+            let expr = parse_view_body(rest)?;
+            let r = ivm_lint::analyze_view("<candidate>", &expr, self.manager.database());
+            return Ok(r.to_string().trim_end().to_string());
+        }
+        let names: Vec<&str> = if rest.is_empty() {
+            self.manager.view_names().collect()
+        } else {
+            if !self.manager.view_names().any(|n| n == rest) {
+                return Err(parse_err(format!("unknown view `{rest}`")));
+            }
+            vec![rest]
+        };
+        if names.is_empty() {
+            return Ok("no views registered — try `analyze from R where ...`".into());
+        }
+        let mut out = String::new();
+        let mut findings = 0;
+        for name in names {
+            let Ok(expr) = self.manager.view_expr(name) else {
+                // Tree views have no SPJ definition to analyze.
+                out.push_str(&format!("view {name}: tree view, skipped\n"));
+                continue;
+            };
+            let r = ivm_lint::analyze_view(name, &expr, self.manager.database());
+            findings += r.to_report().findings.len();
+            out.push_str(&r.to_string());
+        }
+        out.push_str(&format!("{findings} definition-time finding(s)"));
+        Ok(out)
     }
 
     fn cmd_change(&mut self, rest: &str, is_insert: bool) -> Result<String> {
@@ -413,6 +437,51 @@ impl Shell {
     }
 }
 
+/// Parse a view body — `from R, S [where <cond>] [project <attrs>]` —
+/// into an [`SpjExpr`]. Shared by `view` (registration) and `analyze`
+/// (ad-hoc candidate analysis).
+fn parse_view_body(body: &str) -> Result<SpjExpr> {
+    let body = body.trim();
+    let lower = body.to_ascii_lowercase();
+    if !lower.starts_with("from ") {
+        return Err(parse_err("view body must start with `from`"));
+    }
+    let after_from = &body[5..];
+    let lower_after = after_from.to_ascii_lowercase();
+    let where_pos = lower_after.find(" where ");
+    let project_pos = lower_after.find(" project ");
+    let rel_end = [where_pos, project_pos]
+        .into_iter()
+        .flatten()
+        .min()
+        .unwrap_or(after_from.len());
+    let relations: Vec<String> = after_from[..rel_end]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let condition = match where_pos {
+        None => Condition::always_true(),
+        Some(pos) => {
+            let start = pos + " where ".len();
+            let end = match project_pos {
+                Some(p) if p > pos => p,
+                _ => after_from.len(),
+            };
+            parse_condition(&after_from[start..end])?
+        }
+    };
+    let projection = match project_pos {
+        None => None,
+        Some(pos) => {
+            let start = pos + " project ".len();
+            let schema = parse_schema(&after_from[start..])?;
+            Some(schema.attrs().to_vec())
+        }
+    };
+    Ok(SpjExpr::new(relations, condition, projection))
+}
+
 /// Render a tuple in the shell's literal syntax (strings always quoted).
 fn render_tuple(t: &Tuple) -> String {
     let fields: Vec<String> = t
@@ -482,6 +551,7 @@ begin / insert <rel> (<t>) / delete <rel> (<t>) / commit
 show <rel-or-view> | stats [<view>] | refresh <view>
 stats without a view prints the session-wide metrics snapshot
 check <rel> (<tuple>) against <view>          Theorem 4.1 relevance verdict
+analyze [<view> | from <body>]                definition-time static analysis
 dump | save <file> | source <file>            persist / replay a session
 open <dir>                                    switch to a durable (WAL-backed) session
 checkpoint                                    write an atomic snapshot of the session
@@ -705,6 +775,56 @@ mod tests {
         );
         assert!(out.contains("reclaimed"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unsatisfiable_view_is_rejected_at_create_time() {
+        let mut s = seeded();
+        let err = s
+            .dispatch("view dead = from R, S where A < 5 and A > 10")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("statically unsatisfiable"), "{err}");
+        assert!(err.contains("always-irrelevant"), "{err}");
+        // Nothing was registered; the shell keeps working.
+        assert!(s.manager().view_names().next().is_none());
+        assert!(s.dispatch("show R").unwrap().contains("(1, 10)"));
+    }
+
+    #[test]
+    fn redundant_predicate_warns_but_registers() {
+        let mut s = seeded();
+        let out = s
+            .dispatch("view v = from R, S where A < 5 and A < 10")
+            .unwrap();
+        assert!(out.contains("registered v"), "{out}");
+        assert!(out.contains("redundant"), "{out}");
+        assert!(s.dispatch("verify").unwrap().contains('✓'));
+    }
+
+    #[test]
+    fn analyze_command_reports_all_views() {
+        let mut s = seeded();
+        s.dispatch("view clean = from R, S where A < 10").unwrap();
+        s.dispatch("view dup = from R where A < 5 and A < 10")
+            .unwrap();
+        let out = s.dispatch("\\analyze").unwrap();
+        assert!(out.contains("view clean"), "{out}");
+        assert!(out.contains("view dup"), "{out}");
+        assert!(out.contains("1 definition-time finding(s)"), "{out}");
+        let one = s.dispatch("analyze clean").unwrap();
+        assert!(one.contains("clean: no definition-time findings"), "{one}");
+    }
+
+    #[test]
+    fn analyze_adhoc_prints_unsat_and_always_irrelevant() {
+        let mut s = seeded();
+        let out = s
+            .dispatch("analyze from R, S where A < 5 and A > 10 and C > 0")
+            .unwrap();
+        assert!(out.contains("UNSATISFIABLE"), "{out}");
+        assert!(out.contains("always-irrelevant"), "{out}");
+        assert!(out.contains("`R`"), "{out}");
     }
 
     #[test]

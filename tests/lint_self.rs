@@ -1,0 +1,207 @@
+//! The workspace lints itself: `ivm-lint`'s two frontends run against
+//! this very repository as an integration test.
+//!
+//! * Frontend A must come back clean against the committed
+//!   `lint-baseline.toml` — the same gate `ci/analyze.sh` enforces — and
+//!   the baseline must carry no stale ceilings (ratchet discipline).
+//! * The seeded regression fixture must trip every source rule, so the
+//!   gate's self-test can never silently go blind.
+//! * Frontend B's `always-irrelevant` verdict is cross-checked against
+//!   the Theorem 4.1 relevance oracle: every tuple of the flagged
+//!   relation must be classified irrelevant by `RelevanceFilter`, and a
+//!   clean view must admit at least one relevant tuple.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ivm::prelude::*;
+use ivm_lint::{analyze_view, lint_workspace, load_catalog, Baseline, LintConfig, RuleId};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn scan_workspace() -> ivm_lint::Report {
+    let root = workspace_root();
+    let mut cfg = LintConfig::default();
+    load_catalog(root, &mut cfg).expect("obs catalog must parse");
+    lint_workspace(root, &cfg).expect("workspace scan")
+}
+
+#[test]
+fn workspace_is_lint_clean_against_committed_baseline() {
+    let report = scan_workspace();
+    let baseline_text = std::fs::read_to_string(workspace_root().join("lint-baseline.toml"))
+        .expect("lint-baseline.toml is committed");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
+    let outcome = baseline.apply(&report);
+    assert!(
+        outcome.regressions.is_empty(),
+        "new lint findings (fix them or, with a written reason, baseline them):\n{}",
+        outcome
+            .regressions
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn baseline_carries_no_stale_ceilings() {
+    let report = scan_workspace();
+    let baseline_text = std::fs::read_to_string(workspace_root().join("lint-baseline.toml"))
+        .expect("lint-baseline.toml is committed");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
+    let outcome = baseline.apply(&report);
+    assert!(
+        outcome.stale.is_empty(),
+        "baseline ceilings exceed reality — ratchet them down: {:?}",
+        outcome.stale
+    );
+}
+
+#[test]
+fn regression_fixture_trips_every_source_rule() {
+    let root = workspace_root().join("crates/lint/fixtures/regression");
+    let mut cfg = LintConfig::default();
+    load_catalog(&root, &mut cfg).expect("fixture catalog");
+    let report = lint_workspace(&root, &cfg).expect("fixture scan");
+    let hit: BTreeSet<&str> = report.findings.iter().map(|f| f.rule.name()).collect();
+    for rule in [
+        RuleId::NoPanic,
+        RuleId::NoUncheckedIndex,
+        RuleId::SafetyComment,
+        RuleId::MetricLiteral,
+        RuleId::NoAmbientTime,
+    ] {
+        assert!(
+            hit.contains(rule.name()),
+            "fixture no longer trips `{}` — the analyze.sh self-test is blind to it; hit: {hit:?}",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn metrics_doc_and_catalog_agree_via_the_lint_engine() {
+    // The exact check ci/check_metrics.sh wraps.
+    let doc = std::fs::read_to_string(workspace_root().join("docs/OBSERVABILITY.md")).unwrap();
+    let catalog =
+        std::fs::read_to_string(workspace_root().join("crates/obs/src/names.rs")).unwrap();
+    let diff = ivm_lint::catalog::check_metrics_doc(&doc, &catalog);
+    assert!(
+        diff.is_clean(),
+        "doc/catalog drift: missing {:?}, undocumented {:?}",
+        diff.missing_in_catalog,
+        diff.undocumented
+    );
+    assert!(
+        diff.agreed > 10,
+        "suspiciously few metrics: {}",
+        diff.agreed
+    );
+}
+
+/// R(A,B) ⋈ S(C,D) database used by the Frontend B oracle checks.
+fn two_relation_db() -> Database {
+    let mut db = Database::new();
+    db.create("R", Schema::new(["A", "B"]).unwrap()).unwrap();
+    db.create("S", Schema::new(["C", "D"]).unwrap()).unwrap();
+    db
+}
+
+#[test]
+fn always_irrelevant_verdict_agrees_with_the_relevance_oracle() {
+    let db = two_relation_db();
+    // Contradiction confined to R's attributes; S stays satisfiable.
+    let view = SpjExpr::new(
+        ["R", "S"],
+        Condition::conjunction([
+            Atom::lt_const("A", 5),
+            Atom::gt_const("A", 10),
+            Atom::gt_const("C", 0),
+        ]),
+        None,
+    );
+    let analysis = analyze_view("dead", &view, &db);
+    assert!(!analysis.satisfiable, "{analysis}");
+    assert_eq!(analysis.always_irrelevant, ["R"], "{analysis}");
+
+    // Degenerate Theorem 4.2: the definition-time verdict promises the
+    // runtime filter rejects *every* tuple of R. Check a random sample
+    // plus the boundary values of the contradictory range.
+    let filter = RelevanceFilter::new(&view, &db, "R").unwrap();
+    let mut rng = StdRng::seed_from_u64(0x1986);
+    for _ in 0..200 {
+        let t = Tuple::from([rng.gen_range(-50..50), rng.gen_range(-50..50)]);
+        assert!(
+            !filter.is_relevant(&t).unwrap(),
+            "analysis says always-irrelevant but {t} is relevant"
+        );
+    }
+    for a in [4, 5, 10, 11] {
+        let t = Tuple::from([a, 0]);
+        assert!(!filter.is_relevant(&t).unwrap(), "boundary {t}");
+    }
+}
+
+#[test]
+fn clean_views_admit_relevant_tuples() {
+    // The converse direction: a view the analysis calls clean must have
+    // at least one relevant tuple per relation — otherwise the analysis
+    // missed an always-irrelevant pair.
+    let db = two_relation_db();
+    let view = SpjExpr::new(
+        ["R", "S"],
+        Condition::conjunction([Atom::lt_const("A", 10), Atom::gt_const("C", 0)]),
+        None,
+    );
+    let analysis = analyze_view("live", &view, &db);
+    assert!(analysis.is_clean(), "{analysis}");
+    for rel in ["R", "S"] {
+        let filter = RelevanceFilter::new(&view, &db, rel).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let found = (0..500).any(|_| {
+            let t = Tuple::from([rng.gen_range(-20..20), rng.gen_range(-20..20)]);
+            filter.is_relevant(&t).unwrap()
+        });
+        assert!(found, "no relevant tuple found for clean view on {rel}");
+    }
+}
+
+#[test]
+fn unsat_view_oracle_view_stays_empty_under_updates() {
+    // An unsat-view verdict means the materialization is empty in every
+    // state — drive the real engine and watch it stay empty.
+    let view = SpjExpr::new(
+        ["R", "S"],
+        Condition::conjunction([Atom::lt_const("A", 0), Atom::gt_const("A", 0)]),
+        None,
+    );
+    let analysis = analyze_view("dead", &view, &two_relation_db());
+    assert!(!analysis.satisfiable);
+
+    let mut m = ViewManager::new();
+    m.create_relation("R", Schema::new(["A", "B"]).unwrap())
+        .unwrap();
+    m.create_relation("S", Schema::new(["C", "D"]).unwrap())
+        .unwrap();
+    m.register_view("dead", view, RefreshPolicy::Immediate)
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..30 {
+        let mut txn = Transaction::new();
+        let name = if rng.gen_bool(0.5) { "R" } else { "S" };
+        let t = Tuple::from([rng.gen_range(-5..5), rng.gen_range(-5..5)]);
+        if !m.database().relation(name).unwrap().contains(&t) {
+            txn.insert(name, t).unwrap();
+            m.execute(&txn).unwrap();
+        }
+        assert!(m.view_contents("dead").unwrap().is_empty());
+    }
+    m.verify_consistency().unwrap();
+}
