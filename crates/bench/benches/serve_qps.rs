@@ -1,0 +1,95 @@
+//! serve_qps — serving-layer round-trip cost over loopback TCP.
+//!
+//! Measures a live `ivm-serve` server (demo schema, see
+//! `ivm_serve::scenario`): per-operation wall time of a closed-loop
+//! client, i.e. the reciprocal of single-session QPS. Three mixes:
+//!
+//! * `mixed_90_10` — the canonical 90% snapshot reads / 10% write
+//!   transactions stream (seeded, deterministic);
+//! * `query_hot`   — pure snapshot reads of a selection view;
+//! * `execute_insert` — pure single-row write transactions.
+//!
+//! The CI smoke job (`ci/serve_smoke.sh`) complements this with a
+//! multi-client run and a warn-only QPS floor; this bench is the
+//! regression-tracked per-op number in `BENCH_pr.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ivm::prelude::*;
+use ivm_serve::{scenario, Client, Server};
+use ivm_sim::{ClientOp, ClientOpStream};
+
+fn demo_server() -> Server {
+    let mut mgr = ViewManager::new();
+    scenario::install(&mut mgr).unwrap();
+    Server::start(mgr, "127.0.0.1:0").unwrap()
+}
+
+fn apply(conn: &mut Client, op: ClientOp) -> u64 {
+    match op {
+        ClientOp::Query { view } => {
+            let (epoch, rows) = conn.query(&view).unwrap();
+            epoch.wrapping_add(rows.len() as u64)
+        }
+        ClientOp::Insert { relation, row } => {
+            let mut txn = Transaction::new();
+            txn.insert(relation, int_row(&row)).unwrap();
+            let (t, m) = conn.execute(txn).unwrap();
+            u64::from(t + m)
+        }
+        ClientOp::Delete { relation, row } => {
+            let mut txn = Transaction::new();
+            txn.delete(relation, int_row(&row)).unwrap();
+            let (t, m) = conn.execute(txn).unwrap();
+            u64::from(t + m)
+        }
+    }
+}
+
+fn int_row(row: &[i64]) -> Tuple {
+    Tuple::from(row.iter().copied().map(Value::Int).collect::<Vec<Value>>())
+}
+
+fn bench_serve_roundtrips(c: &mut Criterion) {
+    let server = demo_server();
+    let addr = server.addr().to_string();
+    let mut group = c.benchmark_group("serve_qps");
+    group.sample_size(20);
+
+    {
+        let mut conn = Client::connect(addr.as_str()).unwrap();
+        let mut ops = ClientOpStream::new(&scenario::load_spec(42, 90), 0);
+        group.bench_with_input(BenchmarkId::new("mixed_90_10", 1), &1, |b, _| {
+            b.iter(|| {
+                let op = ops.next().unwrap();
+                black_box(apply(&mut conn, op))
+            })
+        });
+    }
+
+    {
+        let mut conn = Client::connect(addr.as_str()).unwrap();
+        group.bench_with_input(BenchmarkId::new("query_hot", 1), &1, |b, _| {
+            b.iter(|| black_box(conn.query("big_orders").unwrap().0))
+        });
+    }
+
+    {
+        let mut conn = Client::connect(addr.as_str()).unwrap();
+        // A write-only stream: unique keys, occasional deletes.
+        let mut ops = ClientOpStream::new(&scenario::load_spec(43, 0), 1);
+        group.bench_with_input(BenchmarkId::new("execute_insert", 1), &1, |b, _| {
+            b.iter(|| {
+                let op = ops.next().unwrap();
+                black_box(apply(&mut conn, op))
+            })
+        });
+    }
+
+    group.finish();
+    server.stop().unwrap();
+}
+
+criterion_group!(benches, bench_serve_roundtrips);
+criterion_main!(benches);

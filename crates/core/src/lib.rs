@@ -63,6 +63,7 @@ pub mod full_reval;
 pub mod integrity;
 pub mod manager;
 pub mod relevance;
+pub mod snapshot;
 pub mod stats;
 pub mod view;
 pub mod workload;
@@ -82,6 +83,7 @@ pub mod prelude {
         ViewManager,
     };
     pub use crate::relevance::{combination_relevant, relevance_witness, RelevanceFilter};
+    pub use crate::snapshot::{digest_views, SnapshotHandle, SnapshotHub, ViewSnapshot};
     pub use crate::stats::DiffStats;
     pub use crate::view::{MaterializedView, ViewDefinition};
     pub use crate::workload::Workload;

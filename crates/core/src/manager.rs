@@ -222,6 +222,10 @@ pub struct ViewManager {
     /// the default — skips every check). Installed by tests and the
     /// deterministic simulator via [`ViewManager::set_failpoints`].
     pub(crate) failpoints: Option<Arc<ivm_storage::FailpointPlan>>,
+    /// Snapshot publication hub for concurrent readers (see
+    /// [`crate::snapshot`]). Dormant — one atomic load per commit — until
+    /// [`ViewManager::snapshots`] arms it.
+    pub(crate) snapshots: crate::snapshot::SnapshotHub,
 }
 
 /// Evaluate one named failpoint against an optional plan. On trigger, any
@@ -263,6 +267,7 @@ impl ViewManager {
             obs: Obs::disabled(),
             durability: None,
             failpoints: None,
+            snapshots: crate::snapshot::SnapshotHub::new(),
         }
     }
 
@@ -295,6 +300,41 @@ impl ViewManager {
     /// installed).
     pub fn observability(&self) -> &Obs {
         &self.obs
+    }
+
+    /// The snapshot-publication hub for concurrent readers (see
+    /// [`crate::snapshot`]). The first call arms publication and pushes
+    /// the current state; from then on every commit —
+    /// [`ViewManager::execute`], [`ViewManager::refresh`], view
+    /// registration — publishes a new immutable [`crate::snapshot::ViewSnapshot`]
+    /// atomically. Clone the hub (or call
+    /// [`crate::snapshot::SnapshotHub::reader`]) from as many threads as
+    /// needed; readers never block maintenance.
+    pub fn snapshots(&self) -> crate::snapshot::SnapshotHub {
+        if !self.snapshots.is_armed() {
+            self.snapshots.arm();
+            self.publish_snapshot(|_| true);
+        }
+        self.snapshots.clone()
+    }
+
+    /// Publish the committed state of every registered view (no-op while
+    /// the hub is unarmed). `changed` marks views whose contents differ
+    /// from the previous publication; the rest share allocations with it.
+    fn publish_snapshot(&self, changed: impl Fn(&str) -> bool) {
+        if !self.snapshots.is_armed() {
+            return;
+        }
+        let views = self
+            .views
+            .iter()
+            .map(|(n, mv)| (n.as_str(), mv.view.contents()))
+            .chain(
+                self.tree_views
+                    .iter()
+                    .map(|(n, tv)| (n.as_str(), tv.view.contents())),
+            );
+        self.snapshots.publish(views, changed);
     }
 
     /// Install a fault-injection plan (see [`ivm_storage::FailpointPlan`]).
@@ -388,7 +428,7 @@ impl ViewManager {
             })?;
         }
         self.views.insert(
-            name,
+            name.clone(),
             ManagedView {
                 view,
                 policy,
@@ -398,6 +438,7 @@ impl ViewManager {
                 stats: MaintenanceStats::default(),
             },
         );
+        self.publish_snapshot(|n| n == name);
         Ok(())
     }
 
@@ -419,7 +460,7 @@ impl ViewManager {
             })?;
         }
         self.tree_views.insert(
-            name,
+            name.clone(),
             ManagedTreeView {
                 view,
                 base_relations,
@@ -427,6 +468,7 @@ impl ViewManager {
                 stats: MaintenanceStats::default(),
             },
         );
+        self.publish_snapshot(|n| n == name);
         Ok(())
     }
 
@@ -736,6 +778,19 @@ impl ViewManager {
             obs.add(names::MANAGER_MAINTENANCE_RUNS, 1);
             tree_deltas.push((name.clone(), delta));
         }
+        // Views whose materialized contents phase 3 will change; the
+        // post-commit publication reuses allocations for the rest.
+        let mut dirty: std::collections::BTreeSet<String> = deltas
+            .iter()
+            .filter(|(_, d)| d.as_ref().is_none_or(|d| !d.is_empty()))
+            .map(|(n, _)| n.clone())
+            .collect();
+        dirty.extend(
+            tree_deltas
+                .iter()
+                .filter(|(_, d)| !d.is_empty())
+                .map(|(n, _)| n.clone()),
+        );
         let _apply_span = obs.span(names::SPAN_APPLY);
         // Phase 2: apply to base relations.
         self.db.apply(txn)?;
@@ -786,6 +841,11 @@ impl ViewManager {
             }
         }
         drop(_apply_span); // a threshold checkpoint is not part of `apply`
+                           // The transaction is committed and every view delta applied: this
+                           // is the atomic publication point for concurrent readers. A crash
+                           // or error anywhere above leaves the previous snapshot current,
+                           // so readers never observe a half-applied transaction.
+        self.publish_snapshot(|n| dirty.contains(n));
         self.maybe_checkpoint()?;
         report.rows_evaluated = report.diff.rows_evaluated;
         Ok(report)
@@ -861,12 +921,14 @@ impl ViewManager {
         mv.stats.maintenance_runs += 1;
         mv.stats.diff += result.stats;
         mv.view.apply(&result.delta)?;
-        if !result.delta.is_empty() {
+        let changed = !result.delta.is_empty();
+        if changed {
             let listeners = mv.listeners.clone();
             let delta = result.delta;
             for l in &listeners {
                 l(name, &delta);
             }
+            self.publish_snapshot(|n| n == name);
         }
         Ok(())
     }
@@ -1429,6 +1491,106 @@ mod tests {
         for threads in [2, 8] {
             assert_eq!(run(threads), seq, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn snapshots_publish_at_commit_points() {
+        let mut m = manager_with_data();
+        m.register_view("v", view_expr(), RefreshPolicy::Immediate)
+            .unwrap();
+        let hub = m.snapshots();
+        let armed_epoch = hub.epoch();
+        assert!(hub.is_armed());
+        let before = hub.latest();
+        assert_eq!(before.len(), 1);
+        let mut txn = Transaction::new();
+        txn.insert("R", [3, 10]).unwrap();
+        m.execute(&txn).unwrap();
+        let after = hub.latest();
+        assert_eq!(after.epoch(), armed_epoch + 1);
+        assert!(after.get("v").unwrap().contains(&Tuple::from([3, 100])));
+        // The pinned pre-transaction snapshot is unchanged.
+        assert!(!before.get("v").unwrap().contains(&Tuple::from([3, 100])));
+    }
+
+    #[test]
+    fn snapshot_reuses_allocations_for_untouched_views() {
+        let mut m = manager_with_data();
+        m.register_view("v", view_expr(), RefreshPolicy::Immediate)
+            .unwrap();
+        m.register_view(
+            "w",
+            SpjExpr::new(["S"], Atom::gt_const("C", 150).into(), None),
+            RefreshPolicy::Immediate,
+        )
+        .unwrap();
+        let hub = m.snapshots();
+        let before = hub.latest();
+        // Touches R only: `w` (over S) must share its allocation.
+        let mut txn = Transaction::new();
+        txn.insert("R", [3, 10]).unwrap();
+        m.execute(&txn).unwrap();
+        let after = hub.latest();
+        assert!(std::ptr::eq(
+            before.get("w").unwrap(),
+            after.get("w").unwrap()
+        ));
+        assert!(!std::ptr::eq(
+            before.get("v").unwrap(),
+            after.get("v").unwrap()
+        ));
+    }
+
+    #[test]
+    fn deferred_view_snapshot_catches_up_on_refresh() {
+        let mut m = manager_with_data();
+        m.register_view("v", view_expr(), RefreshPolicy::Deferred)
+            .unwrap();
+        let hub = m.snapshots();
+        let mut txn = Transaction::new();
+        txn.insert("R", [3, 10]).unwrap();
+        m.execute(&txn).unwrap();
+        // Deferred: the snapshot mirrors the stale materialization.
+        assert!(!hub
+            .latest()
+            .get("v")
+            .unwrap()
+            .contains(&Tuple::from([3, 100])));
+        m.refresh("v").unwrap();
+        assert!(hub
+            .latest()
+            .get("v")
+            .unwrap()
+            .contains(&Tuple::from([3, 100])));
+    }
+
+    #[test]
+    fn injected_crash_publishes_nothing() {
+        let dir = ivm_storage::temp::scratch_dir("snap-no-publish");
+        let plan = Arc::new(ivm_storage::FailpointPlan::new());
+        let mut m = ViewManager::open(&dir).unwrap();
+        m.create_relation("R", Schema::new(["A", "B"]).unwrap())
+            .unwrap();
+        m.create_relation("S", Schema::new(["B", "C"]).unwrap())
+            .unwrap();
+        m.register_view("v", view_expr(), RefreshPolicy::Immediate)
+            .unwrap();
+        let hub = m.snapshots();
+        let epoch_before = hub.epoch();
+        m.set_failpoints(Arc::clone(&plan));
+        plan.arm(
+            ivm_storage::fault::FP_APPLY_MID,
+            0,
+            ivm_storage::FailpointAction::Crash,
+        );
+        let mut txn = Transaction::new();
+        txn.insert("R", [1, 10]).unwrap();
+        assert!(m.execute(&txn).is_err());
+        // The crash hit mid-apply: readers must still see the old state.
+        assert_eq!(hub.epoch(), epoch_before);
+        assert!(hub.latest().get("v").unwrap().is_empty());
+        drop(m);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

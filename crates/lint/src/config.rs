@@ -30,6 +30,10 @@ impl Default for LintConfig {
                 "crates/core/src/differential/spj.rs".into(),
                 "crates/parallel/src/".into(),
                 "crates/storage/src/wal.rs".into(),
+                // The serving layer's per-request path: snapshot pin/unpin
+                // and wire decode run once per client operation.
+                "crates/core/src/snapshot.rs".into(),
+                "crates/serve/src/protocol.rs".into(),
             ],
             deterministic: vec![
                 // Everything a simulation run executes must be a pure
@@ -78,7 +82,10 @@ mod tests {
         let cfg = LintConfig::default();
         assert!(cfg.is_hot_path("crates/parallel/src/lib.rs"));
         assert!(cfg.is_hot_path("crates/core/src/differential/spj.rs"));
+        assert!(cfg.is_hot_path("crates/core/src/snapshot.rs"));
+        assert!(cfg.is_hot_path("crates/serve/src/protocol.rs"));
         assert!(!cfg.is_hot_path("crates/core/src/manager.rs"));
+        assert!(!cfg.is_hot_path("crates/serve/src/server.rs"));
         assert!(cfg.is_deterministic("crates/sim/src/rng.rs"));
         assert!(!cfg.is_deterministic("crates/obs/src/lib.rs"));
         assert!(!cfg.is_deterministic("crates/bench/src/lib.rs"));

@@ -98,6 +98,30 @@ pub const WAL_BYTES_RECLAIMED: &str = "wal.bytes_reclaimed";
 /// Counter: checkpoints written.
 pub const CHECKPOINTS_WRITTEN: &str = "checkpoint.written";
 
+// --- serving layer ----------------------------------------------------
+
+/// Counter: requests served over the wire (every decoded frame that
+/// produced a response, including error responses).
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Counter: malformed frames / undecodable requests observed by server
+/// sessions (the `serve-smoke` CI gate asserts this stays zero).
+pub const SERVE_PROTOCOL_ERRORS: &str = "serve.protocol_errors";
+/// Counter: client sessions accepted.
+pub const SERVE_SESSIONS_OPENED: &str = "serve.sessions_opened";
+/// Counter: client sessions ended (active sessions = opened − closed).
+pub const SERVE_SESSIONS_CLOSED: &str = "serve.sessions_closed";
+/// Counter: write transactions applied through the serving layer.
+pub const SERVE_TXNS_EXECUTED: &str = "serve.txns_executed";
+/// Counter: view tuples returned to clients by query responses.
+pub const SERVE_ROWS_RETURNED: &str = "serve.rows_returned";
+/// Histogram (µs): server-side service time of one request, from decoded
+/// frame to response flushed. Client-observed p50/p99 (queueing + wire
+/// included) are computed by the load generator from its own samples.
+pub const SERVE_REQUEST_MICROS: &str = "serve.request_micros";
+/// Histogram (epochs): staleness of the snapshot a query was served
+/// from, measured as `hub epoch − snapshot epoch` at read time.
+pub const SERVE_SNAPSHOT_AGE_EPOCHS: &str = "serve.snapshot_age_epochs";
+
 // --- span names -------------------------------------------------------
 
 /// Span: one whole [`ViewManager::execute`] call.
@@ -116,6 +140,8 @@ pub const SPAN_DIFFERENTIATE: &str = "differentiate";
 pub const SPAN_APPLY: &str = "apply";
 /// Span: one checkpoint (snapshot write + prune + WAL compaction).
 pub const SPAN_CHECKPOINT: &str = "checkpoint";
+/// Span: one serving-layer request (decode, dispatch, respond).
+pub const SPAN_SERVE: &str = "serve";
 
 /// Every counter name in the catalog (used by tests to keep this module
 /// and the docs exhaustive).
@@ -146,6 +172,12 @@ pub const ALL_COUNTERS: &[&str] = &[
     WAL_COMPACTIONS,
     WAL_BYTES_RECLAIMED,
     CHECKPOINTS_WRITTEN,
+    SERVE_REQUESTS,
+    SERVE_PROTOCOL_ERRORS,
+    SERVE_SESSIONS_OPENED,
+    SERVE_SESSIONS_CLOSED,
+    SERVE_TXNS_EXECUTED,
+    SERVE_ROWS_RETURNED,
 ];
 
 /// Every histogram name in the catalog.
@@ -154,6 +186,8 @@ pub const ALL_HISTOGRAMS: &[&str] = &[
     DIFF_ROW_OUTPUT_TUPLES,
     POOL_CHUNK_MICROS,
     POOL_QUEUE_WAIT_MICROS,
+    SERVE_REQUEST_MICROS,
+    SERVE_SNAPSHOT_AGE_EPOCHS,
 ];
 
 /// Every span name in the catalog.
@@ -164,4 +198,5 @@ pub const ALL_SPANS: &[&str] = &[
     SPAN_DIFFERENTIATE,
     SPAN_APPLY,
     SPAN_CHECKPOINT,
+    SPAN_SERVE,
 ];

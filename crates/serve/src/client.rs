@@ -1,0 +1,164 @@
+//! Blocking client for the serving protocol.
+//!
+//! One request in flight per connection; every call sends a frame and
+//! blocks for the matching response. [`Response::Error`] surfaces as
+//! [`ServeError::Remote`], so the typed accessors ([`Client::query`],
+//! [`Client::execute`], ...) return plain values on success.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use ivm::prelude::{RefreshPolicy, Schema, SpjExpr, Transaction};
+use ivm_relational::relation::Relation;
+
+use crate::error::{Result, ServeError};
+use crate::protocol::{self, Request, Response, PROTOCOL_VERSION};
+
+/// A connected, handshaken session.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connect and perform the version handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        };
+        match client.roundtrip(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::Hello { version } if version == PROTOCOL_VERSION => Ok(client),
+            Response::Hello { version } => Err(ServeError::Protocol(format!(
+                "server speaks protocol {version}, client {PROTOCOL_VERSION}"
+            ))),
+            other => Err(unexpected("Hello", &other)),
+        }
+    }
+
+    /// Send one request and block for its response.
+    pub fn roundtrip(&mut self, req: &Request) -> Result<Response> {
+        protocol::send(&mut self.writer, req)?;
+        match protocol::recv::<Response>(&mut self.reader)? {
+            Some(resp) => Ok(resp),
+            None => Err(ServeError::Protocol(
+                "server closed the connection mid-request".into(),
+            )),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Read a view from the server's current snapshot; returns the
+    /// publication epoch alongside the rows.
+    pub fn query(&mut self, view: &str) -> Result<(u64, Relation)> {
+        let req = Request::Query { view: view.into() };
+        match self.roundtrip(&req)? {
+            Response::Rows { epoch, rows } => Ok((epoch, rows)),
+            other => Err(unexpected("Rows", &other)),
+        }
+    }
+
+    /// Apply a write transaction; returns `(views_touched,
+    /// views_maintained)` from the server's maintenance report.
+    pub fn execute(&mut self, txn: Transaction) -> Result<(u32, u32)> {
+        match self.roundtrip(&Request::Execute { txn })? {
+            Response::Executed {
+                views_touched,
+                views_maintained,
+            } => Ok((views_touched, views_maintained)),
+            other => Err(unexpected("Executed", &other)),
+        }
+    }
+
+    /// Fold pending deltas into a deferred view.
+    pub fn refresh(&mut self, view: &str) -> Result<()> {
+        let req = Request::Refresh { view: view.into() };
+        self.expect_done(&req)
+    }
+
+    /// The server's rendered metric snapshot.
+    pub fn stats(&mut self) -> Result<String> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::StatsText { text } => Ok(text),
+            other => Err(unexpected("StatsText", &other)),
+        }
+    }
+
+    /// Registered view names.
+    pub fn list_views(&mut self) -> Result<Vec<String>> {
+        match self.roundtrip(&Request::ListViews)? {
+            Response::Views { names } => Ok(names),
+            other => Err(unexpected("Views", &other)),
+        }
+    }
+
+    /// The server's current publication epoch.
+    pub fn epoch(&mut self) -> Result<u64> {
+        match self.roundtrip(&Request::Epoch)? {
+            Response::EpochIs { epoch } => Ok(epoch),
+            other => Err(unexpected("EpochIs", &other)),
+        }
+    }
+
+    /// `(epoch, digest)` of the snapshot this session currently sees.
+    pub fn digest(&mut self) -> Result<(u64, u64)> {
+        match self.roundtrip(&Request::Digest)? {
+            Response::DigestIs { epoch, digest } => Ok((epoch, digest)),
+            other => Err(unexpected("DigestIs", &other)),
+        }
+    }
+
+    /// Create a base relation on the server.
+    pub fn create_relation(&mut self, name: &str, schema: Schema) -> Result<()> {
+        let req = Request::CreateRelation {
+            name: name.into(),
+            schema,
+        };
+        self.expect_done(&req)
+    }
+
+    /// Register an SPJ view on the server.
+    pub fn register_view(
+        &mut self,
+        name: &str,
+        expr: SpjExpr,
+        policy: RefreshPolicy,
+    ) -> Result<()> {
+        let req = Request::RegisterView {
+            name: name.into(),
+            expr,
+            policy,
+        };
+        self.expect_done(&req)
+    }
+
+    /// Ask the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.expect_done(&Request::Shutdown)
+    }
+
+    fn expect_done(&mut self, req: &Request) -> Result<()> {
+        match self.roundtrip(req)? {
+            Response::Done => Ok(()),
+            other => Err(unexpected("Done", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ServeError {
+    match got {
+        Response::Error { message } => ServeError::Remote(message.clone()),
+        other => ServeError::Protocol(format!("expected {wanted}, got {other:?}")),
+    }
+}

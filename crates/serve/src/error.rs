@@ -1,0 +1,71 @@
+//! Serving-layer error type.
+
+use std::fmt;
+
+/// Anything that can go wrong between a client and a serving engine.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket or filesystem operation failed.
+    Io(std::io::Error),
+    /// A wire frame or payload was malformed (CRC mismatch, torn frame,
+    /// undecodable request/response).
+    Storage(ivm_storage::StorageError),
+    /// The engine rejected an operation (unknown view, invalid
+    /// transaction, ...).
+    Engine(ivm::error::IvmError),
+    /// The peer violated the protocol (bad handshake, unexpected
+    /// message, version mismatch).
+    Protocol(String),
+    /// The server reported an error executing a well-formed request.
+    Remote(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Storage(e) => write!(f, "wire format error: {e}"),
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ServeError::Remote(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Storage(e) => Some(e),
+            ServeError::Engine(e) => Some(e),
+            ServeError::Protocol(_) | ServeError::Remote(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<ivm_storage::StorageError> for ServeError {
+    fn from(e: ivm_storage::StorageError) -> Self {
+        ServeError::Storage(e)
+    }
+}
+
+impl From<ivm::error::IvmError> for ServeError {
+    fn from(e: ivm::error::IvmError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+impl From<ivm_relational::error::RelError> for ServeError {
+    fn from(e: ivm_relational::error::RelError) -> Self {
+        ServeError::Engine(e.into())
+    }
+}
+
+/// Serving-layer result alias.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,193 @@
+//! Closed-loop load generator.
+//!
+//! N client threads, each with its own connection and its own
+//! deterministic operation stream ([`ivm_sim::ClientOpStream`] — a pure
+//! function of `(seed, client id)`). *Closed-loop* means each client
+//! issues its next operation only after the previous response arrives,
+//! so measured QPS is the system's sustainable throughput at this
+//! concurrency, not an open-loop arrival-rate fantasy.
+//!
+//! Latencies are recorded per operation and merged across clients for
+//! exact (not bucketed) p50/p99. The run stops at a wall-clock deadline
+//! or after a fixed per-client operation count, whichever is configured.
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ivm_relational::transaction::Transaction;
+use ivm_relational::tuple::Tuple;
+use ivm_relational::value::Value;
+use ivm_sim::{ClientOp, ClientOpStream, LoadSpec};
+
+use crate::client::Client;
+use crate::error::{Result, ServeError};
+
+/// Knobs for one load-generator run.
+#[derive(Debug, Clone)]
+pub struct LoadOptions {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Number of concurrent client connections.
+    pub clients: u64,
+    /// Wall-clock budget; the run stops at the deadline.
+    pub duration: Duration,
+    /// If set, each client also stops after this many operations —
+    /// whichever limit trips first. This is what makes test runs and
+    /// bench iterations deterministic in *work*, not just in seed.
+    pub ops_per_client: Option<usize>,
+}
+
+/// What a run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Total operations completed across all clients.
+    pub ops: u64,
+    /// Operations that were snapshot reads.
+    pub reads: u64,
+    /// Operations that were write transactions.
+    pub writes: u64,
+    /// Operations the server answered with an error response.
+    pub errors: u64,
+    /// Wall-clock time from first to last operation.
+    pub elapsed: Duration,
+    /// `ops / elapsed` (operations per second).
+    pub qps: f64,
+    /// Median per-operation latency, microseconds.
+    pub p50_micros: u64,
+    /// 99th-percentile per-operation latency, microseconds.
+    pub p99_micros: u64,
+    /// Worst per-operation latency, microseconds.
+    pub max_micros: u64,
+}
+
+struct ClientTally {
+    ops: u64,
+    reads: u64,
+    writes: u64,
+    errors: u64,
+    latencies: Vec<u64>,
+}
+
+fn int_row(row: &[i64]) -> Tuple {
+    Tuple::from(row.iter().copied().map(Value::Int).collect::<Vec<Value>>())
+}
+
+fn run_client(
+    spec: &LoadSpec,
+    opts: &LoadOptions,
+    id: u64,
+    deadline: Instant,
+) -> Result<ClientTally> {
+    let mut conn = Client::connect(opts.addr.as_str())?;
+    let mut tally = ClientTally {
+        ops: 0,
+        reads: 0,
+        writes: 0,
+        errors: 0,
+        latencies: Vec::new(),
+    };
+    let budget = opts.ops_per_client.unwrap_or(usize::MAX);
+    for op in ClientOpStream::new(spec, id) {
+        if tally.ops as usize >= budget || Instant::now() >= deadline {
+            break;
+        }
+        let started = Instant::now();
+        let outcome = match op {
+            ClientOp::Query { view } => {
+                tally.reads += 1;
+                conn.query(&view).map(drop)
+            }
+            ClientOp::Insert { relation, row } => {
+                tally.writes += 1;
+                let mut txn = Transaction::new();
+                txn.insert(relation, int_row(&row))?;
+                conn.execute(txn).map(drop)
+            }
+            ClientOp::Delete { relation, row } => {
+                tally.writes += 1;
+                let mut txn = Transaction::new();
+                txn.delete(relation, int_row(&row))?;
+                conn.execute(txn).map(drop)
+            }
+        };
+        tally
+            .latencies
+            .push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        tally.ops += 1;
+        match outcome {
+            Ok(()) => {}
+            // A server-side error response leaves the session usable;
+            // count it and keep going. Transport errors abort the run.
+            Err(ServeError::Remote(_)) => tally.errors += 1,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(tally)
+}
+
+fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as u64 - 1) * pct + 50) / 100;
+    sorted[idx.min(sorted.len() as u64 - 1) as usize]
+}
+
+/// Run the load and aggregate every client's tally into one report.
+pub fn run(spec: &LoadSpec, opts: &LoadOptions) -> Result<LoadReport> {
+    let started = Instant::now();
+    let deadline = started + opts.duration;
+    let tallies = thread::scope(|scope| {
+        let handles: Vec<_> = (0..opts.clients)
+            .map(|id| scope.spawn(move || run_client(spec, opts, id, deadline)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(ServeError::Protocol("load client panicked".into())),
+            })
+            .collect::<Result<Vec<_>>>()
+    })?;
+    let elapsed = started.elapsed();
+
+    let mut report = LoadReport {
+        ops: 0,
+        reads: 0,
+        writes: 0,
+        errors: 0,
+        elapsed,
+        qps: 0.0,
+        p50_micros: 0,
+        p99_micros: 0,
+        max_micros: 0,
+    };
+    let mut latencies = Vec::new();
+    for t in tallies {
+        report.ops += t.ops;
+        report.reads += t.reads;
+        report.writes += t.writes;
+        report.errors += t.errors;
+        latencies.extend(t.latencies);
+    }
+    latencies.sort_unstable();
+    report.qps = report.ops as f64 / elapsed.as_secs_f64().max(1e-9);
+    report.p50_micros = percentile(&latencies, 50);
+    report.p99_micros = percentile(&latencies, 99);
+    report.max_micros = latencies.last().copied().unwrap_or(0);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_exact_on_small_sets() {
+        let v = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&v, 50), 60);
+        assert_eq!(percentile(&v, 99), 100);
+        assert_eq!(percentile(&v, 0), 10);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+}

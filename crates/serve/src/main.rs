@@ -1,0 +1,162 @@
+//! `ivm-serve`: the serving-layer binary.
+//!
+//! Two subcommands (std-only argument parsing, same style as `ivm-sim`):
+//!
+//! ```text
+//! ivm-serve serve --addr 127.0.0.1:7878 [--obs-jsonl serve_obs.jsonl]
+//! ivm-serve load  --addr 127.0.0.1:7878 [--clients 8] [--seed 42]
+//!                 [--read-pct 90] [--secs 5] [--ops N] [--shutdown-after]
+//! ```
+//!
+//! `serve` installs the demo schema (see [`ivm_serve::scenario`]) and
+//! runs until a client sends `Shutdown`. `load` drives the closed-loop
+//! load generator against a running server and prints the report; with
+//! `--shutdown-after` it then stops the server — the CI smoke job runs
+//! exactly that pair.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ivm::prelude::ViewManager;
+use ivm_serve::loadgen::{self, LoadOptions};
+use ivm_serve::scenario;
+use ivm_serve::{Client, Server};
+
+fn usage() -> String {
+    "usage:\n  ivm-serve serve --addr HOST:PORT [--obs-jsonl PATH]\n  ivm-serve load --addr HOST:PORT [--clients N] [--seed S] [--read-pct P] [--secs T] [--ops N] [--shutdown-after]\n".to_string()
+}
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&mut self, name: &str) -> bool {
+        if let Some(i) = self.0.iter().position(|a| a == name) {
+            self.0.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, name: &str) -> Result<Option<String>, String> {
+        let Some(i) = self.0.iter().position(|a| a == name) else {
+            return Ok(None);
+        };
+        if i + 1 >= self.0.len() {
+            return Err(format!("{name} needs a value"));
+        }
+        let v = self.0.remove(i + 1);
+        self.0.remove(i);
+        Ok(Some(v))
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name)? {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("bad value for {name}: {s}")),
+        }
+    }
+
+    fn done(self) -> Result<(), String> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unrecognized arguments: {:?}", self.0))
+        }
+    }
+}
+
+fn cmd_serve(mut args: Args) -> Result<(), String> {
+    let addr = args
+        .value("--addr")?
+        .ok_or_else(|| "serve requires --addr".to_string())?;
+    let obs_jsonl = args.value("--obs-jsonl")?;
+    args.done()?;
+
+    let mut mgr = ViewManager::new();
+    scenario::install(&mut mgr).map_err(|e| e.to_string())?;
+    let server = match obs_jsonl {
+        Some(path) => Server::start_with_obs(mgr, &addr, Some(path.as_ref())),
+        None => Server::start(mgr, &addr),
+    }
+    .map_err(|e| e.to_string())?;
+    println!("ivm-serve listening on {}", server.addr());
+    let mgr = server.join().map_err(|e| e.to_string())?;
+    println!(
+        "ivm-serve stopped; {} views registered",
+        mgr.view_names().count()
+    );
+    Ok(())
+}
+
+fn cmd_load(mut args: Args) -> Result<(), String> {
+    let addr = args
+        .value("--addr")?
+        .ok_or_else(|| "load requires --addr".to_string())?;
+    let clients: u64 = args.parsed("--clients", 8)?;
+    let seed: u64 = args.parsed("--seed", 42)?;
+    let read_pct: u8 = args.parsed("--read-pct", 90)?;
+    let secs: f64 = args.parsed("--secs", 5.0)?;
+    let ops = args.value("--ops")?;
+    let ops_per_client = match ops {
+        None => None,
+        Some(s) => Some(s.parse().map_err(|_| format!("bad value for --ops: {s}"))?),
+    };
+    let shutdown_after = args.flag("--shutdown-after");
+    args.done()?;
+
+    let spec = scenario::load_spec(seed, read_pct);
+    let opts = LoadOptions {
+        addr: addr.clone(),
+        clients,
+        duration: Duration::from_secs_f64(secs),
+        ops_per_client,
+    };
+    let report = loadgen::run(&spec, &opts).map_err(|e| e.to_string())?;
+    println!(
+        "load report: ops={} reads={} writes={} errors={} elapsed={:.3}s",
+        report.ops,
+        report.reads,
+        report.writes,
+        report.errors,
+        report.elapsed.as_secs_f64()
+    );
+    println!(
+        "load report: qps={:.0} p50={}µs p99={}µs max={}µs",
+        report.qps, report.p50_micros, report.p99_micros, report.max_micros
+    );
+    if shutdown_after {
+        let mut c = Client::connect(addr.as_str()).map_err(|e| e.to_string())?;
+        c.shutdown().map_err(|e| e.to_string())?;
+        println!("server shutdown requested");
+    }
+    if report.errors > 0 {
+        return Err(format!("{} operations returned errors", report.errors));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let cmd = argv.remove(0);
+    let result = match cmd.as_str() {
+        "serve" => cmd_serve(Args(argv)),
+        "load" => cmd_load(Args(argv)),
+        "--help" | "-h" | "help" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ivm-serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

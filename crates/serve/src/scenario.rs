@@ -1,0 +1,123 @@
+//! The canonical serving benchmark schema: three base relations, three
+//! SPJ views.
+//!
+//! Used by the `ivm-serve` binary's demo mode, the load generator, the
+//! `serve_qps` bench and the CI smoke job, so all of them measure the
+//! same shape:
+//!
+//! * `orders(OID, CUST, AMT)` — write-heavy; `OID` is the load
+//!   generator's unique key, `CUST`/`AMT` uniform in `0..=99`.
+//! * `items(IID, SKU, QTY)` — write-heavy, same key scheme.
+//! * `customers(CUST, TIER)` — static dimension table: 100 rows,
+//!   `TIER = CUST % 5`, loaded at install time.
+//!
+//! Views (all `Immediate`, so every committed transaction publishes a
+//! new snapshot the readers can observe):
+//!
+//! * `big_orders`  = σ\[AMT > 74\](orders)
+//! * `order_tiers` = π\[OID, TIER\](σ\[TIER ≥ 3\](orders ⋈ customers))
+//! * `hot_items`   = σ\[QTY > 89\](items)
+
+use ivm::prelude::{RefreshPolicy, Schema, SpjExpr, ViewManager};
+use ivm_relational::predicate::{Atom, Condition};
+use ivm_sim::{LoadSpec, WriteTarget};
+
+use crate::error::Result;
+
+/// Rows in the static `customers` dimension table (`CUST` 0..=99).
+pub const CUSTOMER_ROWS: i64 = 100;
+
+/// Create the demo relations and views in `mgr` and load the dimension
+/// table.
+pub fn install(mgr: &mut ViewManager) -> Result<()> {
+    mgr.create_relation("orders", Schema::new(["OID", "CUST", "AMT"])?)?;
+    mgr.create_relation("items", Schema::new(["IID", "SKU", "QTY"])?)?;
+    mgr.create_relation("customers", Schema::new(["CUST", "TIER"])?)?;
+    mgr.load("customers", (0..CUSTOMER_ROWS).map(|c| [c, c % 5]))?;
+
+    mgr.register_view(
+        "big_orders",
+        SpjExpr::new(["orders"], Atom::gt_const("AMT", 74).into(), None),
+        RefreshPolicy::Immediate,
+    )?;
+    mgr.register_view(
+        "order_tiers",
+        SpjExpr::new(
+            ["orders", "customers"],
+            Condition::conjunction([Atom::ge_const("TIER", 3)]),
+            Some(vec!["OID".into(), "TIER".into()]),
+        ),
+        RefreshPolicy::Immediate,
+    )?;
+    mgr.register_view(
+        "hot_items",
+        SpjExpr::new(["items"], Atom::gt_const("QTY", 89).into(), None),
+        RefreshPolicy::Immediate,
+    )?;
+    Ok(())
+}
+
+/// The matching load-generator spec: queries spread over the three
+/// views, writes split between `orders` and `items`.
+pub fn load_spec(seed: u64, read_pct: u8) -> LoadSpec {
+    LoadSpec {
+        seed,
+        read_pct,
+        views: vec![
+            "big_orders".into(),
+            "order_tiers".into(),
+            "hot_items".into(),
+        ],
+        writes: vec![
+            WriteTarget {
+                relation: "orders".into(),
+                arity: 3,
+            },
+            WriteTarget {
+                relation: "items".into(),
+                arity: 3,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivm_relational::transaction::Transaction;
+
+    #[test]
+    fn demo_schema_installs_and_maintains() {
+        let mut mgr = ViewManager::new();
+        install(&mut mgr).unwrap();
+        let mut txn = Transaction::new();
+        txn.insert("orders", [1, 7, 80]).unwrap(); // big, tier 2 (7 % 5)
+        txn.insert("orders", [2, 8, 10]).unwrap(); // small, tier 3
+        txn.insert("items", [1, 5, 95]).unwrap(); // hot
+        mgr.execute(&txn).unwrap();
+        assert_eq!(mgr.view_contents("big_orders").unwrap().len(), 1);
+        assert_eq!(mgr.view_contents("order_tiers").unwrap().len(), 1);
+        assert_eq!(mgr.view_contents("hot_items").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn load_spec_matches_schema() {
+        let mut mgr = ViewManager::new();
+        install(&mut mgr).unwrap();
+        let spec = load_spec(7, 90);
+        for v in &spec.views {
+            assert!(mgr.view_contents(v).is_ok(), "missing view {v}");
+        }
+        for w in &spec.writes {
+            assert_eq!(
+                mgr.database()
+                    .relation(&w.relation)
+                    .unwrap()
+                    .schema()
+                    .attrs()
+                    .len(),
+                w.arity
+            );
+        }
+    }
+}

@@ -18,6 +18,9 @@
 //!   against recorder metrics;
 //! * [`oracle`] — the independent from-scratch model every step is
 //!   compared against;
+//! * [`serveload`] — deterministic client-operation streams for the
+//!   serving-layer load generator (`crates/serve`): each client's
+//!   read/write mix is a pure function of `(seed, client id)`;
 //! * [`mod@shrink`] — minimizes failing scenarios (steps → views → columns)
 //!   and keeps the one-line seed repro valid throughout;
 //! * [`cli`] — the `ivm-sim` binary's argument parser, shared with the
@@ -34,12 +37,14 @@ pub mod cli;
 pub mod harness;
 pub mod oracle;
 pub mod rng;
+pub mod serveload;
 pub mod shrink;
 pub mod workload;
 
 pub use harness::{run, run_invariance, run_scenario, SimConfig, SimOutcome};
 pub use oracle::Oracle;
 pub use rng::SimRng;
+pub use serveload::{ClientOp, ClientOpStream, LoadSpec, WriteTarget};
 pub use shrink::shrink;
 pub use workload::{generate, generate_with_faults, Scenario};
 

@@ -1,0 +1,247 @@
+//! Deterministic client-operation streams for the serving-layer load
+//! generator.
+//!
+//! The closed-loop load generator in `crates/serve` drives N client
+//! threads against a running `ivm-serve` instance. In sim mode every
+//! operation each client issues must be a pure function of `(seed,
+//! client id)` — never of timing, thread interleaving or socket
+//! behaviour — so a run is replayable and two runs with the same seed
+//! produce identical request streams. This module is that pure function;
+//! the serve crate owns the sockets and the clock.
+//!
+//! A stream interleaves view queries and single-row write transactions
+//! according to a read percentage (the benchmark default is the classic
+//! 90/10 read-heavy mix). Writes insert rows with client-unique keys so
+//! concurrent clients never collide on the base relations' set
+//! semantics, and occasionally delete a row the same client inserted
+//! earlier — exercising both delta polarities without coordination.
+
+use crate::rng::SimRng;
+
+/// One relation a client stream may write to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteTarget {
+    /// Relation name.
+    pub relation: String,
+    /// Number of columns. Column 0 receives the client-unique key; the
+    /// rest receive small random values in `0..=99` (chosen so selection
+    /// conditions over them stay selective but non-empty).
+    pub arity: usize,
+}
+
+/// What a load-generating client population should do, independent of
+/// any socket: the workload half of a serving benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadSpec {
+    /// Base seed; the whole request stream of every client derives from
+    /// this and nothing else.
+    pub seed: u64,
+    /// Reads per hundred operations (90 = the default read-heavy mix).
+    pub read_pct: u8,
+    /// Views to query, chosen uniformly per read.
+    pub views: Vec<String>,
+    /// Relations to write, chosen uniformly per write.
+    pub writes: Vec<WriteTarget>,
+}
+
+/// One operation a simulated client issues.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientOp {
+    /// Query a view's current snapshot contents.
+    Query {
+        /// View name.
+        view: String,
+    },
+    /// Insert one fresh row.
+    Insert {
+        /// Target relation.
+        relation: String,
+        /// Row values (column 0 is the client-unique key).
+        row: Vec<i64>,
+    },
+    /// Delete one row this client inserted earlier.
+    Delete {
+        /// Target relation.
+        relation: String,
+        /// The previously inserted row.
+        row: Vec<i64>,
+    },
+}
+
+/// Keys are spaced per client so no two clients ever insert the same
+/// row: client `c`'s `k`-th key is `c * KEY_STRIDE + k`.
+const KEY_STRIDE: i64 = 1_000_000_000;
+
+/// An infinite, deterministic operation stream for one client. Pure
+/// function of `(spec.seed, client)`: cloning the stream replays it, and
+/// streams for distinct clients are statistically independent
+/// ([`SimRng::for_stream`]).
+#[derive(Debug, Clone)]
+pub struct ClientOpStream {
+    spec: LoadSpec,
+    rng: SimRng,
+    client: u64,
+    next_key: i64,
+    /// Rows inserted by this client and not yet deleted, per write
+    /// target (parallel to `spec.writes`).
+    live: Vec<Vec<Vec<i64>>>,
+}
+
+impl ClientOpStream {
+    /// The stream for one client id under `spec`.
+    pub fn new(spec: &LoadSpec, client: u64) -> Self {
+        ClientOpStream {
+            rng: SimRng::for_stream(spec.seed, client.wrapping_mul(2).wrapping_add(1)),
+            live: spec.writes.iter().map(|_| Vec::new()).collect(),
+            spec: spec.clone(),
+            client,
+            next_key: 0,
+        }
+    }
+
+    /// The client id this stream belongs to.
+    pub fn client(&self) -> u64 {
+        self.client
+    }
+
+    fn fresh_row(&mut self, target: usize) -> Vec<i64> {
+        let arity = self.spec.writes.get(target).map_or(1, |w| w.arity).max(1);
+        let mut row = Vec::with_capacity(arity);
+        row.push((self.client as i64) * KEY_STRIDE + self.next_key);
+        self.next_key += 1;
+        for _ in 1..arity {
+            row.push(self.rng.range_i64(0, 99));
+        }
+        row
+    }
+}
+
+impl Iterator for ClientOpStream {
+    type Item = ClientOp;
+
+    fn next(&mut self) -> Option<ClientOp> {
+        let has_views = !self.spec.views.is_empty();
+        let has_writes = !self.spec.writes.is_empty();
+        if !has_views && !has_writes {
+            return None;
+        }
+        let read = has_views
+            && (!has_writes || self.rng.chance(u64::from(self.spec.read_pct.min(100)), 100));
+        if read {
+            let view = self.rng.choose(&self.spec.views).clone();
+            return Some(ClientOp::Query { view });
+        }
+        let target = self.rng.index(self.spec.writes.len());
+        let relation = match self.spec.writes.get(target) {
+            Some(w) => w.relation.clone(),
+            None => return None,
+        };
+        // One write in five deletes a live row (when one exists), so the
+        // server sees both delta polarities from every client.
+        let delete =
+            self.live.get(target).is_some_and(|rows| !rows.is_empty()) && self.rng.chance(1, 5);
+        if delete {
+            let rows = self.live.get_mut(target)?;
+            let i = self.rng.index(rows.len());
+            let row = rows.swap_remove(i);
+            return Some(ClientOp::Delete { relation, row });
+        }
+        let row = self.fresh_row(target);
+        if let Some(rows) = self.live.get_mut(target) {
+            rows.push(row.clone());
+        }
+        Some(ClientOp::Insert { relation, row })
+    }
+}
+
+/// Convenience: the first `n` operations of every client in
+/// `0..clients`, as owned vectors (what the bench harness consumes).
+pub fn client_ops(spec: &LoadSpec, clients: u64, n: usize) -> Vec<Vec<ClientOp>> {
+    (0..clients)
+        .map(|c| ClientOpStream::new(spec, c).take(n).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> LoadSpec {
+        LoadSpec {
+            seed: 42,
+            read_pct: 90,
+            views: vec!["v1".into(), "v2".into()],
+            writes: vec![
+                WriteTarget {
+                    relation: "R".into(),
+                    arity: 3,
+                },
+                WriteTarget {
+                    relation: "S".into(),
+                    arity: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_client_distinct() {
+        let a: Vec<_> = ClientOpStream::new(&spec(), 0).take(200).collect();
+        let b: Vec<_> = ClientOpStream::new(&spec(), 0).take(200).collect();
+        assert_eq!(a, b, "same (seed, client) replays identically");
+        let c: Vec<_> = ClientOpStream::new(&spec(), 1).take(200).collect();
+        assert_ne!(a, c, "distinct clients draw distinct streams");
+    }
+
+    #[test]
+    fn read_fraction_tracks_spec() {
+        let ops: Vec<_> = ClientOpStream::new(&spec(), 7).take(2000).collect();
+        let reads = ops
+            .iter()
+            .filter(|o| matches!(o, ClientOp::Query { .. }))
+            .count();
+        let frac = reads as f64 / ops.len() as f64;
+        assert!((0.85..0.95).contains(&frac), "observed {frac}");
+    }
+
+    #[test]
+    fn inserts_are_unique_and_deletes_hit_live_rows() {
+        let mut inserted = std::collections::HashSet::new();
+        for client in 0..4u64 {
+            let mut live = std::collections::HashSet::new();
+            for op in ClientOpStream::new(&spec(), client).take(3000) {
+                match op {
+                    ClientOp::Insert { relation, row } => {
+                        assert!(
+                            inserted.insert((relation.clone(), row.clone())),
+                            "duplicate insert {relation} {row:?}"
+                        );
+                        live.insert((relation, row));
+                    }
+                    ClientOp::Delete { relation, row } => {
+                        assert!(
+                            live.remove(&(relation.clone(), row.clone())),
+                            "delete of a row not live: {relation} {row:?}"
+                        );
+                    }
+                    ClientOp::Query { .. } => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn write_only_and_empty_specs() {
+        let mut s = spec();
+        s.read_pct = 0;
+        let ops: Vec<_> = ClientOpStream::new(&s, 0).take(100).collect();
+        assert!(ops.iter().all(|o| !matches!(o, ClientOp::Query { .. })));
+        let empty = LoadSpec {
+            seed: 1,
+            read_pct: 50,
+            views: vec![],
+            writes: vec![],
+        };
+        assert_eq!(ClientOpStream::new(&empty, 0).next(), None);
+    }
+}

@@ -18,10 +18,20 @@
 //! open <dir>                                 switch to a durable session
 //! checkpoint                                 atomic snapshot of the session
 //! wal-stats                                  WAL / checkpoint counters
+//! serve <addr>                               serve this session over TCP and attach to it
+//! connect <addr>                             attach to a running ivm-serve server
+//! disconnect                                 detach (stops the server `serve` started)
 //! help
 //! ```
 //!
 //! Every command also accepts a psql-style `\` prefix (`\checkpoint`).
+//!
+//! While attached to a server (`serve`/`connect`), data commands —
+//! `create`, `load`, `view`, `insert`/`delete`/`begin`/`commit`, `show`,
+//! `refresh`, `stats` — are routed over the wire (see `docs/SERVING.md`);
+//! `show` reads the server's published snapshot, so it only resolves
+//! view names. Local-only commands (`open`, `checkpoint`, `analyze`,
+//! ...) ask you to `disconnect` first.
 //!
 //! The shell keeps an [`InMemoryRecorder`] attached to its manager, so
 //! `\stats` (no argument) prints the full metric snapshot — every
@@ -33,6 +43,17 @@ use std::sync::Arc;
 use ivm::prelude::*;
 use ivm_relational::parser::{parse_condition, parse_schema, parse_tuple};
 
+/// An attached serving session: the wire client, plus the in-process
+/// [`ivm_serve::Server`] when this shell started it (`serve` vs
+/// `connect`).
+struct Remote {
+    client: ivm_serve::Client,
+    addr: String,
+    /// `Some` when `serve` started the server in-process: `disconnect`
+    /// then stops it and takes the [`ViewManager`] back.
+    server: Option<ivm_serve::Server>,
+}
+
 /// An interactive session: a [`ViewManager`] plus an optional open
 /// transaction.
 pub struct Shell {
@@ -40,6 +61,8 @@ pub struct Shell {
     /// Session-wide metrics backend; `\stats` prints its snapshot.
     recorder: Arc<InMemoryRecorder>,
     pending: Option<Transaction>,
+    /// When attached, data commands route over the wire.
+    remote: Option<Remote>,
 }
 
 impl Default for Shell {
@@ -56,6 +79,7 @@ impl Shell {
             manager: ViewManager::new().with_recorder(recorder.clone()),
             recorder,
             pending: None,
+            remote: None,
         }
     }
 
@@ -81,7 +105,17 @@ impl Shell {
             Some((c, r)) => (c, r.trim()),
             None => (line, ""),
         };
-        match cmd.to_ascii_lowercase().as_str() {
+        let cmd = cmd.to_ascii_lowercase();
+        if self.remote.is_some() {
+            return self.dispatch_remote(&cmd, rest);
+        }
+        match cmd.as_str() {
+            "serve" => return self.cmd_serve(rest),
+            "connect" => return self.cmd_connect(rest),
+            "disconnect" => return Ok("not connected".into()),
+            _ => {}
+        }
+        match cmd.as_str() {
             "create" => self.cmd_create(rest),
             "load" => self.cmd_load(rest),
             "view" => self.cmd_view(rest),
@@ -385,6 +419,207 @@ impl Shell {
             ))
         }
     }
+
+    /// `serve <addr>` — move this session's [`ViewManager`] into an
+    /// in-process [`ivm_serve::Server`] and attach the shell to it over
+    /// TCP. Other clients (another shell's `connect`, `ivm-serve load`)
+    /// can attach concurrently; `disconnect` stops the server and takes
+    /// the session back.
+    fn cmd_serve(&mut self, rest: &str) -> Result<String> {
+        if rest.is_empty() {
+            return Err(parse_err("usage: serve <host:port> (port 0 for ephemeral)"));
+        }
+        if self.pending.is_some() {
+            return Err(parse_err("commit or discard the open transaction first"));
+        }
+        let manager = std::mem::take(&mut self.manager);
+        let server = match ivm_serve::Server::start(manager, rest) {
+            Ok(s) => s,
+            Err(e) => return Err(remote_err(e)),
+        };
+        let addr = server.addr().to_string();
+        let client = ivm_serve::Client::connect(addr.as_str()).map_err(remote_err)?;
+        self.remote = Some(Remote {
+            client,
+            addr: addr.clone(),
+            server: Some(server),
+        });
+        Ok(format!(
+            "serving on {addr}; shell attached (disconnect to stop)"
+        ))
+    }
+
+    /// `connect <addr>` — attach to an already-running `ivm-serve`
+    /// server. The local session is untouched; `disconnect` detaches and
+    /// leaves the server running.
+    fn cmd_connect(&mut self, rest: &str) -> Result<String> {
+        if rest.is_empty() {
+            return Err(parse_err("usage: connect <host:port>"));
+        }
+        let client = ivm_serve::Client::connect(rest).map_err(remote_err)?;
+        self.remote = Some(Remote {
+            client,
+            addr: rest.to_string(),
+            server: None,
+        });
+        Ok(format!("connected to {rest}"))
+    }
+
+    /// Command interpretation while attached to a server: data commands
+    /// route over the wire, everything else is local-only.
+    fn dispatch_remote(&mut self, cmd: &str, rest: &str) -> Result<String> {
+        match cmd {
+            "disconnect" => return self.cmd_disconnect(),
+            "serve" | "connect" => {
+                let addr = self
+                    .remote
+                    .as_ref()
+                    .map(|r| r.addr.clone())
+                    .unwrap_or_default();
+                return Err(parse_err(format!(
+                    "already attached to {addr} — disconnect first"
+                )));
+            }
+            "help" => return Ok(HELP.trim().to_string()),
+            "quit" | "exit" => return Ok("bye (still attached — server keeps running)".into()),
+            _ => {}
+        }
+        let Some(remote) = self.remote.as_mut() else {
+            return Err(parse_err("not connected"));
+        };
+        let client = &mut remote.client;
+        let out = match cmd {
+            "create" => {
+                let (name, schema_text) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| parse_err("usage: create <rel> (<attrs>)"))?;
+                let schema = parse_schema(schema_text)?;
+                client
+                    .create_relation(name, schema.clone())
+                    .map(|()| format!("created {name} {schema} (remote)"))
+            }
+            "load" => {
+                let (name, tuples_text) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| parse_err("usage: load <rel> (<tuple>) [(<tuple>)...]"))?;
+                let mut txn = Transaction::new();
+                let mut n = 0usize;
+                for part in split_tuples(tuples_text)? {
+                    txn.insert(name, parse_tuple(&part)?)?;
+                    n += 1;
+                }
+                client
+                    .execute(txn)
+                    .map(|_| format!("loaded {n} row(s) into {name} (remote)"))
+            }
+            "view" => {
+                let (head, body) = rest.split_once('=').ok_or_else(|| {
+                    parse_err("usage: view <name> [deferred|ondemand] = from ...")
+                })?;
+                let mut head_parts = head.split_whitespace();
+                let name = head_parts
+                    .next()
+                    .ok_or_else(|| parse_err("view needs a name"))?;
+                let policy = match head_parts.next() {
+                    None => RefreshPolicy::Immediate,
+                    Some(p) if p.eq_ignore_ascii_case("deferred") => RefreshPolicy::Deferred,
+                    Some(p) if p.eq_ignore_ascii_case("ondemand") => RefreshPolicy::OnDemand,
+                    Some(p) => return Err(parse_err(format!("unknown policy {p:?}"))),
+                };
+                let expr = parse_view_body(body)?;
+                client
+                    .register_view(name, expr.clone(), policy)
+                    .map(|()| format!("registered {name} := {expr} (remote)"))
+            }
+            "begin" => {
+                if self.pending.is_some() {
+                    return Ok("already in a transaction".into());
+                }
+                self.pending = Some(Transaction::new());
+                return Ok("transaction started".into());
+            }
+            "insert" | "delete" => {
+                let is_insert = cmd == "insert";
+                let (name, tuple_text) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| parse_err("usage: insert|delete <rel> (<tuple>)"))?;
+                let tuple = parse_tuple(tuple_text)?;
+                if let Some(txn) = &mut self.pending {
+                    if is_insert {
+                        txn.insert(name, tuple)?;
+                    } else {
+                        txn.delete(name, tuple)?;
+                    }
+                    return Ok("queued".into());
+                }
+                let mut txn = Transaction::new();
+                if is_insert {
+                    txn.insert(name, tuple)?;
+                } else {
+                    txn.delete(name, tuple)?;
+                }
+                client.execute(txn).map(|_| "applied (remote)".to_string())
+            }
+            "commit" => match self.pending.take() {
+                None => return Ok("no open transaction".into()),
+                Some(txn) => {
+                    let size = txn.size();
+                    client
+                        .execute(txn)
+                        .map(|_| format!("committed {size} change(s) (remote)"))
+                }
+            },
+            "show" => client
+                .query(rest)
+                .map(|(epoch, rows)| format!("{rows}-- snapshot epoch {epoch}")),
+            "views" => client.list_views().map(|names| names.join("\n")),
+            "refresh" => client
+                .refresh(rest)
+                .map(|()| format!("view {rest} refreshed (remote)")),
+            "stats" if rest.is_empty() => client.stats(),
+            "epoch" => client.epoch().map(|e| format!("publication epoch {e}")),
+            "digest" => client
+                .digest()
+                .map(|(e, d)| format!("epoch {e} digest {d:#018x}")),
+            "ping" => client.ping().map(|()| "pong".to_string()),
+            other => {
+                return Ok(format!(
+                    "command {other:?} is local-only — `disconnect` first"
+                ))
+            }
+        };
+        out.map_err(remote_err)
+    }
+
+    /// `disconnect` — detach; if this shell's `serve` started the
+    /// server, stop it and restore the session (the served state becomes
+    /// the local state again).
+    fn cmd_disconnect(&mut self) -> Result<String> {
+        let Some(remote) = self.remote.take() else {
+            return Ok("not connected".into());
+        };
+        self.pending = None;
+        match remote.server {
+            Some(server) => {
+                drop(remote.client);
+                // Stop without waiting for a client-side Shutdown.
+                let manager = server.stop().map_err(remote_err)?;
+                self.manager = manager.with_recorder(self.recorder.clone());
+                Ok(format!(
+                    "server on {} stopped; session restored locally",
+                    remote.addr
+                ))
+            }
+            None => Ok(format!(
+                "disconnected from {} (server keeps running)",
+                remote.addr
+            )),
+        }
+    }
+}
+
+fn remote_err(e: ivm_serve::ServeError) -> IvmError {
+    parse_err(format!("serving layer: {e}"))
 }
 
 impl Shell {
@@ -556,6 +791,8 @@ dump | save <file> | source <file>            persist / replay a session
 open <dir>                                    switch to a durable (WAL-backed) session
 checkpoint                                    write an atomic snapshot of the session
 wal-stats                                     WAL / checkpoint counters
+serve <addr> | connect <addr> | disconnect    serve this session over TCP / attach to a server
+while attached: data commands route remotely; also views, epoch, digest, ping
 verify | help | quit
 "#;
 
@@ -832,6 +1069,80 @@ mod tests {
         assert_eq!(split_tuples("(1,2) (3,4)").unwrap().len(), 2);
         assert!(split_tuples("(1,2").is_err());
         assert!(split_tuples("nothing").is_err());
+    }
+
+    #[test]
+    fn serve_routes_commands_remotely_and_disconnect_restores() {
+        let mut s = seeded();
+        s.dispatch("view v = from R, S where A < 10 project A, C")
+            .unwrap();
+
+        let out = s.dispatch("serve 127.0.0.1:0").unwrap();
+        assert!(out.contains("serving on"), "{out}");
+
+        // Data commands now go over the wire.
+        assert_eq!(s.dispatch("insert R (3, 10)").unwrap(), "applied (remote)");
+        let shown = s.dispatch("show v").unwrap();
+        assert!(shown.contains("(3, 100)"), "{shown}");
+        assert!(shown.contains("snapshot epoch"), "{shown}");
+        assert!(s.dispatch("views").unwrap().contains('v'));
+        assert!(s.dispatch("ping").unwrap().contains("pong"));
+        assert!(s.dispatch("epoch").unwrap().contains("publication epoch"));
+        let stats = s.dispatch("stats").unwrap();
+        assert!(stats.contains("serve.requests"), "{stats}");
+
+        // Transactions queue locally and commit as one wire transaction.
+        s.dispatch("begin").unwrap();
+        s.dispatch("insert R (4, 20)").unwrap();
+        s.dispatch("insert R (5, 10)").unwrap();
+        let out = s.dispatch("commit").unwrap();
+        assert!(out.contains("committed 2"), "{out}");
+
+        // DDL over the wire.
+        s.dispatch("create T (X, Y)").unwrap();
+        s.dispatch("load T (1, 11) (2, 5)").unwrap();
+        s.dispatch("view t_hi = from T where Y > 10").unwrap();
+        assert!(s.dispatch("show t_hi").unwrap().contains("(1, 11)"));
+
+        // Local-only commands refuse politely; a second serve refuses.
+        assert!(s.dispatch("analyze").unwrap().contains("local-only"));
+        assert!(s.dispatch("serve 127.0.0.1:0").is_err());
+
+        // Server errors are surfaced, session stays usable.
+        assert!(s.dispatch("show no_such_view").is_err());
+        assert!(s.dispatch("ping").unwrap().contains("pong"));
+
+        let out = s.dispatch("disconnect").unwrap();
+        assert!(out.contains("session restored"), "{out}");
+        // The served writes are in the restored local session.
+        assert!(s.dispatch("show v").unwrap().contains("(3, 100)"));
+        assert!(s.dispatch("show t_hi").unwrap().contains("(1, 11)"));
+        assert!(s.dispatch("verify").unwrap().contains('✓'));
+    }
+
+    #[test]
+    fn connect_attaches_to_external_server_and_leaves_it_running() {
+        let mut backend = ViewManager::new();
+        ivm_serve::scenario::install(&mut backend).unwrap();
+        let server = ivm_serve::Server::start(backend, "127.0.0.1:0").unwrap();
+        let addr = server.addr().to_string();
+
+        let mut s = Shell::new();
+        assert_eq!(s.dispatch("disconnect").unwrap(), "not connected");
+        let out = s.dispatch(&format!("connect {addr}")).unwrap();
+        assert!(out.contains("connected"), "{out}");
+        s.dispatch("insert orders (1, 7, 80)").unwrap();
+        assert!(s
+            .dispatch("show big_orders")
+            .unwrap()
+            .contains("(1, 7, 80)"));
+        let out = s.dispatch("disconnect").unwrap();
+        assert!(out.contains("keeps running"), "{out}");
+
+        // The server survived the detach.
+        let mut probe = ivm_serve::Client::connect(addr.as_str()).unwrap();
+        probe.ping().unwrap();
+        server.stop().unwrap();
     }
 }
 
