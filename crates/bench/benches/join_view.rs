@@ -9,6 +9,7 @@ use std::hint::black_box;
 
 use ivm::differential::{differential_delta, DiffOptions, Engine};
 use ivm::full_reval;
+use ivm::prelude::AttrName;
 use ivm_bench::join_scenario;
 
 fn bench_update_ratio_sweep(c: &mut Criterion) {
@@ -17,13 +18,18 @@ fn bench_update_ratio_sweep(c: &mut Criterion) {
     let r_size = 20_000;
     let s_size = 20_000;
     let domain = 4_000; // ~5 join partners per key
-    for pct in [1usize, 10, 100, 1_000] {
+    for pct in [1usize, 10, 100, 1_000, 2_000] {
         // pct is |i_r| as permille of |r|.
         let n = (r_size * pct / 1_000).max(1);
         let mut sc = join_scenario(8, r_size, s_size, domain);
         let txn = sc.workload.transaction(&sc.db, "R", n, 0).unwrap();
         let mut db_after = sc.db.clone();
         db_after.apply(&txn).unwrap();
+        // The indexed axis probes S's maintained join-key index (what
+        // `register_view` derives) instead of hash-building S per term.
+        let mut db_indexed = sc.db.clone();
+        db_indexed.ensure_index("R", &[AttrName::new("B")]).unwrap();
+        db_indexed.ensure_index("S", &[AttrName::new("B")]).unwrap();
 
         group.bench_with_input(BenchmarkId::new("differential", pct), &pct, |b, _| {
             b.iter(|| {
@@ -32,6 +38,18 @@ fn bench_update_ratio_sweep(c: &mut Criterion) {
                 )
             })
         });
+        group.bench_with_input(
+            BenchmarkId::new("differential_indexed", pct),
+            &pct,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        differential_delta(&sc.view, &db_indexed, &txn, &DiffOptions::default())
+                            .unwrap(),
+                    )
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("full_rejoin", pct), &pct, |b, _| {
             b.iter(|| black_box(full_reval::recompute(&sc.view, &db_after).unwrap()))
         });

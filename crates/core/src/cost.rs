@@ -18,20 +18,59 @@ pub struct OperandSize {
     pub old: u64,
     /// Net changed tuples (`|i_r| + |d_r|`; 0 when untouched).
     pub changed: u64,
+    /// A maintained join-key index covers this relation: its `B = 0`
+    /// substitution is probed instead of materialized and hash-built, so
+    /// the differential path charges a constant probe overhead in place
+    /// of the relation's size. Full re-evaluation still scans it.
+    pub indexed: bool,
+}
+
+/// Constant charged for an indexed `B = 0` operand in a differential row
+/// product, replacing the relation's cardinality: the unchanged side
+/// contributes hash probes per prefix tuple, not a scan or build.
+pub const INDEX_PROBE_COST: u64 = 4;
+
+/// An operand's contribution to a differential row product when any row
+/// may pick either substitution: the changed portion is always
+/// materialized; the old portion is a scan/build (its size) or, indexed,
+/// a constant probe overhead.
+fn differential_weight(s: &OperandSize) -> u64 {
+    if s.indexed {
+        (s.changed + probe_weight(s)).max(1)
+    } else {
+        (s.old + s.changed).max(1)
+    }
+}
+
+/// An operand's contribution to the (never-evaluated) all-old row.
+fn all_old_weight(s: &OperandSize) -> u64 {
+    if s.indexed {
+        probe_weight(s)
+    } else {
+        s.old.max(1)
+    }
+}
+
+/// Probing can never cost more than scanning the relation outright, so
+/// the constant is capped at the relation's size (tiny indexed relations
+/// must not be priced above their unindexed selves).
+fn probe_weight(s: &OperandSize) -> u64 {
+    INDEX_PROBE_COST.min(s.old.max(1))
 }
 
 /// Estimated work for the differential truth-table evaluation:
 /// the sum over all non-zero rows of the product of the substituted
 /// operand sizes, which telescopes to
-/// `Π_j (old_j + changed_j·[j updated]) − Π_j old_j`.
+/// `Π_j (old_j + changed_j·[j updated]) − Π_j old_j` — with indexed
+/// operands priced per-probe instead of per-tuple in both products.
 pub fn estimate_differential(sizes: &[OperandSize]) -> u64 {
     let with_changes: u64 = sizes
         .iter()
-        .map(|s| (s.old + s.changed).max(1))
+        .map(differential_weight)
         .fold(1u64, u64::saturating_mul);
     let all_old: u64 = sizes
         .iter()
-        .map(|s| s.old.max(1))
+        .map(all_old_weight)
         .fold(1u64, u64::saturating_mul);
     with_changes.saturating_sub(all_old)
 }
@@ -70,7 +109,19 @@ mod tests {
     use super::*;
 
     fn s(old: u64, changed: u64) -> OperandSize {
-        OperandSize { old, changed }
+        OperandSize {
+            old,
+            changed,
+            indexed: false,
+        }
+    }
+
+    fn ix(old: u64, changed: u64) -> OperandSize {
+        OperandSize {
+            old,
+            changed,
+            indexed: true,
+        }
     }
 
     #[test]
@@ -131,6 +182,26 @@ mod tests {
         let sizes = [s(u64::MAX / 2, u64::MAX / 2); 4];
         let _ = estimate_differential(&sizes);
         let _ = estimate_full(&sizes);
+    }
+
+    #[test]
+    fn index_keeps_large_ratio_differential() {
+        // The measured E8 regime: 20k-tuple relations, a change set as
+        // large as the base (update ratio 1000). Unindexed, the 2.5×
+        // overhead sends this to full re-evaluation; with the unchanged
+        // side probed through its index, differential work collapses to
+        // O(|changes| · probe) and stays preferred.
+        let unindexed = [s(20_000, 20_000), s(20_000, 0)];
+        assert!(!prefer_differential(&unindexed));
+        let indexed = [s(20_000, 20_000), ix(20_000, 0)];
+        assert!(prefer_differential(&indexed));
+        assert!(estimate_differential(&indexed) < estimate_differential(&unindexed));
+    }
+
+    #[test]
+    fn index_on_small_changes_still_differential() {
+        let sizes = [s(100_000, 10), ix(100_000, 0)];
+        assert!(prefer_differential(&sizes));
     }
 
     #[test]

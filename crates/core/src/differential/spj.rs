@@ -52,7 +52,18 @@
 //!   row merging is additive, so the delta is identical to the sequential
 //!   engine for every thread count; when there are fewer rows than workers
 //!   (`k = 1` in particular) the spare parallelism is spent inside the
-//!   joins instead via the hash-partitioned `natural_join_*_with`.
+//!   joins instead via the hash-partitioned `natural_join_*_with`;
+//! * **index probing** — when a `B_i = 0` operand carries a maintained
+//!   [`JoinIndex`] covering the join key against the accumulated prefix,
+//!   the engine neither materializes the operand nor hash-builds it:
+//!   each prefix tuple probes the persistent index directly
+//!   ([`IndexedZero`], `probe_join_*`). At the last operand position the
+//!   probe is additionally fused with the residual selection and final
+//!   projection, emitting straight into the row accumulator. Falls back
+//!   to the materialized build when no index covers the key, a selection
+//!   was pushed onto the operand, or `use_indexes` is off — with
+//!   bit-identical deltas and work counters either way (only the
+//!   `index_probes`/`index_probe_rows` stats differ, by construction).
 
 use ivm_obs::{names, Obs};
 use ivm_parallel::Pool;
@@ -60,12 +71,16 @@ use ivm_relational::algebra;
 use ivm_relational::attribute::AttrName;
 use ivm_relational::database::Database;
 use ivm_relational::delta::DeltaRelation;
+use ivm_relational::error::RelError;
 use ivm_relational::expr::SpjExpr;
+use ivm_relational::index::JoinIndex;
 use ivm_relational::predicate::Condition;
 use ivm_relational::relation::Relation;
 use ivm_relational::schema::Schema;
 use ivm_relational::tagged::{Tag, TaggedRelation};
 use ivm_relational::transaction::Transaction;
+use ivm_relational::tuple::Tuple;
+use ivm_relational::value::Value;
 
 use crate::differential::{plan, truth_table};
 use crate::error::Result;
@@ -100,6 +115,11 @@ pub struct DiffOptions {
     /// compare against); `0` means one worker per available core. The
     /// resulting delta is identical at every width.
     pub threads: usize,
+    /// Probe maintained [`JoinIndex`]es for `B = 0` operands instead of
+    /// materializing and hash-building them, where one covers the join
+    /// key. `false` forces the materialized fallback everywhere (the
+    /// oracle the indexed-vs-fallback equivalence tests compare against).
+    pub use_indexes: bool,
 }
 
 impl Default for DiffOptions {
@@ -110,6 +130,7 @@ impl Default for DiffOptions {
             push_selections: true,
             reorder_operands: true,
             threads: 1,
+            use_indexes: true,
         }
     }
 }
@@ -124,6 +145,7 @@ impl DiffOptions {
             push_selections: false,
             reorder_operands: false,
             threads: 1,
+            use_indexes: false,
         }
     }
 
@@ -312,6 +334,8 @@ pub fn differential_delta_parts_observed(
         obs.add(names::DIFF_OPERAND_TUPLES, s.operand_tuples);
         obs.add(names::DIFF_OUTPUT_INSERTS, s.output_inserts);
         obs.add(names::DIFF_OUTPUT_DELETES, s.output_deletes);
+        obs.add(names::INDEX_PROBES, s.index_probes);
+        obs.add(names::INDEX_PROBE_ROWS, s.index_probe_rows);
     }
     Ok(result)
 }
@@ -350,16 +374,336 @@ fn zero_operand_needed(i: usize, ordered_updates: &[Option<&OperandUpdate>]) -> 
 }
 
 // ---------------------------------------------------------------------
+// Indexed B = 0 operands (shared by both engines)
+// ---------------------------------------------------------------------
+
+/// A probe plan for a `B = 0` operand backed by a maintained [`JoinIndex`]:
+/// instead of materializing the unchanged side and hash-building it per
+/// join term, each prefix tuple looks its join-key values up in the
+/// persistent index. Valid only at positions `j ≥ 1` (there must be a
+/// prefix to probe from) with no pushed selection on the operand.
+struct IndexedZero<'a> {
+    /// The maintained index on the old relation, keyed exactly by the
+    /// natural-join columns against the accumulated prefix.
+    index: &'a JoinIndex,
+    /// Net deletes to subtract per posting (§5.3 `r − d_r`). `None` in the
+    /// signed engine, whose `B = 0` operand is the full old relation.
+    deletes: Option<&'a Relation>,
+    /// Prefix-tuple positions supplying the key values, aligned with
+    /// `index.positions()` order.
+    probe_positions: Vec<usize>,
+    /// Operand positions appended to each prefix tuple on a match
+    /// (the non-key columns, in scheme order).
+    r_rest: Vec<usize>,
+    /// Scheme of the probe-join output: `prefix.join(operand)`.
+    schema: Schema,
+    /// Distinct entries the materialized fallback operand would hold —
+    /// keeps `operand_tuples` identical between the two paths.
+    logical_len: u64,
+}
+
+/// Plan an indexed `B = 0` operand, or `None` when the materialized
+/// fallback must be used: no prefix yet (position 0), a pushed selection
+/// filters the operand, the join against the prefix is a cross product,
+/// or no maintained index covers the join key.
+fn indexed_zero<'a>(
+    prefix_schema: Option<&Schema>,
+    old: &'a Relation,
+    update: Option<&'a OperandUpdate>,
+    cond: &Condition,
+    subtract_deletes: bool,
+) -> Option<IndexedZero<'a>> {
+    if !cond.is_trivially_true() {
+        return None;
+    }
+    let prefix = prefix_schema?;
+    let (l_key, r_key, r_rest) = algebra::join_key_positions(prefix, old.schema()).ok()?;
+    if r_key.is_empty() {
+        return None;
+    }
+    let index = old.index_covering(&r_key)?;
+    // Align the prefix's key positions with the index's (sorted) layout.
+    let mut probe_positions = Vec::with_capacity(index.positions().len());
+    for p in index.positions() {
+        let i = r_key.iter().position(|rp| rp == p)?;
+        probe_positions.push(*l_key.get(i)?);
+    }
+    let deletes = if subtract_deletes {
+        update.map(|u| &u.deletes).filter(|d| !d.is_empty())
+    } else {
+        None
+    };
+    let logical_len = match deletes {
+        None => old.len() as u64,
+        Some(d) => {
+            // `d_r ⊆ r`, so fully-deleted tuples drop whole entries.
+            let fully = d.iter().filter(|(t, dc)| *dc >= old.count(t)).count() as u64;
+            (old.len() as u64).saturating_sub(fully)
+        }
+    };
+    let schema = prefix.join(old.schema());
+    Some(IndexedZero {
+        index,
+        deletes,
+        probe_positions,
+        r_rest,
+        schema,
+        logical_len,
+    })
+}
+
+/// Probe-join a tagged prefix against an indexed `B = 0` operand. The
+/// operand side is tagged `Old`, which is the identity of
+/// [`Tag::combine`], so every prefix tag carries through unchanged and no
+/// combination is ever ignored. Produces exactly
+/// `natural_join_tagged(prefix, tagged_zero(old, deletes, true))`.
+fn probe_join_tagged(
+    left: &TaggedRelation,
+    ix: &IndexedZero<'_>,
+    stats: &mut DiffStats,
+) -> Result<TaggedRelation> {
+    let mut out = TaggedRelation::empty(ix.schema.clone());
+    stats.index_probes += left.len() as u64;
+    let mut key: Vec<Value> = Vec::with_capacity(ix.probe_positions.len());
+    for (lt, ltag, lc) in left.iter() {
+        key.clear();
+        for &p in &ix.probe_positions {
+            key.push(lt.at(p).clone());
+        }
+        for (rt, rc) in ix.index.probe(&key) {
+            stats.index_probe_rows += 1;
+            let rc = match ix.deletes {
+                None => rc,
+                Some(d) => {
+                    let dc = d.count(rt);
+                    if dc >= rc {
+                        continue; // fully deleted
+                    }
+                    rc - dc
+                }
+            };
+            let count = lc
+                .checked_mul(rc)
+                .ok_or_else(|| RelError::CounterOverflow("probe-join count exceeds u64".into()))?;
+            let mut vals = Vec::with_capacity(lt.values().len() + ix.r_rest.len());
+            vals.extend_from_slice(lt.values());
+            for &p in &ix.r_rest {
+                vals.push(rt.at(p).clone());
+            }
+            out.add(Tuple::new(vals), ltag, count);
+        }
+    }
+    Ok(out)
+}
+
+/// Signed twin of [`probe_join_tagged`]. The signed `B = 0` operand is
+/// the full old relation, so there is never a deletes side to subtract.
+fn probe_join_signed(
+    left: &DeltaRelation,
+    ix: &IndexedZero<'_>,
+    stats: &mut DiffStats,
+) -> Result<DeltaRelation> {
+    debug_assert!(ix.deletes.is_none(), "signed zero is the full old state");
+    let mut out = DeltaRelation::empty(ix.schema.clone());
+    stats.index_probes += left.len() as u64;
+    let mut key: Vec<Value> = Vec::with_capacity(ix.probe_positions.len());
+    for (lt, lc) in left.iter() {
+        key.clear();
+        for &p in &ix.probe_positions {
+            key.push(lt.at(p).clone());
+        }
+        for (rt, rc) in ix.index.probe(&key) {
+            stats.index_probe_rows += 1;
+            let rc = signed_count(rc)?;
+            let count = lc
+                .checked_mul(rc)
+                .ok_or_else(|| RelError::CounterOverflow("probe-join count exceeds i64".into()))?;
+            let mut vals = Vec::with_capacity(lt.values().len() + ix.r_rest.len());
+            vals.extend_from_slice(lt.values());
+            for &p in &ix.r_rest {
+                vals.push(rt.at(p).clone());
+            }
+            out.add(Tuple::new(vals), count);
+        }
+    }
+    Ok(out)
+}
+
+/// Fused last-operand probe for the tagged engine: probe, residual
+/// selection, final projection and tag-to-sign conversion in one pass,
+/// emitting straight into the final signed delta without materializing
+/// the joined relation *or* the tagged accumulator entry. Only used when
+/// metrics are disabled — the fused path cannot observe the per-row
+/// output histogram or the tag tallies. Semantically identical to
+/// [`probe_join_tagged`] → [`emit_tagged_leaf`] → `into_delta`.
+fn probe_emit_tagged(
+    ctx: &RowCtx<'_>,
+    left: &TaggedRelation,
+    ix: &IndexedZero<'_>,
+    fused: &mut DeltaRelation,
+    stats: &mut DiffStats,
+) -> Result<()> {
+    let trivial = ctx.residual.is_trivially_true();
+    let proj: Option<Vec<usize>> = match ctx.final_proj {
+        None => None,
+        Some(attrs) => Some(
+            attrs
+                .iter()
+                .map(|a| ix.schema.require(a))
+                .collect::<ivm_relational::error::Result<_>>()?,
+        ),
+    };
+    stats.index_probes += left.len() as u64;
+    let mut key: Vec<Value> = Vec::with_capacity(ix.probe_positions.len());
+    for (lt, ltag, lc) in left.iter() {
+        // The prefix holds the row's one-substituted operands (the zero
+        // here is last), so its combined tag is Insert or Delete — Old is
+        // the combine identity and contributes sign 0 regardless.
+        let sign = ltag.sign();
+        key.clear();
+        for &p in &ix.probe_positions {
+            key.push(lt.at(p).clone());
+        }
+        for (rt, rc) in ix.index.probe(&key) {
+            stats.index_probe_rows += 1;
+            let rc = match ix.deletes {
+                None => rc,
+                Some(d) => {
+                    let dc = d.count(rt);
+                    if dc >= rc {
+                        continue; // fully deleted
+                    }
+                    rc - dc
+                }
+            };
+            let count = lc
+                .checked_mul(rc)
+                .ok_or_else(|| RelError::CounterOverflow("probe-join count exceeds u64".into()))?;
+            let mut vals = Vec::with_capacity(lt.values().len() + ix.r_rest.len());
+            vals.extend_from_slice(lt.values());
+            for &p in &ix.r_rest {
+                vals.push(rt.at(p).clone());
+            }
+            let tuple = Tuple::new(vals);
+            if !trivial && !ctx.residual.eval(&ix.schema, &tuple)? {
+                continue;
+            }
+            let tuple = match &proj {
+                None => tuple,
+                Some(ps) => tuple.project_positions(ps),
+            };
+            fused.add(tuple, sign * signed_count(count)?);
+        }
+    }
+    Ok(())
+}
+
+/// Fused last-operand probe for the signed engine (see
+/// [`probe_emit_tagged`]).
+fn probe_emit_signed(
+    ctx: &RowCtx<'_>,
+    left: &DeltaRelation,
+    ix: &IndexedZero<'_>,
+    acc: &mut DeltaRelation,
+    stats: &mut DiffStats,
+) -> Result<()> {
+    debug_assert!(ix.deletes.is_none(), "signed zero is the full old state");
+    let trivial = ctx.residual.is_trivially_true();
+    let proj: Option<Vec<usize>> = match ctx.final_proj {
+        None => None,
+        Some(attrs) => Some(
+            attrs
+                .iter()
+                .map(|a| ix.schema.require(a))
+                .collect::<ivm_relational::error::Result<_>>()?,
+        ),
+    };
+    stats.index_probes += left.len() as u64;
+    let mut key: Vec<Value> = Vec::with_capacity(ix.probe_positions.len());
+    for (lt, lc) in left.iter() {
+        key.clear();
+        for &p in &ix.probe_positions {
+            key.push(lt.at(p).clone());
+        }
+        for (rt, rc) in ix.index.probe(&key) {
+            stats.index_probe_rows += 1;
+            let rc = signed_count(rc)?;
+            let count = lc
+                .checked_mul(rc)
+                .ok_or_else(|| RelError::CounterOverflow("probe-join count exceeds i64".into()))?;
+            let mut vals = Vec::with_capacity(lt.values().len() + ix.r_rest.len());
+            vals.extend_from_slice(lt.values());
+            for &p in &ix.r_rest {
+                vals.push(rt.at(p).clone());
+            }
+            let tuple = Tuple::new(vals);
+            if !trivial && !ctx.residual.eval(&ix.schema, &tuple)? {
+                continue;
+            }
+            let tuple = match &proj {
+                None => tuple,
+                Some(ps) => tuple.project_positions(ps),
+            };
+            acc.add(tuple, count);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // Tagged engine
 // ---------------------------------------------------------------------
 
-struct TaggedOperands {
-    /// `B = 0` operand: surviving old tuples tagged `old`, pre-filtered by
-    /// the pushed condition. `None` when no row needs it.
-    zero: Option<TaggedRelation>,
+/// The `B = 0` operand of one position: materialized, or a probe plan
+/// against a maintained index.
+enum TaggedZero<'a> {
+    /// Materialized fallback: surviving old tuples tagged `old`,
+    /// pre-filtered by the pushed condition.
+    Mat(TaggedRelation),
+    /// Indexed: never materialized, probed per prefix tuple.
+    Idx(IndexedZero<'a>),
+}
+
+struct TaggedOperands<'a> {
+    /// `B = 0` operand. `None` when no row needs it.
+    zero: Option<TaggedZero<'a>>,
     /// `B = 1` operand: tagged, pre-filtered change set. `None` for
     /// untouched relations.
     one: Option<TaggedRelation>,
+}
+
+/// One operand chosen for a truth-table row position.
+enum TaggedPick<'b, 'a> {
+    Rel(&'b TaggedRelation),
+    Idx(&'b IndexedZero<'a>),
+}
+
+impl TaggedPick<'_, '_> {
+    /// Distinct entries the operand contributes (`operand_tuples` parity
+    /// between the indexed and materialized paths).
+    fn logical_len(&self) -> u64 {
+        match self {
+            TaggedPick::Rel(r) => r.len() as u64,
+            TaggedPick::Idx(ix) => ix.logical_len,
+        }
+    }
+}
+
+fn pick_tagged<'b, 'a>(
+    operands: &'b [TaggedOperands<'a>],
+    j: usize,
+    one: bool,
+) -> TaggedPick<'b, 'a> {
+    if one {
+        // ivm-lint: allow(no-panic) — truth_table::rows sets B=1 only at updated positions, whose `one` operand is always materialized
+        TaggedPick::Rel(operands[j].one.as_ref().expect("B=1 only for updated"))
+    } else {
+        // ivm-lint: allow(no-panic) — every operand's zero plan is built before differentiation starts
+        match operands[j].zero.as_ref().expect("zero operand needed") {
+            TaggedZero::Mat(r) => TaggedPick::Rel(r),
+            TaggedZero::Idx(ix) => TaggedPick::Idx(ix),
+        }
+    }
 }
 
 /// Materialize the `B = 0` operand: old minus deletions, filtered, tagged
@@ -407,22 +751,31 @@ fn tagged_one(u: &OperandUpdate, cond: &Condition) -> Result<TaggedRelation> {
     Ok(out)
 }
 
-fn tagged_differential(
+fn tagged_differential<'a>(
     ctx: &RowCtx<'_>,
-    old: &[&Relation],
-    updates: &[Option<&OperandUpdate>],
+    old: &[&'a Relation],
+    updates: &[Option<&'a OperandUpdate>],
     pushed: &[&Condition],
     opts: &DiffOptions,
 ) -> Result<DifferentialResult> {
     let p = old.len();
-    let mut operands = Vec::with_capacity(p);
+    let mut operands: Vec<TaggedOperands<'a>> = Vec::with_capacity(p);
+    let mut prefix_schema: Option<Schema> = None;
     for i in 0..p {
         let zero = if zero_operand_needed(i, updates) {
-            Some(tagged_zero(
-                old[i],
-                updates[i].map(|u| &u.deletes),
-                pushed[i],
-            )?)
+            let idx = if opts.use_indexes {
+                indexed_zero(prefix_schema.as_ref(), old[i], updates[i], pushed[i], true)
+            } else {
+                None
+            };
+            Some(match idx {
+                Some(ix) => TaggedZero::Idx(ix),
+                None => TaggedZero::Mat(tagged_zero(
+                    old[i],
+                    updates[i].map(|u| &u.deletes),
+                    pushed[i],
+                )?),
+            })
         } else {
             None
         };
@@ -430,11 +783,18 @@ fn tagged_differential(
             None => None,
             Some(u) => Some(tagged_one(u, pushed[i])?),
         };
+        prefix_schema = Some(match prefix_schema {
+            None => old[i].schema().clone(),
+            Some(s) => s.join(old[i].schema()),
+        });
         operands.push(TaggedOperands { zero, one });
     }
 
     let mut stats = DiffStats::default();
     let mut acc = TaggedRelation::empty(ctx.out_schema.clone());
+    // Signed output of fused last-operand probes (sequential DFS only);
+    // merged into the accumulator's delta at the end.
+    let mut fused = DeltaRelation::empty(ctx.out_schema.clone());
 
     if opts.resolved_threads() > 1 {
         let updated: Vec<usize> = (0..p).filter(|&i| operands[i].one.is_some()).collect();
@@ -479,31 +839,31 @@ fn tagged_differential(
             None,
             false,
             &mut acc,
+            &mut fused,
             &mut stats,
         )?;
     } else {
         let updated: Vec<usize> = (0..p).filter(|&i| operands[i].one.is_some()).collect();
         for row in truth_table::rows(p, &updated) {
             stats.rows_evaluated += 1;
-            let inputs: Vec<&TaggedRelation> = row
+            let picks: Vec<TaggedPick<'_, 'a>> = row
                 .iter()
                 .enumerate()
-                .map(|(j, &one)| {
-                    if one {
-                        // ivm-lint: allow(no-panic) — truth_table::rows sets B=1 only at updated positions, whose `one` operand is always materialized
-                        operands[j].one.as_ref().expect("B=1 only for updated")
-                    } else {
-                        // ivm-lint: allow(no-panic) — every operand's zero relation is materialized before differentiation starts
-                        operands[j].zero.as_ref().expect("zero operand needed")
-                    }
-                })
+                .map(|(j, &one)| pick_tagged(&operands, j, one))
                 .collect();
-            stats.operand_tuples += inputs.iter().map(|r| r.len() as u64).sum::<u64>();
+            stats.operand_tuples += picks.iter().map(TaggedPick::logical_len).sum::<u64>();
             // ivm-lint: allow(no-unchecked-index) — p ≥ 1 operands, so every truth-table row has a first input
-            let mut joined = inputs[0].clone();
-            for input in &inputs[1..] {
+            let mut joined = match &picks[0] {
+                TaggedPick::Rel(r) => (*r).clone(),
+                // ivm-lint: allow(no-panic) — position 0 has no prefix, so indexed_zero never plans an index there
+                TaggedPick::Idx(_) => unreachable!("indexed zero requires a prefix"),
+            };
+            for pick in &picks[1..] {
                 stats.joins_performed += 1;
-                joined = algebra::natural_join_tagged(&joined, input)?;
+                joined = match pick {
+                    TaggedPick::Rel(r) => algebra::natural_join_tagged(&joined, r)?,
+                    TaggedPick::Idx(ix) => probe_join_tagged(&joined, ix, &mut stats)?,
+                };
             }
             emit_tagged_leaf(ctx, &joined, &mut acc)?;
         }
@@ -518,10 +878,25 @@ fn tagged_differential(
         ctx.obs.add(names::DIFF_TAG_DELETES, tag_del);
         ctx.obs.add(names::DIFF_TAG_OLDS, tag_old);
     }
-    let delta = acc.to_delta();
-    let (ins, del) = delta.split();
-    stats.output_inserts = ins.iter().map(|(_, c)| c).sum();
-    stats.output_deletes = del.iter().map(|(_, c)| c).sum();
+    // Consume the accumulator into the delta (no tuple clones), fold in
+    // the fused probe output, and read the output tallies off the signed
+    // counts — identical sums to splitting into insert/delete sets,
+    // without materializing them.
+    let mut delta = acc.into_delta();
+    if !fused.is_empty() {
+        if delta.is_empty() {
+            delta = fused;
+        } else {
+            delta.merge(&fused).map_err(crate::error::IvmError::from)?;
+        }
+    }
+    for (_, c) in delta.iter() {
+        if c > 0 {
+            stats.output_inserts += c as u64;
+        } else {
+            stats.output_deletes += c.unsigned_abs();
+        }
+    }
     Ok(DifferentialResult { delta, stats })
 }
 
@@ -553,7 +928,7 @@ fn emit_tagged_leaf(
 /// flows into the hash-partitioned joins for the few-rows case.
 fn eval_tagged_rows(
     ctx: &RowCtx<'_>,
-    operands: &[TaggedOperands],
+    operands: &[TaggedOperands<'_>],
     rows: &[truth_table::Row],
     share: bool,
     join_threads: usize,
@@ -561,15 +936,6 @@ fn eval_tagged_rows(
     let p = operands.len();
     let mut acc = TaggedRelation::empty(ctx.out_schema.clone());
     let mut stats = DiffStats::default();
-    let pick = |j: usize, one: bool| -> &TaggedRelation {
-        if one {
-            // ivm-lint: allow(no-panic) — truth_table::rows sets B=1 only at updated positions, whose `one` operand is always materialized
-            operands[j].one.as_ref().expect("B=1 only for updated")
-        } else {
-            // ivm-lint: allow(no-panic) — every operand's zero relation is materialized before differentiation starts
-            operands[j].zero.as_ref().expect("zero operand needed")
-        }
-    };
     // stack[j] = join of the operands chosen for positions 0..=j of the
     // current row; reusable entries survive row-to-row truncation.
     // pruned[j] = some prefix 0..=j went empty without a join — the same
@@ -594,18 +960,32 @@ fn eval_tagged_rows(
         stack.truncate(keep);
         pruned.truncate(keep);
         for (j, &one) in row.iter().enumerate().skip(keep) {
-            let operand = pick(j, one);
-            stats.operand_tuples += operand.len() as u64;
-            let next = if j == 0 {
-                operand.clone()
-            } else if stack[j - 1].is_empty() {
-                // Empty prefixes stay empty; skip the join but keep the
-                // stack aligned for later rows.
-                stats.joins_skipped += 1;
-                TaggedRelation::empty(stack[j - 1].schema().join(operand.schema()))
-            } else {
-                stats.joins_performed += 1;
-                algebra::natural_join_tagged_with(&stack[j - 1], operand, join_threads)?
+            let next = match pick_tagged(operands, j, one) {
+                TaggedPick::Rel(operand) => {
+                    stats.operand_tuples += operand.len() as u64;
+                    if j == 0 {
+                        operand.clone()
+                    } else if stack[j - 1].is_empty() {
+                        // Empty prefixes stay empty; skip the join but keep
+                        // the stack aligned for later rows.
+                        stats.joins_skipped += 1;
+                        TaggedRelation::empty(stack[j - 1].schema().join(operand.schema()))
+                    } else {
+                        stats.joins_performed += 1;
+                        algebra::natural_join_tagged_with(&stack[j - 1], operand, join_threads)?
+                    }
+                }
+                TaggedPick::Idx(ix) => {
+                    // Indexed zeros only exist at positions j ≥ 1.
+                    stats.operand_tuples += ix.logical_len;
+                    if stack[j - 1].is_empty() {
+                        stats.joins_skipped += 1;
+                        TaggedRelation::empty(ix.schema.clone())
+                    } else {
+                        stats.joins_performed += 1;
+                        probe_join_tagged(&stack[j - 1], ix, &mut stats)?
+                    }
+                }
             };
             pruned.push(
                 pruned.last().copied().unwrap_or(false) || (j > 0 && stack[j - 1].is_empty()),
@@ -626,12 +1006,13 @@ fn eval_tagged_rows(
 #[allow(clippy::too_many_arguments)]
 fn dfs_tagged(
     ctx: &RowCtx<'_>,
-    operands: &[TaggedOperands],
+    operands: &[TaggedOperands<'_>],
     updated_after: &[bool],
     j: usize,
     prefix: Option<&TaggedRelation>,
     any_one: bool,
     acc: &mut TaggedRelation,
+    fused: &mut DeltaRelation,
     stats: &mut DiffStats,
 ) -> Result<()> {
     if j == operands.len() {
@@ -645,17 +1026,32 @@ fn dfs_tagged(
     // Zero branch — pruned when it can never flip any_one.
     if let Some(zero) = &operands[j].zero {
         if any_one || updated_after[j + 1] {
-            descend_tagged(
-                ctx,
-                operands,
-                updated_after,
-                j,
-                prefix,
-                any_one,
-                zero,
-                acc,
-                stats,
-            )?;
+            match zero {
+                TaggedZero::Mat(rel) => descend_tagged(
+                    ctx,
+                    operands,
+                    updated_after,
+                    j,
+                    prefix,
+                    any_one,
+                    rel,
+                    acc,
+                    fused,
+                    stats,
+                )?,
+                TaggedZero::Idx(ix) => descend_tagged_indexed(
+                    ctx,
+                    operands,
+                    updated_after,
+                    j,
+                    prefix,
+                    any_one,
+                    ix,
+                    acc,
+                    fused,
+                    stats,
+                )?,
+            }
         }
     }
     // One branch.
@@ -669,6 +1065,7 @@ fn dfs_tagged(
             true,
             one,
             acc,
+            fused,
             stats,
         )?;
     }
@@ -678,13 +1075,14 @@ fn dfs_tagged(
 #[allow(clippy::too_many_arguments)]
 fn descend_tagged(
     ctx: &RowCtx<'_>,
-    operands: &[TaggedOperands],
+    operands: &[TaggedOperands<'_>],
     updated_after: &[bool],
     j: usize,
     prefix: Option<&TaggedRelation>,
     any_one: bool,
     operand: &TaggedRelation,
     acc: &mut TaggedRelation,
+    fused: &mut DeltaRelation,
     stats: &mut DiffStats,
 ) -> Result<()> {
     stats.operand_tuples += operand.len() as u64;
@@ -697,6 +1095,7 @@ fn descend_tagged(
             Some(operand),
             any_one,
             acc,
+            fused,
             stats,
         ),
         Some(prev) => {
@@ -715,19 +1114,111 @@ fn descend_tagged(
                 Some(&next),
                 any_one,
                 acc,
+                fused,
                 stats,
             )
         }
     }
 }
 
+/// DFS descent through an indexed `B = 0` operand: probe-join the prefix
+/// instead of hash-joining a materialized operand. At the last operand
+/// position (and with metrics off) the probe is fused with the residual
+/// selection and final projection, emitting straight into the
+/// accumulator — the row result is never materialized at all.
+#[allow(clippy::too_many_arguments)]
+fn descend_tagged_indexed(
+    ctx: &RowCtx<'_>,
+    operands: &[TaggedOperands<'_>],
+    updated_after: &[bool],
+    j: usize,
+    prefix: Option<&TaggedRelation>,
+    any_one: bool,
+    ix: &IndexedZero<'_>,
+    acc: &mut TaggedRelation,
+    fused: &mut DeltaRelation,
+    stats: &mut DiffStats,
+) -> Result<()> {
+    stats.operand_tuples += ix.logical_len;
+    let Some(prev) = prefix else {
+        debug_assert!(false, "indexed zero requires a prefix (j ≥ 1)");
+        return Ok(());
+    };
+    if prev.is_empty() {
+        stats.joins_skipped += 1;
+        return Ok(());
+    }
+    stats.joins_performed += 1;
+    if j + 1 == operands.len() && !ctx.obs.enabled() {
+        // Last operand: `any_one` is guaranteed — a zero choice here is
+        // only descended when a one was already chosen (`updated_after`
+        // past the end is false).
+        debug_assert!(any_one);
+        stats.rows_evaluated += 1;
+        return probe_emit_tagged(ctx, prev, ix, fused, stats);
+    }
+    let next = probe_join_tagged(prev, ix, stats)?;
+    dfs_tagged(
+        ctx,
+        operands,
+        updated_after,
+        j + 1,
+        Some(&next),
+        any_one,
+        acc,
+        fused,
+        stats,
+    )
+}
+
 // ---------------------------------------------------------------------
 // Signed engine
 // ---------------------------------------------------------------------
 
-struct SignedOperands {
-    zero: Option<DeltaRelation>,
+/// The `B = 0` operand of one position in the signed engine.
+enum SignedZero<'a> {
+    /// Materialized fallback: the full old relation as signed counts.
+    Mat(DeltaRelation),
+    /// Indexed: never materialized, probed per prefix tuple.
+    Idx(IndexedZero<'a>),
+}
+
+struct SignedOperands<'a> {
+    zero: Option<SignedZero<'a>>,
     one: Option<DeltaRelation>,
+}
+
+/// One operand chosen for a truth-table row position (signed twin of
+/// [`TaggedPick`]).
+enum SignedPick<'b, 'a> {
+    Rel(&'b DeltaRelation),
+    Idx(&'b IndexedZero<'a>),
+}
+
+impl SignedPick<'_, '_> {
+    fn logical_len(&self) -> u64 {
+        match self {
+            SignedPick::Rel(r) => r.len() as u64,
+            SignedPick::Idx(ix) => ix.logical_len,
+        }
+    }
+}
+
+fn pick_signed<'b, 'a>(
+    operands: &'b [SignedOperands<'a>],
+    j: usize,
+    one: bool,
+) -> SignedPick<'b, 'a> {
+    if one {
+        // ivm-lint: allow(no-panic) — truth_table::rows sets B=1 only at updated positions, whose `one` operand is always materialized
+        SignedPick::Rel(operands[j].one.as_ref().expect("B=1 only for updated"))
+    } else {
+        // ivm-lint: allow(no-panic) — every operand's zero plan is built before differentiation starts
+        match operands[j].zero.as_ref().expect("zero operand needed") {
+            SignedZero::Mat(r) => SignedPick::Rel(r),
+            SignedZero::Idx(ix) => SignedPick::Idx(ix),
+        }
+    }
 }
 
 /// A §5.2 counter as a signed delta count, or `CounterOverflow` — the
@@ -766,18 +1257,31 @@ fn signed_one(u: &OperandUpdate, cond: &Condition) -> Result<DeltaRelation> {
     Ok(out)
 }
 
-fn signed_differential(
+fn signed_differential<'a>(
     ctx: &RowCtx<'_>,
-    old: &[&Relation],
-    updates: &[Option<&OperandUpdate>],
+    old: &[&'a Relation],
+    updates: &[Option<&'a OperandUpdate>],
     pushed: &[&Condition],
     opts: &DiffOptions,
 ) -> Result<DifferentialResult> {
     let p = old.len();
-    let mut operands = Vec::with_capacity(p);
+    let mut operands: Vec<SignedOperands<'a>> = Vec::with_capacity(p);
+    let mut prefix_schema: Option<Schema> = None;
     for i in 0..p {
         let zero = if zero_operand_needed(i, updates) {
-            Some(signed_zero(old[i], pushed[i])?)
+            // The signed `B = 0` operand is the full old relation, so the
+            // probe plan never subtracts deletes. Note the fallback eagerly
+            // rejects any §5.2 counter beyond `i64::MAX`, while the probe
+            // path rejects only the postings a probe actually visits.
+            let idx = if opts.use_indexes {
+                indexed_zero(prefix_schema.as_ref(), old[i], updates[i], pushed[i], false)
+            } else {
+                None
+            };
+            Some(match idx {
+                Some(ix) => SignedZero::Idx(ix),
+                None => SignedZero::Mat(signed_zero(old[i], pushed[i])?),
+            })
         } else {
             None
         };
@@ -785,6 +1289,10 @@ fn signed_differential(
             None => None,
             Some(u) => Some(signed_one(u, pushed[i])?),
         };
+        prefix_schema = Some(match prefix_schema {
+            None => old[i].schema().clone(),
+            Some(s) => s.join(old[i].schema()),
+        });
         operands.push(SignedOperands { zero, one });
     }
 
@@ -838,33 +1346,38 @@ fn signed_differential(
         let updated: Vec<usize> = (0..p).filter(|&i| operands[i].one.is_some()).collect();
         for row in truth_table::rows(p, &updated) {
             stats.rows_evaluated += 1;
-            let inputs: Vec<&DeltaRelation> = row
+            let picks: Vec<SignedPick<'_, 'a>> = row
                 .iter()
                 .enumerate()
-                .map(|(j, &one)| {
-                    if one {
-                        // ivm-lint: allow(no-panic) — truth_table::rows sets B=1 only at updated positions, whose `one` operand is always materialized
-                        operands[j].one.as_ref().expect("B=1 only for updated")
-                    } else {
-                        // ivm-lint: allow(no-panic) — every operand's zero relation is materialized before differentiation starts
-                        operands[j].zero.as_ref().expect("zero operand needed")
-                    }
-                })
+                .map(|(j, &one)| pick_signed(&operands, j, one))
                 .collect();
-            stats.operand_tuples += inputs.iter().map(|r| r.len() as u64).sum::<u64>();
+            stats.operand_tuples += picks.iter().map(SignedPick::logical_len).sum::<u64>();
             // ivm-lint: allow(no-unchecked-index) — p ≥ 1 operands, so every truth-table row has a first input
-            let mut joined = inputs[0].clone();
-            for input in &inputs[1..] {
+            let mut joined = match &picks[0] {
+                SignedPick::Rel(r) => (*r).clone(),
+                // ivm-lint: allow(no-panic) — position 0 has no prefix, so indexed_zero never plans an index there
+                SignedPick::Idx(_) => unreachable!("indexed zero requires a prefix"),
+            };
+            for pick in &picks[1..] {
                 stats.joins_performed += 1;
-                joined = algebra::natural_join_delta(&joined, input)?;
+                joined = match pick {
+                    SignedPick::Rel(r) => algebra::natural_join_delta(&joined, r)?,
+                    SignedPick::Idx(ix) => probe_join_signed(&joined, ix, &mut stats)?,
+                };
             }
             emit_signed_leaf(ctx, &joined, &mut acc)?;
         }
     }
 
-    let (ins, del) = acc.split();
-    stats.output_inserts = ins.iter().map(|(_, c)| c).sum();
-    stats.output_deletes = del.iter().map(|(_, c)| c).sum();
+    // Output tallies read directly off the signed counts — identical sums
+    // to splitting into insert/delete sets, without materializing them.
+    for (_, c) in acc.iter() {
+        if c > 0 {
+            stats.output_inserts += c as u64;
+        } else {
+            stats.output_deletes += c.unsigned_abs();
+        }
+    }
     Ok(DifferentialResult { delta: acc, stats })
 }
 
@@ -889,7 +1402,7 @@ fn emit_signed_leaf(
 /// chunk of truth-table rows, evaluated with an incremental join stack.
 fn eval_signed_rows(
     ctx: &RowCtx<'_>,
-    operands: &[SignedOperands],
+    operands: &[SignedOperands<'_>],
     rows: &[truth_table::Row],
     share: bool,
     join_threads: usize,
@@ -897,15 +1410,6 @@ fn eval_signed_rows(
     let p = operands.len();
     let mut acc = DeltaRelation::empty(ctx.out_schema.clone());
     let mut stats = DiffStats::default();
-    let pick = |j: usize, one: bool| -> &DeltaRelation {
-        if one {
-            // ivm-lint: allow(no-panic) — truth_table::rows sets B=1 only at updated positions, whose `one` operand is always materialized
-            operands[j].one.as_ref().expect("B=1 only for updated")
-        } else {
-            // ivm-lint: allow(no-panic) — every operand's zero relation is materialized before differentiation starts
-            operands[j].zero.as_ref().expect("zero operand needed")
-        }
-    };
     let mut stack: Vec<DeltaRelation> = Vec::with_capacity(p);
     let mut pruned: Vec<bool> = Vec::with_capacity(p);
     let mut prev: Option<&truth_table::Row> = None;
@@ -925,16 +1429,30 @@ fn eval_signed_rows(
         stack.truncate(keep);
         pruned.truncate(keep);
         for (j, &one) in row.iter().enumerate().skip(keep) {
-            let operand = pick(j, one);
-            stats.operand_tuples += operand.len() as u64;
-            let next = if j == 0 {
-                operand.clone()
-            } else if stack[j - 1].is_empty() {
-                stats.joins_skipped += 1;
-                DeltaRelation::empty(stack[j - 1].schema().join(operand.schema()))
-            } else {
-                stats.joins_performed += 1;
-                algebra::natural_join_delta_with(&stack[j - 1], operand, join_threads)?
+            let next = match pick_signed(operands, j, one) {
+                SignedPick::Rel(operand) => {
+                    stats.operand_tuples += operand.len() as u64;
+                    if j == 0 {
+                        operand.clone()
+                    } else if stack[j - 1].is_empty() {
+                        stats.joins_skipped += 1;
+                        DeltaRelation::empty(stack[j - 1].schema().join(operand.schema()))
+                    } else {
+                        stats.joins_performed += 1;
+                        algebra::natural_join_delta_with(&stack[j - 1], operand, join_threads)?
+                    }
+                }
+                SignedPick::Idx(ix) => {
+                    // Indexed zeros only exist at positions j ≥ 1.
+                    stats.operand_tuples += ix.logical_len;
+                    if stack[j - 1].is_empty() {
+                        stats.joins_skipped += 1;
+                        DeltaRelation::empty(ix.schema.clone())
+                    } else {
+                        stats.joins_performed += 1;
+                        probe_join_signed(&stack[j - 1], ix, &mut stats)?
+                    }
+                }
             };
             pruned.push(
                 pruned.last().copied().unwrap_or(false) || (j > 0 && stack[j - 1].is_empty()),
@@ -953,7 +1471,7 @@ fn eval_signed_rows(
 #[allow(clippy::too_many_arguments)]
 fn dfs_signed(
     ctx: &RowCtx<'_>,
-    operands: &[SignedOperands],
+    operands: &[SignedOperands<'_>],
     updated_after: &[bool],
     j: usize,
     prefix: Option<&DeltaRelation>,
@@ -970,17 +1488,30 @@ fn dfs_signed(
     }
     if let Some(zero) = &operands[j].zero {
         if any_one || updated_after[j + 1] {
-            descend_signed(
-                ctx,
-                operands,
-                updated_after,
-                j,
-                prefix,
-                any_one,
-                zero,
-                acc,
-                stats,
-            )?;
+            match zero {
+                SignedZero::Mat(rel) => descend_signed(
+                    ctx,
+                    operands,
+                    updated_after,
+                    j,
+                    prefix,
+                    any_one,
+                    rel,
+                    acc,
+                    stats,
+                )?,
+                SignedZero::Idx(ix) => descend_signed_indexed(
+                    ctx,
+                    operands,
+                    updated_after,
+                    j,
+                    prefix,
+                    any_one,
+                    ix,
+                    acc,
+                    stats,
+                )?,
+            }
         }
     }
     if let Some(one) = &operands[j].one {
@@ -1002,7 +1533,7 @@ fn dfs_signed(
 #[allow(clippy::too_many_arguments)]
 fn descend_signed(
     ctx: &RowCtx<'_>,
-    operands: &[SignedOperands],
+    operands: &[SignedOperands<'_>],
     updated_after: &[bool],
     j: usize,
     prefix: Option<&DeltaRelation>,
@@ -1044,6 +1575,47 @@ fn descend_signed(
     }
 }
 
+/// Signed twin of [`descend_tagged_indexed`].
+#[allow(clippy::too_many_arguments)]
+fn descend_signed_indexed(
+    ctx: &RowCtx<'_>,
+    operands: &[SignedOperands<'_>],
+    updated_after: &[bool],
+    j: usize,
+    prefix: Option<&DeltaRelation>,
+    any_one: bool,
+    ix: &IndexedZero<'_>,
+    acc: &mut DeltaRelation,
+    stats: &mut DiffStats,
+) -> Result<()> {
+    stats.operand_tuples += ix.logical_len;
+    let Some(prev) = prefix else {
+        debug_assert!(false, "indexed zero requires a prefix (j ≥ 1)");
+        return Ok(());
+    };
+    if prev.is_empty() {
+        stats.joins_skipped += 1;
+        return Ok(());
+    }
+    stats.joins_performed += 1;
+    if j + 1 == operands.len() && !ctx.obs.enabled() {
+        debug_assert!(any_one);
+        stats.rows_evaluated += 1;
+        return probe_emit_signed(ctx, prev, ix, acc, stats);
+    }
+    let next = probe_join_signed(prev, ix, stats)?;
+    dfs_signed(
+        ctx,
+        operands,
+        updated_after,
+        j + 1,
+        Some(&next),
+        any_one,
+        acc,
+        stats,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1077,6 +1649,7 @@ mod tests {
                                 push_selections: push,
                                 reorder_operands: reorder,
                                 threads,
+                                use_indexes: true,
                             });
                         }
                     }

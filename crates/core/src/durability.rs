@@ -251,6 +251,13 @@ impl ViewManager {
             for stored in data.views {
                 install_stored_view(&mut mgr, stored)?;
             }
+            // Checkpoints persist relation *data* only; join-key indexes
+            // are derived state and must be rebuilt from the restored view
+            // definitions. (WAL-replayed registrations below re-derive
+            // through `register_view` on their own.)
+            for mv in mgr.views.values() {
+                crate::manager::derive_view_indexes(&mut mgr.db, mv.view.definition().expr())?;
+            }
         }
 
         let wal_path = dir.join(WAL_FILE);

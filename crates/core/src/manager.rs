@@ -39,6 +39,8 @@ use ivm_relational::schema::Schema;
 use ivm_relational::transaction::Transaction;
 use ivm_relational::tuple::Tuple;
 
+use ivm_relational::attribute::AttrName;
+
 use crate::differential::{differential_delta_observed, DiffOptions};
 use crate::error::{IvmError, Result};
 use crate::relevance::{FilterStats, RelevanceFilter};
@@ -407,7 +409,11 @@ impl ViewManager {
         Ok(())
     }
 
-    /// Register and materialize a view.
+    /// Register and materialize a view. Join-key hash indexes are derived
+    /// from the view's equijoin structure and built on the base relations
+    /// (see [`derive_view_indexes`]); the indexes are maintained inside
+    /// every subsequent base-table apply and probed by the differential
+    /// engines.
     pub fn register_view(
         &mut self,
         name: impl Into<String>,
@@ -420,6 +426,10 @@ impl ViewManager {
         }
         let def = ViewDefinition::new(name.clone(), expr)?;
         let view = MaterializedView::materialize(def, &self.db)?;
+        let built = derive_view_indexes(&mut self.db, view.definition().expr())?;
+        if built > 0 {
+            self.obs.add(names::INDEX_BUILDS, built as u64);
+        }
         if self.durability.is_some() {
             self.log_record(ivm_storage::WalRecord::RegisterView {
                 name: name.clone(),
@@ -687,11 +697,13 @@ impl ViewManager {
                                 MaintenanceStrategy::CostBased => {
                                     let mut sizes = Vec::new();
                                     for rel in &mv.view.definition().expr().relations {
+                                        let r = self.db.relation(rel)?;
                                         sizes.push(crate::cost::OperandSize {
-                                            old: self.db.relation(rel)?.len() as u64,
+                                            old: r.len() as u64,
                                             changed: (ftxn.inserted(rel).count()
                                                 + ftxn.deleted(rel).count())
                                                 as u64,
+                                            indexed: r.index_count() > 0,
                                         });
                                     }
                                     !crate::cost::prefer_differential(&sizes)
@@ -792,8 +804,21 @@ impl ViewManager {
                 .map(|(n, _)| n.clone()),
         );
         let _apply_span = obs.span(names::SPAN_APPLY);
-        // Phase 2: apply to base relations.
+        // Phase 2: apply to base relations (join indexes are maintained
+        // inside each relation's insert/remove).
         self.db.apply(txn)?;
+        if obs.enabled() {
+            for rel in txn.touched() {
+                let r = self.db.relation(rel)?;
+                let n = r.index_count() as u64;
+                if n == 0 {
+                    continue;
+                }
+                let changed = (txn.inserted(rel).count() + txn.deleted(rel).count()) as u64;
+                obs.add(names::INDEX_MAINTENANCE_ROWS, changed * n);
+                obs.observe(names::INDEX_MEMORY_BYTES, r.index_memory_bytes());
+            }
+        }
         // Base relations updated, view deltas not yet applied: the most
         // inconsistent instant of the whole operation. A crash here must
         // recover to a fully consistent post-transaction state (the WAL
@@ -973,6 +998,65 @@ impl Default for ViewManager {
     fn default() -> Self {
         ViewManager::new()
     }
+}
+
+/// Derive join-key index specs from a view's equijoin structure and
+/// ensure the indexes exist on the base relations.
+///
+/// For every operand `X` of the view, the candidate key sets are
+///
+/// * `attrs(X) ∩ attrs(Y)` for every other operand `Y` — the natural-join
+///   key a differential probe uses when `X`'s unchanged portion joins a
+///   prefix consisting of `Y`'s substitution, and
+/// * `attrs(X) ∩ ⋃_{Y ≠ X} attrs(Y)` — the key against a multi-operand
+///   prefix that reaches `X` through several relations at once.
+///
+/// Empty intersections (cross products) are dropped; duplicate key sets
+/// collapse inside [`Database::ensure_index`], which treats keys as
+/// column-position sets. A self-join contributes the full scheme as a
+/// key, falling out of the pairwise rule. Returns how many indexes were
+/// newly built (0 when every candidate already existed).
+pub(crate) fn derive_view_indexes(db: &mut Database, expr: &SpjExpr) -> Result<usize> {
+    let names = &expr.relations;
+    let mut schemas: Vec<Schema> = Vec::with_capacity(names.len());
+    for n in names {
+        schemas.push(db.schema(n)?.clone());
+    }
+    let mut built = 0;
+    for (i, name) in names.iter().enumerate() {
+        let mut candidates: Vec<Vec<AttrName>> = Vec::new();
+        for (j, other) in schemas.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            // ivm-lint: allow(no-unchecked-index) — i indexes the schemas vec built one-per-name above
+            let key = schemas[i].intersection(other);
+            if !key.is_empty() {
+                candidates.push(key);
+            }
+        }
+        // ivm-lint: allow(no-unchecked-index) — i indexes the schemas vec built one-per-name above
+        let union_key: Vec<AttrName> = schemas[i]
+            .attrs()
+            .iter()
+            .filter(|a| {
+                schemas
+                    .iter()
+                    .enumerate()
+                    .any(|(j, s)| j != i && s.position(a).is_some())
+            })
+            .cloned()
+            .collect();
+        if !union_key.is_empty() {
+            candidates.push(union_key);
+        }
+        for key in candidates {
+            if db.ensure_index(name, &key)? {
+                built += 1;
+            }
+        }
+    }
+    Ok(built)
 }
 
 /// A clonable, thread-safe handle around a [`ViewManager`]
@@ -1368,6 +1452,46 @@ mod tests {
 
     #[test]
     fn cost_based_strategy_picks_full_for_wholesale_changes() {
+        // Disjoint schemas: a cross product has no equijoin structure, so
+        // no join-key index is derived and the unindexed crossover still
+        // sends wholesale replacement to full re-evaluation.
+        let mut m = ViewManager::new().with_strategy(MaintenanceStrategy::CostBased);
+        m.create_relation("R", Schema::new(["A", "B"]).unwrap())
+            .unwrap();
+        m.create_relation("S", Schema::new(["C", "D"]).unwrap())
+            .unwrap();
+        m.load("R", (0..100i64).map(|i| [i, i % 10]).collect::<Vec<_>>())
+            .unwrap();
+        m.load("S", (0..10i64).map(|i| [i, i * 7]).collect::<Vec<_>>())
+            .unwrap();
+        m.register_view(
+            "v",
+            SpjExpr::new(["R", "S"], Condition::always_true(), None),
+            RefreshPolicy::Immediate,
+        )
+        .unwrap();
+        assert_eq!(m.database().relation("R").unwrap().index_count(), 0);
+        // Replace nearly the whole of R in one transaction.
+        let mut txn = Transaction::new();
+        for i in 0..100i64 {
+            txn.delete("R", [i, i % 10]).unwrap();
+            txn.insert("R", [1000 + i, i % 10]).unwrap();
+        }
+        m.execute(&txn).unwrap();
+        let s = m.stats("v").unwrap();
+        assert_eq!(
+            s.full_recomputes, 1,
+            "wholesale change must trigger full re-eval"
+        );
+        assert_eq!(s.maintenance_runs, 0);
+        m.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn cost_based_strategy_keeps_indexed_wholesale_differential() {
+        // Same wholesale replacement, but R ⋈ S on B derives join-key
+        // indexes at registration: the probe-priced differential estimate
+        // now beats the full re-join, so maintenance stays incremental.
         let mut m = ViewManager::new().with_strategy(MaintenanceStrategy::CostBased);
         m.create_relation("R", Schema::new(["A", "B"]).unwrap())
             .unwrap();
@@ -1383,7 +1507,7 @@ mod tests {
             RefreshPolicy::Immediate,
         )
         .unwrap();
-        // Replace nearly the whole of R in one transaction.
+        assert!(m.database().relation("S").unwrap().index_count() > 0);
         let mut txn = Transaction::new();
         for i in 0..100i64 {
             txn.delete("R", [i, i % 10]).unwrap();
@@ -1392,10 +1516,10 @@ mod tests {
         m.execute(&txn).unwrap();
         let s = m.stats("v").unwrap();
         assert_eq!(
-            s.full_recomputes, 1,
-            "wholesale change must trigger full re-eval"
+            s.maintenance_runs, 1,
+            "indexed wholesale stays differential"
         );
-        assert_eq!(s.maintenance_runs, 0);
+        assert_eq!(s.full_recomputes, 0);
         m.verify_consistency().unwrap();
     }
 

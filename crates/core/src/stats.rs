@@ -26,6 +26,14 @@ pub struct DiffStats {
     pub output_inserts: u64,
     /// Net deleted tuple occurrences in the produced view delta.
     pub output_deletes: u64,
+    /// Join-index probes issued (one per prefix tuple per probe join).
+    /// Zero on the materialized fallback path — the only stats field,
+    /// with `index_probe_rows`, allowed to differ between the indexed
+    /// and fallback executions of the same maintenance pass.
+    pub index_probes: u64,
+    /// Index postings visited by probes (including fully-deleted postings
+    /// skipped during §5.3 `r − d_r` subtraction).
+    pub index_probe_rows: u64,
 }
 
 impl DiffStats {
@@ -43,6 +51,8 @@ impl AddAssign for DiffStats {
         self.operand_tuples += o.operand_tuples;
         self.output_inserts += o.output_inserts;
         self.output_deletes += o.output_deletes;
+        self.index_probes += o.index_probes;
+        self.index_probe_rows += o.index_probe_rows;
     }
 }
 
@@ -50,11 +60,13 @@ impl fmt::Display for DiffStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rows={} joins={} (skipped {}) operand_tuples={} out=+{}/-{}",
+            "rows={} joins={} (skipped {}) operand_tuples={} probes={}/{} out=+{}/-{}",
             self.rows_evaluated,
             self.joins_performed,
             self.joins_skipped,
             self.operand_tuples,
+            self.index_probes,
+            self.index_probe_rows,
             self.output_inserts,
             self.output_deletes
         )
@@ -74,11 +86,15 @@ mod tests {
             operand_tuples: 10,
             output_inserts: 3,
             output_deletes: 4,
+            index_probes: 5,
+            index_probe_rows: 7,
         };
         a += a;
         assert_eq!(a.rows_evaluated, 2);
         assert_eq!(a.operand_tuples, 20);
         assert_eq!(a.output_changes(), 14);
+        assert_eq!(a.index_probes, 10);
+        assert_eq!(a.index_probe_rows, 14);
     }
 
     #[test]

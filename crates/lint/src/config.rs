@@ -28,6 +28,10 @@ impl Default for LintConfig {
                 // Both §5 engines live in spj.rs; the pool and the WAL are
                 // the other two layers every maintenance run crosses.
                 "crates/core/src/differential/spj.rs".into(),
+                // Join-key indexes sit on both the probe path (every
+                // differential join term) and the apply path (maintained
+                // per changed tuple).
+                "crates/relational/src/index.rs".into(),
                 "crates/parallel/src/".into(),
                 "crates/storage/src/wal.rs".into(),
                 // The serving layer's per-request path: snapshot pin/unpin
@@ -82,6 +86,8 @@ mod tests {
         let cfg = LintConfig::default();
         assert!(cfg.is_hot_path("crates/parallel/src/lib.rs"));
         assert!(cfg.is_hot_path("crates/core/src/differential/spj.rs"));
+        assert!(cfg.is_hot_path("crates/relational/src/index.rs"));
+        assert!(!cfg.is_hot_path("crates/relational/src/relation.rs"));
         assert!(cfg.is_hot_path("crates/core/src/snapshot.rs"));
         assert!(cfg.is_hot_path("crates/serve/src/protocol.rs"));
         assert!(!cfg.is_hot_path("crates/core/src/manager.rs"));

@@ -58,6 +58,24 @@ pub const DIFF_TAG_DELETES: &str = "diff.tag_deletes";
 /// (context tuples that cancel out of the final delta).
 pub const DIFF_TAG_OLDS: &str = "diff.tag_olds";
 
+// --- join-key indexes -------------------------------------------------
+
+/// Counter: join-key hash indexes built (initial builds at view
+/// registration plus rebuilds after recovery).
+pub const INDEX_BUILDS: &str = "index.builds";
+/// Counter: index probes issued by the differential engines (one per
+/// prefix tuple per probe join).
+pub const INDEX_PROBES: &str = "index.probes";
+/// Counter: index postings visited by probes (including fully-deleted
+/// postings skipped during `r − d_r` subtraction).
+pub const INDEX_PROBE_ROWS: &str = "index.probe_rows";
+/// Counter: tuple occurrences written through index maintenance while
+/// applying base-table transactions (changed tuples × indexes touched).
+pub const INDEX_MAINTENANCE_ROWS: &str = "index.maintenance_rows";
+/// Histogram (bytes): estimated resident size of all join indexes of one
+/// touched relation, sampled after each transaction apply.
+pub const INDEX_MEMORY_BYTES: &str = "index.memory_bytes";
+
 // --- view manager -----------------------------------------------------
 
 /// Counter: transactions executed through [`ViewManager::execute`]
@@ -161,6 +179,10 @@ pub const ALL_COUNTERS: &[&str] = &[
     DIFF_TAG_INSERTS,
     DIFF_TAG_DELETES,
     DIFF_TAG_OLDS,
+    INDEX_BUILDS,
+    INDEX_PROBES,
+    INDEX_PROBE_ROWS,
+    INDEX_MAINTENANCE_ROWS,
     MANAGER_TRANSACTIONS,
     MANAGER_MAINTENANCE_RUNS,
     MANAGER_SKIPPED_BY_FILTER,
@@ -184,6 +206,7 @@ pub const ALL_COUNTERS: &[&str] = &[
 pub const ALL_HISTOGRAMS: &[&str] = &[
     FILTER_APSP_BUILD_MICROS,
     DIFF_ROW_OUTPUT_TUPLES,
+    INDEX_MEMORY_BYTES,
     POOL_CHUNK_MICROS,
     POOL_QUEUE_WAIT_MICROS,
     SERVE_REQUEST_MICROS,

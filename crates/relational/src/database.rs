@@ -11,6 +11,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::attribute::AttrName;
 use crate::error::{RelError, Result};
 use crate::relation::Relation;
 use crate::schema::Schema;
@@ -146,6 +147,18 @@ impl Database {
     pub fn total_tuples(&self) -> u64 {
         self.relations.values().map(Relation::total_count).sum()
     }
+
+    /// Ensure a join-key hash index exists on `name` over the named
+    /// attributes (treated as a set). Returns `true` when a new index was
+    /// built, `false` when an equivalent one already existed.
+    pub fn ensure_index(&mut self, name: &str, attrs: &[AttrName]) -> Result<bool> {
+        let rel = self.relation_mut(name)?;
+        let positions: Vec<usize> = attrs
+            .iter()
+            .map(|a| rel.schema().require(a))
+            .collect::<Result<_>>()?;
+        rel.create_index(&positions)
+    }
 }
 
 impl fmt::Display for Database {
@@ -238,6 +251,22 @@ mod tests {
             d.apply(&t).unwrap_err(),
             RelError::ArityMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn ensure_index_builds_once_and_apply_maintains() {
+        let mut d = db();
+        assert!(d.ensure_index("R", &["B".into()]).unwrap());
+        assert!(!d.ensure_index("R", &["B".into()]).unwrap());
+        assert!(d.ensure_index("Z", &["B".into()]).is_err());
+        assert!(d.ensure_index("R", &["Z".into()]).is_err());
+        let mut t = Transaction::new();
+        t.insert("R", [9, 9]).unwrap();
+        t.delete("R", [1, 2]).unwrap();
+        d.apply(&t).unwrap();
+        let r = d.relation("R").unwrap();
+        assert_eq!(r.index_count(), 1);
+        r.verify_indexes().unwrap();
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! [`crate::tagged::TaggedRelation`] instead; the two are property-tested to
 //! agree.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 use std::fmt;
 
 use crate::error::Result;
@@ -28,7 +28,7 @@ pub type CountedTuples = Vec<(Tuple, u64)>;
 #[derive(Debug, Clone)]
 pub struct DeltaRelation {
     schema: Schema,
-    tuples: HashMap<Tuple, i64>,
+    tuples: FxHashMap<Tuple, i64>,
 }
 
 impl DeltaRelation {
@@ -36,7 +36,7 @@ impl DeltaRelation {
     pub fn empty(schema: Schema) -> Self {
         DeltaRelation {
             schema,
-            tuples: HashMap::new(),
+            tuples: FxHashMap::default(),
         }
     }
 

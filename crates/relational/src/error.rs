@@ -52,6 +52,9 @@ pub enum RelError {
     /// would corrupt every downstream multiplicity, so the operation is
     /// refused instead.
     CounterOverflow(String),
+    /// A join index was requested over an invalid key (empty, or with a
+    /// column position outside the relation's scheme).
+    InvalidIndexKey(String),
     /// A predicate compared or did arithmetic on incompatible values (e.g.
     /// `x < y + c` over a string attribute).
     TypeError(String),
@@ -105,6 +108,7 @@ impl fmt::Display for RelError {
             RelError::CounterOverflow(msg) => {
                 write!(f, "multiplicity counter overflow: {msg}")
             }
+            RelError::InvalidIndexKey(msg) => write!(f, "invalid index key: {msg}"),
             RelError::TypeError(msg) => write!(f, "type error: {msg}"),
             RelError::Parse(msg) => write!(f, "parse error: {msg}"),
         }

@@ -55,6 +55,8 @@ pub mod database;
 pub mod delta;
 pub mod error;
 pub mod expr;
+pub mod fxhash;
+pub mod index;
 pub mod parser;
 pub mod predicate;
 pub mod relation;
@@ -71,6 +73,7 @@ pub mod prelude {
     pub use crate::delta::DeltaRelation;
     pub use crate::error::{RelError, Result};
     pub use crate::expr::{Expr, SpjExpr};
+    pub use crate::index::JoinIndex;
     pub use crate::parser::{parse_atom, parse_condition, parse_schema, parse_tuple};
     pub use crate::predicate::{Atom, CompOp, Condition, Conjunction, Rhs};
     pub use crate::relation::Relation;

@@ -8,19 +8,23 @@
 //! explicitly stored since its value in every tuple is always one"); views
 //! accumulate genuine counts through the redefined π and ⋈.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 
 use crate::delta::DeltaRelation;
 use crate::error::{RelError, Result};
+use crate::index::JoinIndex;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 
-/// A relation: a scheme plus a counted multiset of tuples.
+/// A relation: a scheme plus a counted multiset of tuples, optionally
+/// carrying join-key hash indexes maintained through every mutation.
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: Schema,
     tuples: HashMap<Tuple, u64>,
+    indexes: Vec<JoinIndex>,
 }
 
 impl Relation {
@@ -29,6 +33,7 @@ impl Relation {
         Relation {
             schema,
             tuples: HashMap::new(),
+            indexes: Vec::new(),
         }
     }
 
@@ -77,12 +82,45 @@ impl Relation {
         self.tuples.contains_key(tuple)
     }
 
-    /// Add `count` occurrences of a tuple (arity-checked).
+    /// Add `count` occurrences of a tuple (arity-checked). Errors with
+    /// [`RelError::CounterOverflow`] if the §5.2 multiplicity counter
+    /// would exceed `u64` — wrapping silently would corrupt every
+    /// downstream count, so the insert is refused and nothing changes.
     pub fn insert(&mut self, tuple: Tuple, count: u64) -> Result<()> {
         tuple.check_arity(&self.schema)?;
-        if count > 0 {
-            *self.tuples.entry(tuple).or_insert(0) += count;
+        if count == 0 {
+            return Ok(());
         }
+        if self.indexes.is_empty() {
+            match self.tuples.entry(tuple) {
+                Entry::Occupied(mut e) => {
+                    let updated = e.get().checked_add(count).ok_or_else(|| {
+                        RelError::CounterOverflow(format!(
+                            "inserting {count} of tuple {} with count {} exceeds u64",
+                            e.key(),
+                            e.get()
+                        ))
+                    })?;
+                    *e.get_mut() = updated;
+                }
+                Entry::Vacant(e) => {
+                    e.insert(count);
+                }
+            }
+            return Ok(());
+        }
+        // Indexed path: verify the counter fits *before* touching any
+        // index so a refused insert leaves everything consistent.
+        let current = self.tuples.get(&tuple).copied().unwrap_or(0);
+        let updated = current.checked_add(count).ok_or_else(|| {
+            RelError::CounterOverflow(format!(
+                "inserting {count} of tuple {tuple} with count {current} exceeds u64"
+            ))
+        })?;
+        for ix in &mut self.indexes {
+            ix.insert(&tuple, count)?;
+        }
+        self.tuples.insert(tuple, updated);
         Ok(())
     }
 
@@ -103,6 +141,9 @@ impl Relation {
         *current -= count;
         if *current == 0 {
             self.tuples.remove(tuple);
+        }
+        for ix in &mut self.indexes {
+            ix.remove(tuple, count)?;
         }
         Ok(())
     }
@@ -157,8 +198,81 @@ impl Relation {
     }
 
     /// Multiset equality: same scheme, same tuples, same counters.
+    /// Indexes are derived state and never participate in equality.
     pub fn same_contents(&self, other: &Relation) -> bool {
         self.schema.same_as(&other.schema) && self.tuples == other.tuples
+    }
+
+    /// Create a hash index on the given key column positions, built from
+    /// the current contents and maintained through every later mutation.
+    /// Returns `false` (without rebuilding) when an index with the same
+    /// key already exists. The key is treated as a set: positions are
+    /// sorted and deduplicated, and must be non-empty and within the
+    /// scheme's arity.
+    pub fn create_index(&mut self, positions: &[usize]) -> Result<bool> {
+        let mut key: Vec<usize> = positions.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if key.is_empty() {
+            return Err(RelError::InvalidIndexKey(
+                "index key must name at least one column".to_owned(),
+            ));
+        }
+        if let Some(&max) = key.last() {
+            if max >= self.schema.arity() {
+                return Err(RelError::InvalidIndexKey(format!(
+                    "position {max} outside scheme {} (arity {})",
+                    self.schema,
+                    self.schema.arity()
+                )));
+            }
+        }
+        if self.indexes.iter().any(|ix| ix.covers(&key)) {
+            return Ok(false);
+        }
+        let mut ix = JoinIndex::new(key);
+        for (t, c) in self.tuples.iter() {
+            ix.insert(t, *c)?;
+        }
+        self.indexes.push(ix);
+        Ok(true)
+    }
+
+    /// The index whose key is exactly `key_positions` (as a set), if one
+    /// exists.
+    pub fn index_covering(&self, key_positions: &[usize]) -> Option<&JoinIndex> {
+        let mut key: Vec<usize> = key_positions.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        self.indexes.iter().find(|ix| ix.covers(&key))
+    }
+
+    /// Number of indexes maintained on this relation.
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// The maintained indexes (sim-oracle and introspection use).
+    pub fn indexes(&self) -> &[JoinIndex] {
+        &self.indexes
+    }
+
+    /// Estimated resident bytes across all indexes.
+    pub fn index_memory_bytes(&self) -> u64 {
+        let arity = self.schema.arity();
+        self.indexes
+            .iter()
+            .map(|ix| ix.memory_bytes_estimate(arity))
+            .sum()
+    }
+
+    /// Check every index against a from-scratch rebuild of the current
+    /// contents; returns the first divergence. Used by the sim oracle.
+    pub fn verify_indexes(&self) -> std::result::Result<(), String> {
+        for ix in &self.indexes {
+            ix.verify(self.iter())?;
+        }
+        Ok(())
     }
 }
 
@@ -259,6 +373,85 @@ mod tests {
         assert_ne!(a, b);
         let c = Relation::from_rows(ab(), [[1, 2], [1, 2]]).unwrap();
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn insert_refuses_counter_overflow_at_u64_max() {
+        // Regression: `insert` used an unchecked `+=`, panicking in debug
+        // and wrapping in release once a counter reached u64::MAX.
+        let mut r = Relation::empty(ab());
+        let t = Tuple::from([1, 2]);
+        r.insert(t.clone(), u64::MAX).unwrap();
+        assert_eq!(r.count(&t), u64::MAX);
+        assert!(matches!(
+            r.insert(t.clone(), 1).unwrap_err(),
+            RelError::CounterOverflow(_)
+        ));
+        assert_eq!(r.count(&t), u64::MAX, "refused insert changes nothing");
+        // The indexed maintenance path must refuse identically.
+        let mut r = Relation::empty(ab());
+        r.create_index(&[0]).unwrap();
+        r.insert(t.clone(), u64::MAX).unwrap();
+        assert!(matches!(
+            r.insert(t.clone(), 1).unwrap_err(),
+            RelError::CounterOverflow(_)
+        ));
+        assert_eq!(r.count(&t), u64::MAX);
+        r.verify_indexes().unwrap();
+    }
+
+    #[test]
+    fn indexes_follow_every_mutation() {
+        let mut r = Relation::from_rows(ab(), [[1, 2], [3, 2], [5, 6]]).unwrap();
+        assert!(r.create_index(&[1]).unwrap());
+        assert!(!r.create_index(&[1]).unwrap(), "same key: not rebuilt");
+        let ix = r.index_covering(&[1]).unwrap();
+        assert_eq!(ix.entry_count(), 3);
+        assert_eq!(ix.probe(&[2.into()]).count(), 2);
+        r.insert(Tuple::from([7, 2]), 1).unwrap();
+        r.remove(&Tuple::from([1, 2]), 1).unwrap();
+        let ix = r.index_covering(&[1]).unwrap();
+        assert_eq!(ix.probe(&[2.into()]).count(), 2);
+        r.verify_indexes().unwrap();
+        let mut d = DeltaRelation::empty(ab());
+        d.add(Tuple::from([9, 6]), 1);
+        d.add(Tuple::from([5, 6]), -1);
+        r.apply_delta(&d).unwrap();
+        r.verify_indexes().unwrap();
+        assert_eq!(
+            r.index_covering(&[1]).unwrap().probe(&[6.into()]).count(),
+            1
+        );
+        // Clones carry their indexes.
+        let c = r.clone();
+        assert_eq!(c.index_count(), 1);
+        c.verify_indexes().unwrap();
+        assert!(r.index_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn create_index_validates_key() {
+        let mut r = Relation::empty(ab());
+        assert!(matches!(
+            r.create_index(&[]).unwrap_err(),
+            RelError::InvalidIndexKey(_)
+        ));
+        assert!(matches!(
+            r.create_index(&[2]).unwrap_err(),
+            RelError::InvalidIndexKey(_)
+        ));
+        // Key treated as a set: {1, 0, 1} == {0, 1}.
+        assert!(r.create_index(&[1, 0, 1]).unwrap());
+        assert!(!r.create_index(&[0, 1]).unwrap());
+        assert!(r.index_covering(&[1, 0]).is_some());
+    }
+
+    #[test]
+    fn equality_ignores_indexes() {
+        let plain = Relation::from_rows(ab(), [[1, 2]]).unwrap();
+        let mut indexed = Relation::from_rows(ab(), [[1, 2]]).unwrap();
+        indexed.create_index(&[0]).unwrap();
+        assert_eq!(plain, indexed);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! from the old state; any `Delete` ⇒ absent from the new state; one of
 //! each ⇒ absent from both ⇒ ignore.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 use std::fmt;
 
 use crate::delta::DeltaRelation;
@@ -94,7 +94,7 @@ impl fmt::Display for Tag {
 #[derive(Debug, Clone)]
 pub struct TaggedRelation {
     schema: Schema,
-    tuples: HashMap<(Tuple, Tag), u64>,
+    tuples: FxHashMap<(Tuple, Tag), u64>,
 }
 
 impl TaggedRelation {
@@ -102,7 +102,7 @@ impl TaggedRelation {
     pub fn empty(schema: Schema) -> Self {
         TaggedRelation {
             schema,
-            tuples: HashMap::new(),
+            tuples: FxHashMap::default(),
         }
     }
 
@@ -210,6 +210,18 @@ impl TaggedRelation {
         let mut d = DeltaRelation::empty(self.schema.clone());
         for (t, tag, c) in self.iter() {
             d.add(t.clone(), tag.sign() * c as i64);
+        }
+        d
+    }
+
+    /// [`TaggedRelation::to_delta`] by value: consumes the relation so the
+    /// tuples move into the delta instead of being cloned. Semantically
+    /// identical to `to_delta`; the differential engines use it on their
+    /// final accumulator, where the tagged form is no longer needed.
+    pub fn into_delta(self) -> DeltaRelation {
+        let mut d = DeltaRelation::empty(self.schema.clone());
+        for ((t, tag), c) in self.tuples {
+            d.add(t, tag.sign() * c as i64);
         }
         d
     }

@@ -132,8 +132,9 @@ impl Oracle {
 
 /// Compare the engine against the oracle; `None` means equivalent.
 ///
-/// Checks, in order: every base relation is identical; every view's
-/// counted materialization equals the oracle's expected relation
+/// Checks, in order: every base relation is identical and its join-key
+/// indexes agree with a from-scratch rebuild of its contents; every
+/// view's counted materialization equals the oracle's expected relation
 /// (multiset equality — multiplicities included); no view stores a
 /// zero or negative multiplicity.
 pub fn check(mgr: &ivm::prelude::ViewManager, oracle: &Oracle) -> Option<String> {
@@ -149,6 +150,9 @@ pub fn check(mgr: &ivm::prelude::ViewManager, oracle: &Oracle) -> Option<String>
                 render(ours),
                 render(expected)
             ));
+        }
+        if let Err(e) = ours.verify_indexes() {
+            return Some(format!("base relation {name} index diverged: {e}"));
         }
     }
     for name in oracle.view_names() {

@@ -116,6 +116,7 @@ fn all_options() -> Vec<DiffOptions> {
                         push_selections,
                         reorder_operands,
                         threads: 1,
+                        use_indexes: true,
                     });
                 }
             }
