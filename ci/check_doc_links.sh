@@ -1,13 +1,24 @@
 #!/usr/bin/env bash
 # Fail if any markdown doc references a repo path that does not exist.
 # Checks backtick-quoted and markdown-link paths that look like files
-# (docs/, ci/, src/, tests/, examples/, crates/). Runnable locally:
+# (docs/, ci/, src/, tests/, examples/, crates/), and that the core doc
+# set is actually present (a rename or deletion must update this list).
+# Runnable locally:
 #
 #   ./ci/check_doc_links.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 status=0
+required_docs="README.md DESIGN.md ROADMAP.md EXPERIMENTS.md \
+docs/ALGORITHMS.md docs/ANALYSIS.md docs/OBSERVABILITY.md \
+docs/PIPELINES.md docs/SERVING.md docs/TESTING.md"
+for doc in $required_docs; do
+    if [ ! -f "$doc" ]; then
+        echo "ERROR: required doc is missing: $doc" >&2
+        status=1
+    fi
+done
 for doc in README.md DESIGN.md ROADMAP.md EXPERIMENTS.md docs/*.md; do
     [ -f "$doc" ] || continue
     # `path/to/file.ext` in backticks, or ](path) markdown links.

@@ -167,17 +167,31 @@ fn install_stored_view(mgr: &mut ViewManager, stored: StoredView) -> Result<()> 
     match stored.kind {
         StoredViewKind::Spj {
             expr,
+            user_expr,
             policy,
             pending,
         } => {
             let def = ViewDefinition::new(stored.name.clone(), expr)?;
             let view = MaterializedView::from_saved(def, stored.data);
             let pending: BTreeMap<String, DeltaRelation> = pending.into_iter().collect();
+            // Internal shared common-subexpression nodes carry the
+            // reserved prefix; dependency edges and strata are rebuilt
+            // from the effective expressions once every view is in
+            // (`rebuild_dag` in `open_with_policy`).
+            let kind = if stored.name.starts_with(crate::manager::SHARED_PREFIX) {
+                crate::manager::ViewKind::Shared
+            } else {
+                crate::manager::ViewKind::User
+            };
             mgr.views.insert(
                 stored.name,
                 ManagedView {
                     view,
+                    user_expr,
+                    kind,
                     policy: policy_from_u8(policy)?,
+                    depends_on: Vec::new(),
+                    stratum: 0,
                     pending,
                     filters: HashMap::new(),
                     listeners: Vec::new(),
@@ -251,12 +265,20 @@ impl ViewManager {
             for stored in data.views {
                 install_stored_view(&mut mgr, stored)?;
             }
+            // Dependency edges and strata are derived state: rebuild them
+            // from the restored effective expressions before any replay.
+            mgr.rebuild_dag();
             // Checkpoints persist relation *data* only; join-key indexes
             // are derived state and must be rebuilt from the restored view
             // definitions. (WAL-replayed registrations below re-derive
             // through `register_view` on their own.)
-            for mv in mgr.views.values() {
-                crate::manager::derive_view_indexes(&mut mgr.db, mv.view.definition().expr())?;
+            let exprs: Vec<_> = mgr
+                .views
+                .values()
+                .map(|mv| mv.view.definition().expr().clone())
+                .collect();
+            for expr in &exprs {
+                mgr.derive_indexes_for(expr)?;
             }
         }
 
@@ -352,6 +374,7 @@ impl ViewManager {
                 name: name.clone(),
                 kind: StoredViewKind::Spj {
                     expr: mv.view.definition().expr().clone(),
+                    user_expr: mv.user_expr.clone(),
                     policy: policy_to_u8(mv.policy),
                     pending: mv
                         .pending

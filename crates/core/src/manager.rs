@@ -41,11 +41,21 @@ use ivm_relational::tuple::Tuple;
 
 use ivm_relational::attribute::AttrName;
 
-use crate::differential::{differential_delta_observed, DiffOptions};
+use ivm_relational::predicate::Condition;
+
+use crate::differential::{
+    differential_delta_parts_observed, DiffOptions, DifferentialResult, OperandUpdate,
+};
 use crate::error::{IvmError, Result};
 use crate::relevance::{FilterStats, RelevanceFilter};
 use crate::stats::DiffStats;
 use crate::view::{MaterializedView, ViewDefinition};
+
+/// Reserved name prefix for internal shared common-subexpression nodes.
+/// User registrations may not use it; everything else treats these nodes
+/// as implementation detail (hidden from [`ViewManager::view_names`] and
+/// from snapshot publication).
+pub(crate) const SHARED_PREFIX: &str = "~s";
 
 /// How an immediate view is brought up to date when a relevant
 /// transaction arrives.
@@ -92,6 +102,11 @@ pub struct MaintenanceStats {
     pub filter: FilterStats,
     /// Accumulated differential-engine statistics.
     pub diff: DiffStats,
+    /// Delta tuples produced by the most recent maintenance run (full
+    /// recomputes report the derived replacement delta).
+    pub last_delta_tuples: usize,
+    /// Truth-table rows evaluated by the most recent differential run.
+    pub last_rows_evaluated: usize,
 }
 
 /// What one [`ViewManager::execute`] call did, so callers (tests,
@@ -115,6 +130,11 @@ pub struct MaintenanceReport {
     /// views (equals `diff.rows_evaluated`; identical at every thread
     /// count).
     pub rows_evaluated: usize,
+    /// View-operand deltas consumed from internal shared
+    /// common-subexpression nodes this transaction: one hit per
+    /// (shared node, consuming dependent) pair. A positive value proves
+    /// the shared core was evaluated once and its delta reused.
+    pub shared_hits: usize,
     /// Relevance-filter work for this transaction.
     pub filter: FilterStats,
     /// Differential-engine work for this transaction.
@@ -183,16 +203,81 @@ impl ManagerOptions {
     }
 }
 
+/// Whether a DAG node was registered by a user or synthesized by the
+/// common-subexpression detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViewKind {
+    /// Registered through [`ViewManager::register_view`].
+    User,
+    /// Internal shared node (name prefixed `~s`): the bare core
+    /// `σ_C(R₁ ⋈ … ⋈ R_p)` two or more sibling views project from. It is
+    /// maintained exactly once per transaction; the siblings consume its
+    /// delta. Hidden from [`ViewManager::view_names`] and snapshots.
+    Shared,
+}
+
 pub(crate) struct ManagedView {
     pub(crate) view: MaterializedView,
+    /// The definition as registered (shared nodes: the maintained core).
+    /// `view.definition()` holds the *effective* plan, which may be a
+    /// projection over a shared node instead.
+    pub(crate) user_expr: SpjExpr,
+    pub(crate) kind: ViewKind,
     pub(crate) policy: RefreshPolicy,
-    /// Accumulated base-relation deltas since the last refresh (deferred
-    /// policies only), already relevance-filtered.
+    /// Upstream view operands (deduplicated, operand order). Derived by
+    /// [`ViewManager::rebuild_dag`] from the effective expression.
+    pub(crate) depends_on: Vec<String>,
+    /// Topological level: 0 for base-only nodes, else 1 + max upstream.
+    pub(crate) stratum: usize,
+    /// Accumulated operand deltas since the last refresh (deferred
+    /// policies only), already relevance-filtered; keyed by operand name
+    /// (base relation or upstream view).
     pub(crate) pending: BTreeMap<String, DeltaRelation>,
-    /// Lazily built relevance filters, one per operand relation.
+    /// Lazily built relevance filters, one per *base* operand relation.
     pub(crate) filters: HashMap<String, RelevanceFilter>,
     pub(crate) listeners: Vec<ChangeListener>,
     pub(crate) stats: MaintenanceStats,
+}
+
+/// How a new registration maps onto the existing DAG (see
+/// [`ViewManager::plan_sharing`]).
+struct SharingPlan {
+    /// The plan actually maintained for the new view.
+    effective: SpjExpr,
+    /// A shared core node to mint first: (name, core expression,
+    /// materialized contents).
+    new_node: Option<(String, SpjExpr, Relation)>,
+    /// A sibling to retroactively re-hang over the shared core:
+    /// (view name, its new effective expression).
+    rewrite: Option<(String, SpjExpr)>,
+}
+
+/// One node of the view dependency DAG, as reported by
+/// [`ViewManager::dag`].
+#[derive(Debug, Clone)]
+pub struct DagNodeInfo {
+    /// Node name (internal shared nodes keep their reserved `~s` names).
+    pub name: String,
+    /// True for internal shared common-subexpression nodes.
+    pub shared: bool,
+    /// Topological stratum (0 = defined over base relations only).
+    pub stratum: usize,
+    /// Refresh policy.
+    pub policy: RefreshPolicy,
+    /// Upstream view operands.
+    pub depends_on: Vec<String>,
+    /// Views consuming this node's deltas.
+    pub dependents: Vec<String>,
+    /// The definition as registered by the user (for shared nodes: the
+    /// maintained core expression).
+    pub user_expr: SpjExpr,
+    /// The effective plan actually maintained (a projection over a shared
+    /// node when the core is shared).
+    pub effective_expr: SpjExpr,
+    /// Current materialized cardinality (distinct tuples).
+    pub rows: usize,
+    /// Cumulative maintenance statistics, including last-run figures.
+    pub stats: MaintenanceStats,
 }
 
 /// A general-algebra view maintained by
@@ -210,6 +295,12 @@ pub struct ViewManager {
     pub(crate) db: Database,
     pub(crate) views: BTreeMap<String, ManagedView>,
     pub(crate) tree_views: BTreeMap<String, ManagedTreeView>,
+    /// Topological strata of the SPJ-view DAG (stratum 0 first; names in
+    /// key order within a stratum). Rebuilt on every registration and
+    /// after recovery by [`ViewManager::rebuild_dag`].
+    pub(crate) strata: Vec<Vec<String>>,
+    /// Reverse dependency edges: node name → views consuming its delta.
+    pub(crate) dependents: BTreeMap<String, Vec<String>>,
     pub(crate) options: DiffOptions,
     pub(crate) strategy: MaintenanceStrategy,
     pub(crate) filtering_enabled: bool,
@@ -260,6 +351,8 @@ impl ViewManager {
             db: Database::new(),
             views: BTreeMap::new(),
             tree_views: BTreeMap::new(),
+            strata: Vec::new(),
+            dependents: BTreeMap::new(),
             options: DiffOptions {
                 threads: 0,
                 ..DiffOptions::default()
@@ -330,6 +423,7 @@ impl ViewManager {
         let views = self
             .views
             .iter()
+            .filter(|(_, mv)| mv.kind == ViewKind::User)
             .map(|(n, mv)| (n.as_str(), mv.view.contents()))
             .chain(
                 self.tree_views
@@ -383,6 +477,14 @@ impl ViewManager {
     /// can rebuild relations created after the last checkpoint.
     pub fn create_relation(&mut self, name: impl Into<String>, schema: Schema) -> Result<()> {
         let name = name.into();
+        if self.views.contains_key(&name) || self.tree_views.contains_key(&name) {
+            // Views and relations share the operand namespace now that
+            // views can be stacked; a collision would make every later
+            // operand reference ambiguous.
+            return Err(IvmError::UnsupportedView(format!(
+                "relation name {name} collides with a registered view"
+            )));
+        }
         if self.durability.is_some() {
             if self.db.contains_relation(&name) {
                 return Err(ivm_relational::error::RelError::DuplicateRelation(name).into());
@@ -409,11 +511,25 @@ impl ViewManager {
         Ok(())
     }
 
-    /// Register and materialize a view. Join-key hash indexes are derived
-    /// from the view's equijoin structure and built on the base relations
-    /// (see [`derive_view_indexes`]); the indexes are maintained inside
-    /// every subsequent base-table apply and probed by the differential
-    /// engines.
+    /// Register and materialize a view. Operands may be base relations
+    /// *or previously registered SPJ views* — registrations form a
+    /// dependency DAG (acyclic by construction: operands must already
+    /// exist and definitions are immutable; self-reference is rejected
+    /// here, and `ivm-lint`'s Frontend B additionally cycle-checks whole
+    /// definition sets ahead of registration). View operands must be
+    /// [`RefreshPolicy::Immediate`] so their deltas are available within
+    /// the registering transaction; the stacked view itself may use any
+    /// policy.
+    ///
+    /// Sibling views sharing the same core `σ_C(R₁ ⋈ … ⋈ R_p)` (same
+    /// operand order, same condition) and differing only in their final
+    /// projection are rewritten over a single shared node that is
+    /// maintained once per transaction (see `docs/PIPELINES.md`).
+    ///
+    /// Join-key hash indexes are derived from the equijoin structure of
+    /// the maintained core and built on the base operands; the indexes
+    /// are maintained inside every subsequent base-table apply and probed
+    /// by the differential engines.
     pub fn register_view(
         &mut self,
         name: impl Into<String>,
@@ -421,35 +537,407 @@ impl ViewManager {
         policy: RefreshPolicy,
     ) -> Result<()> {
         let name = name.into();
+        if name.starts_with(SHARED_PREFIX) {
+            return Err(IvmError::UnsupportedView(format!(
+                "view names starting with {SHARED_PREFIX:?} are reserved for internal shared nodes"
+            )));
+        }
         if self.views.contains_key(&name) || self.tree_views.contains_key(&name) {
             return Err(IvmError::DuplicateView(name));
         }
-        let def = ViewDefinition::new(name.clone(), expr)?;
-        let view = MaterializedView::materialize(def, &self.db)?;
-        let built = derive_view_indexes(&mut self.db, view.definition().expr())?;
+        if self.db.contains_relation(&name) {
+            return Err(IvmError::UnsupportedView(format!(
+                "view name {name} collides with a base relation"
+            )));
+        }
+        if expr.relations.is_empty() {
+            return Err(IvmError::UnsupportedView(
+                "an SPJ view needs at least one operand relation".into(),
+            ));
+        }
+        // Operand classification: each operand must be a base relation or
+        // an already-registered immediate SPJ view.
+        for op in &expr.relations {
+            if *op == name {
+                return Err(IvmError::UnsupportedView(format!(
+                    "view {name} cannot reference itself"
+                )));
+            }
+            if self.db.contains_relation(op) {
+                continue;
+            }
+            if self.tree_views.contains_key(op) {
+                return Err(IvmError::UnsupportedView(format!(
+                    "operand {op} is a tree view; only base relations and SPJ views can be stacked"
+                )));
+            }
+            match self.views.get(op) {
+                Some(up) if up.policy == RefreshPolicy::Immediate => {}
+                Some(_) => {
+                    return Err(IvmError::UnsupportedView(format!(
+                        "view operand {op} must be an immediate view (a deferred operand \
+                         would feed stale deltas downstream)"
+                    )))
+                }
+                None => {
+                    return Err(ivm_relational::error::RelError::UnknownRelation(op.clone()).into())
+                }
+            }
+        }
+        // Validate the user expression against resolved operand schemes.
+        let op_schemas = expr
+            .relations
+            .iter()
+            .map(|op| self.operand_schema(op))
+            .collect::<Result<Vec<Schema>>>()?;
+        {
+            let refs: Vec<&Schema> = op_schemas.iter().collect();
+            expr.validate_with(&refs)?;
+        }
+        // Common-subexpression sharing (syntactic core match), then
+        // materialize the effective plan. All fallible work happens
+        // before the WAL record so a failed registration leaves no trace.
+        let plan = self.plan_sharing(&name, &expr)?;
+        let contents = {
+            let mut inputs: Vec<&Relation> = Vec::with_capacity(plan.effective.arity());
+            for op in &plan.effective.relations {
+                match &plan.new_node {
+                    Some((node_name, _, data)) if node_name == op => inputs.push(data),
+                    _ => inputs.push(self.operand_contents(op)?),
+                }
+            }
+            plan.effective.eval_with(&inputs)?
+        };
+        let def = ViewDefinition::new(name.clone(), plan.effective.clone())?;
+        let node_parts = match plan.new_node {
+            Some((node_name, core, data)) => {
+                let node_def = ViewDefinition::new(node_name.clone(), core.clone())?;
+                Some((node_name, core, data, node_def))
+            }
+            None => None,
+        };
+        let rewrite_parts = match plan.rewrite {
+            Some((partner, new_expr)) => {
+                let rdef = ViewDefinition::new(partner.clone(), new_expr)?;
+                Some((partner, rdef))
+            }
+            None => None,
+        };
+        // Index the equijoin structure of the core actually maintained
+        // (the shared node when one is created, the effective plan
+        // otherwise); only base operands get indexes.
+        let indexed_expr = node_parts
+            .as_ref()
+            .map(|(_, core, _, _)| core.clone())
+            .unwrap_or_else(|| plan.effective.clone());
+        let built = self.derive_indexes_for(&indexed_expr)?;
         if built > 0 {
             self.obs.add(names::INDEX_BUILDS, built as u64);
         }
         if self.durability.is_some() {
+            // The *user* expression is logged; replay re-derives the
+            // sharing plan deterministically from the rebuilt registry.
             self.log_record(ivm_storage::WalRecord::RegisterView {
                 name: name.clone(),
-                expr: view.definition().expr().clone(),
+                expr: expr.clone(),
                 policy: crate::durability::policy_to_u8(policy),
             })?;
+        }
+        // Commit point: everything below is infallible.
+        if let Some((node_name, core, data, node_def)) = node_parts {
+            self.views.insert(
+                node_name,
+                ManagedView {
+                    view: MaterializedView::from_saved(node_def, data),
+                    user_expr: core,
+                    kind: ViewKind::Shared,
+                    policy: RefreshPolicy::Immediate,
+                    depends_on: Vec::new(),
+                    stratum: 0,
+                    pending: BTreeMap::new(),
+                    filters: HashMap::new(),
+                    listeners: Vec::new(),
+                    stats: MaintenanceStats::default(),
+                },
+            );
+        }
+        if let Some((partner, rdef)) = rewrite_parts {
+            let p = self
+                .views
+                .get_mut(&partner)
+                .expect("rewrite partner exists");
+            p.view.redefine(rdef);
+            // Plan changed: relevance filters belong to the old plan.
+            p.filters.clear();
         }
         self.views.insert(
             name.clone(),
             ManagedView {
-                view,
+                view: MaterializedView::from_saved(def, contents),
+                user_expr: expr,
+                kind: ViewKind::User,
                 policy,
+                depends_on: Vec::new(),
+                stratum: 0,
                 pending: BTreeMap::new(),
                 filters: HashMap::new(),
                 listeners: Vec::new(),
                 stats: MaintenanceStats::default(),
             },
         );
+        self.rebuild_dag();
         self.publish_snapshot(|n| n == name);
         Ok(())
+    }
+
+    /// The scheme of a base relation or registered SPJ view.
+    fn operand_schema(&self, name: &str) -> Result<Schema> {
+        if self.db.contains_relation(name) {
+            return Ok(self.db.schema(name)?.clone());
+        }
+        Ok(self.managed(name)?.view.contents().schema().clone())
+    }
+
+    /// Resolve operand schemes and ensure join-key indexes on the *base*
+    /// operands of `expr` (see [`derive_view_indexes_resolved`]).
+    pub(crate) fn derive_indexes_for(&mut self, expr: &SpjExpr) -> Result<usize> {
+        let mut schemas = Vec::with_capacity(expr.arity());
+        let mut is_base = Vec::with_capacity(expr.arity());
+        for op in &expr.relations {
+            schemas.push(self.operand_schema(op)?);
+            is_base.push(self.db.contains_relation(op));
+        }
+        derive_view_indexes_resolved(&mut self.db, &expr.relations, &schemas, &is_base)
+    }
+
+    /// The current contents of a base relation or registered SPJ view.
+    fn operand_contents(&self, name: &str) -> Result<&Relation> {
+        if self.db.contains_relation(name) {
+            return Ok(self.db.relation(name)?);
+        }
+        Ok(self.managed(name)?.view.contents())
+    }
+
+    /// Evaluate an effective expression against current operand state
+    /// (base relations and materialized upstream views).
+    fn eval_effective(&self, expr: &SpjExpr) -> Result<Relation> {
+        let mut inputs: Vec<&Relation> = Vec::with_capacity(expr.arity());
+        for op in &expr.relations {
+            inputs.push(self.operand_contents(op)?);
+        }
+        Ok(expr.eval_with(&inputs)?)
+    }
+
+    /// Flattened-oracle evaluation: recursively re-evaluate `expr` from
+    /// base relations only, resolving view operands by re-evaluating
+    /// *their* definitions from scratch (no materialized view state is
+    /// consulted).
+    fn eval_scratch(&self, expr: &SpjExpr) -> Result<Relation> {
+        let mut owned: Vec<Option<Relation>> = Vec::with_capacity(expr.arity());
+        for op in &expr.relations {
+            if self.db.contains_relation(op) {
+                owned.push(None);
+            } else {
+                let up = self.managed(op)?;
+                owned.push(Some(self.eval_scratch(up.view.definition().expr())?));
+            }
+        }
+        let mut inputs: Vec<&Relation> = Vec::with_capacity(expr.arity());
+        for (op, maybe) in expr.relations.iter().zip(&owned) {
+            match maybe {
+                Some(r) => inputs.push(r),
+                None => inputs.push(self.db.relation(op)?),
+            }
+        }
+        Ok(expr.eval_with(&inputs)?)
+    }
+
+    /// Decide how a new definition maps onto the existing DAG: reuse an
+    /// existing core node, become one, or mint a shared node for a core
+    /// two projection-bearing siblings have in common. Deterministic over
+    /// the registry state, so WAL replay of user expressions re-derives
+    /// the identical plan.
+    fn plan_sharing(&self, name: &str, expr: &SpjExpr) -> Result<SharingPlan> {
+        let key = expr.core_key();
+        // (a) A node whose output *is* this core already exists: hang the
+        // new view off it with a bare projection.
+        if let Some(node) = self.find_core_node(&key) {
+            return Ok(SharingPlan {
+                effective: SpjExpr::new([node], Condition::always_true(), expr.projection.clone()),
+                new_node: None,
+                rewrite: None,
+            });
+        }
+        // No partner: the definition stands alone (for now).
+        let Some(partner) = self.find_share_partner(&key) else {
+            return Ok(SharingPlan {
+                effective: expr.clone(),
+                new_node: None,
+                rewrite: None,
+            });
+        };
+        let partner_proj = self.views[&partner]
+            .user_expr
+            .projection
+            .clone()
+            .expect("share partner carries a projection");
+        // (b) The new view exposes the bare core itself: register it
+        // as-is and retroactively re-hang the partner off it.
+        if expr.projection.is_none() {
+            return Ok(SharingPlan {
+                effective: expr.clone(),
+                new_node: None,
+                rewrite: Some((
+                    partner,
+                    SpjExpr::new([name], Condition::always_true(), Some(partner_proj)),
+                )),
+            });
+        }
+        // (c) Both siblings project: materialize the core once as an
+        // internal shared node and project both off it. The node name is
+        // a deterministic sequence number (shared nodes are never
+        // removed, so the count is stable across recovery rebuilds).
+        let seq = self
+            .views
+            .keys()
+            .filter(|n| n.starts_with(SHARED_PREFIX))
+            .count();
+        let node_name = format!("{SHARED_PREFIX}{seq}");
+        let core = expr.core();
+        let contents = self.eval_effective(&core)?;
+        Ok(SharingPlan {
+            effective: SpjExpr::new(
+                [node_name.clone()],
+                Condition::always_true(),
+                expr.projection.clone(),
+            ),
+            new_node: Some((node_name.clone(), core, contents)),
+            rewrite: Some((
+                partner,
+                SpjExpr::new([node_name], Condition::always_true(), Some(partner_proj)),
+            )),
+        })
+    }
+
+    /// An existing node whose *output* is exactly the core `key`: an
+    /// internal shared node, or an immediate projection-less user view
+    /// still on its original plan. At most one such node can exist (a
+    /// second candidate would have been rewritten over the first at its
+    /// own registration), so the first match is canonical.
+    fn find_core_node(&self, key: &str) -> Option<String> {
+        for (n, mv) in &self.views {
+            let effective = mv.view.definition().expr();
+            let eligible = effective.projection.is_none()
+                && mv.policy == RefreshPolicy::Immediate
+                && (mv.kind == ViewKind::Shared || mv.user_expr == *effective);
+            if eligible && effective.core_key() == key {
+                return Some(n.clone());
+            }
+        }
+        None
+    }
+
+    /// An immediate user view differing from the core `key` only by its
+    /// final projection and still on its original plan — the candidate
+    /// for a retroactive rewrite onto a shared node. First key-order
+    /// match wins (deterministic).
+    fn find_share_partner(&self, key: &str) -> Option<String> {
+        for (n, mv) in &self.views {
+            if mv.kind == ViewKind::User
+                && mv.policy == RefreshPolicy::Immediate
+                && mv.user_expr.projection.is_some()
+                && mv.user_expr == *mv.view.definition().expr()
+                && mv.user_expr.core_key() == key
+            {
+                return Some(n.clone());
+            }
+        }
+        None
+    }
+
+    /// Recompute `depends_on`/`stratum` for every SPJ node and the
+    /// manager's stratum list + reverse edges from the effective
+    /// expressions. Called after every registration and after recovery
+    /// restores the registry.
+    pub(crate) fn rebuild_dag(&mut self) {
+        let names: Vec<String> = self.views.keys().cloned().collect();
+        let mut depends: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for name in &names {
+            let expr = self.views[name].view.definition().expr();
+            let mut ups: Vec<String> = Vec::new();
+            for op in &expr.relations {
+                if self.views.contains_key(op) && !ups.contains(op) {
+                    ups.push(op.clone());
+                }
+            }
+            depends.insert(name.clone(), ups);
+        }
+        // stratum(v) = 0 if base-only, else 1 + max(stratum(upstream)).
+        // The registry is acyclic by construction, so the fixpoint
+        // terminates; the pass cap is a belt-and-braces guard.
+        let mut stratum: BTreeMap<&str, usize> = names.iter().map(|n| (n.as_str(), 0)).collect();
+        for _ in 0..=names.len() {
+            let mut changed = false;
+            for name in &names {
+                let want = depends[name]
+                    .iter()
+                    .map(|u| stratum.get(u.as_str()).copied().unwrap_or(0) + 1)
+                    .max()
+                    .unwrap_or(0);
+                if stratum[name.as_str()] != want {
+                    stratum.insert(name, want);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let top = stratum.values().copied().max().unwrap_or(0);
+        let mut strata: Vec<Vec<String>> = vec![Vec::new(); top + 1];
+        for name in &names {
+            // ivm-lint: allow(no-unchecked-index) — strata has top+1 levels and every stratum value is ≤ top
+            strata[stratum[name.as_str()]].push(name.clone());
+        }
+        let mut dependents: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (name, ups) in &depends {
+            for up in ups {
+                dependents.entry(up.clone()).or_default().push(name.clone());
+            }
+        }
+        for name in &names {
+            let s = stratum[name.as_str()];
+            let ups = depends.remove(name).unwrap_or_default();
+            let mv = self.views.get_mut(name).expect("view exists");
+            mv.stratum = s;
+            mv.depends_on = ups;
+        }
+        self.strata = strata;
+        self.dependents = dependents;
+    }
+
+    /// The view dependency DAG in topological order (stratum-major, name
+    /// order within a stratum), including internal shared nodes.
+    pub fn dag(&self) -> Vec<DagNodeInfo> {
+        let mut out = Vec::new();
+        for stratum in &self.strata {
+            for name in stratum {
+                let mv = &self.views[name];
+                out.push(DagNodeInfo {
+                    name: name.clone(),
+                    shared: mv.kind == ViewKind::Shared,
+                    stratum: mv.stratum,
+                    policy: mv.policy,
+                    depends_on: mv.depends_on.clone(),
+                    dependents: self.dependents.get(name).cloned().unwrap_or_default(),
+                    user_expr: mv.user_expr.clone(),
+                    effective_expr: mv.view.definition().expr().clone(),
+                    rows: mv.view.contents().len(),
+                    stats: mv.stats,
+                });
+            }
+        }
+        out
     }
 
     /// Register a general-algebra view (any [`Expr`] tree, including ∪
@@ -521,9 +1009,11 @@ impl ViewManager {
         Ok(self.managed(name)?.stats)
     }
 
-    /// The defining expression of a registered view.
+    /// The defining expression of a registered view, as the user wrote it
+    /// (sharing rewrites are plan-internal; see [`ViewManager::dag`] for
+    /// the effective plans).
     pub fn view_expr(&self, name: &str) -> Result<SpjExpr> {
-        Ok(self.managed(name)?.view.definition().expr().clone())
+        Ok(self.managed(name)?.user_expr.clone())
     }
 
     /// The refresh policy of a registered (SPJ) view.
@@ -531,73 +1021,27 @@ impl ViewManager {
         Ok(self.managed(name)?.policy)
     }
 
-    /// Names of registered views.
+    /// Names of registered views (internal shared nodes are hidden; they
+    /// appear in [`ViewManager::dag`]).
     pub fn view_names(&self) -> impl Iterator<Item = &str> {
         self.views
-            .keys()
-            .map(String::as_str)
+            .iter()
+            .filter(|(_, mv)| mv.kind == ViewKind::User)
+            .map(|(n, _)| n.as_str())
             .chain(self.tree_views.keys().map(String::as_str))
     }
 
-    /// Relevance-filter a transaction for one view: returns the filtered
-    /// transaction restricted to the view's operand relations (or `None`
-    /// when nothing relevant remains) plus this call's filter work.
-    /// Filters are built lazily and cached; `obs` counts constructions,
-    /// cache hits and per-tuple verdicts.
-    fn filter_for_view(
-        db: &Database,
-        mv: &mut ManagedView,
+    /// True when a transaction (or a delta emitted upstream this
+    /// transaction) touches one of the node's operands.
+    fn node_touched(
+        mv: &ManagedView,
         txn: &Transaction,
-        filtering_enabled: bool,
-        threads: usize,
-        obs: &Obs,
-    ) -> Result<(Option<Transaction>, FilterStats)> {
-        let expr = mv.view.definition().expr().clone();
-        let mut filtered = Transaction::new();
-        let mut any = false;
-        let mut stats = FilterStats::default();
-        for relation in txn.touched() {
-            if expr.position_of(relation).is_none() {
-                continue;
-            }
-            if !filtering_enabled {
-                for t in txn.inserted(relation) {
-                    filtered.insert(relation, t.clone())?;
-                    any = true;
-                }
-                for t in txn.deleted(relation) {
-                    filtered.delete(relation, t.clone())?;
-                    any = true;
-                }
-                continue;
-            }
-            if !mv.filters.contains_key(relation) {
-                let f = RelevanceFilter::new_observed(&expr, db, relation, obs)?;
-                mv.filters.insert(relation.to_owned(), f);
-            } else {
-                obs.add(names::FILTER_GRAPH_CACHE_HITS, 1);
-            }
-            let f = &mv.filters[relation];
-            let (kept_ins, ins_stats) = f.filter_with(txn.inserted(relation), threads)?;
-            let (kept_del, del_stats) = f.filter_with(txn.deleted(relation), threads)?;
-            stats += ins_stats;
-            stats += del_stats;
-            for t in kept_ins {
-                filtered.insert(relation, t)?;
-                any = true;
-            }
-            for t in kept_del {
-                filtered.delete(relation, t)?;
-                any = true;
-            }
-        }
-        mv.stats.filter += stats;
-        if obs.enabled() {
-            obs.add(names::FILTER_TUPLES_CHECKED, stats.checked as u64);
-            obs.add(names::FILTER_TUPLES_ADMITTED, stats.relevant as u64);
-            obs.add(names::FILTER_TUPLES_FILTERED, stats.irrelevant as u64);
-        }
-        Ok((any.then_some(filtered), stats))
+        emitted: &HashMap<String, DeltaRelation>,
+    ) -> bool {
+        mv.view.definition().expr().relations.iter().any(|op| {
+            txn.touched().contains(&op.as_str())
+                || emitted.get(op.as_str()).is_some_and(|d| !d.is_empty())
+        })
     }
 
     /// Execute a transaction: validate, maintain immediate views, apply to
@@ -656,117 +1100,139 @@ impl ViewManager {
                 wal_path.as_deref(),
             )?;
         }
-        // Phase 1: compute deltas for immediate views against the
-        // pre-transaction state. `None` marks a view scheduled for full
-        // re-evaluation after the base update (strategy decision).
-        let mut deltas: Vec<(String, Option<DeltaRelation>)> = Vec::new();
-        for (name, mv) in &mut self.views {
-            let touches = txn
-                .touched()
+        // Phase 1: stratified delta computation against the
+        // pre-transaction state, bottom-up over the dependency DAG. Each
+        // maintained node's delta (`emitted`) becomes the input delta of
+        // its dependents in the next strata — topological delta flow.
+        // `deltas` records apply order; `true` marks a node scheduled for
+        // full re-evaluation after the base update (strategy decision).
+        let mut deltas: Vec<(String, bool)> = Vec::new();
+        let mut emitted: HashMap<String, DeltaRelation> = HashMap::new();
+        let mut nodes_maintained: u64 = 0;
+        let threads = self.options.resolved_threads();
+        let strata = self.strata.clone();
+        for stratum in &strata {
+            let touched: Vec<String> = stratum
                 .iter()
-                .any(|r| mv.view.definition().expr().position_of(r).is_some());
-            if !touches {
+                .filter(|n| Self::node_touched(&self.views[n.as_str()], txn, &emitted))
+                .cloned()
+                .collect();
+            if touched.is_empty() {
                 continue;
             }
-            mv.stats.transactions_seen += 1;
-            report.views_touched += 1;
-            match mv.policy {
-                RefreshPolicy::Immediate => {
-                    let (filtered, fstats) = {
-                        let _filter_span = obs.span(names::SPAN_FILTER);
-                        Self::filter_for_view(
-                            &self.db,
-                            mv,
-                            txn,
-                            self.filtering_enabled,
-                            self.options.resolved_threads(),
-                            &obs,
-                        )?
-                    };
-                    report.filter += fstats;
-                    match filtered {
-                        None => {
-                            mv.stats.skipped_by_filter += 1;
-                            report.views_skipped += 1;
-                            obs.add(names::MANAGER_SKIPPED_BY_FILTER, 1);
-                        }
-                        Some(ftxn) => {
-                            let use_full = match self.strategy {
-                                MaintenanceStrategy::AlwaysDifferential => false,
-                                MaintenanceStrategy::AlwaysFull => true,
-                                MaintenanceStrategy::CostBased => {
-                                    let mut sizes = Vec::new();
-                                    for rel in &mv.view.definition().expr().relations {
-                                        let r = self.db.relation(rel)?;
-                                        sizes.push(crate::cost::OperandSize {
-                                            old: r.len() as u64,
-                                            changed: (ftxn.inserted(rel).count()
-                                                + ftxn.deleted(rel).count())
-                                                as u64,
-                                            indexed: r.index_count() > 0,
-                                        });
-                                    }
-                                    !crate::cost::prefer_differential(&sizes)
-                                }
-                            };
-                            if use_full {
-                                mv.stats.full_recomputes += 1;
-                                report.full_recomputes += 1;
-                                obs.add(names::MANAGER_FULL_RECOMPUTES, 1);
-                                deltas.push((name.clone(), None));
-                            } else {
-                                let result = {
-                                    let _diff_span = obs.span(names::SPAN_DIFFERENTIATE);
-                                    differential_delta_observed(
-                                        mv.view.definition().expr(),
-                                        &self.db,
-                                        &ftxn,
-                                        &self.options,
-                                        &obs,
-                                    )?
-                                };
-                                mv.stats.maintenance_runs += 1;
-                                mv.stats.diff += result.stats;
-                                report.views_maintained += 1;
-                                report.diff += result.stats;
-                                obs.add(names::MANAGER_MAINTENANCE_RUNS, 1);
-                                deltas.push((name.clone(), Some(result.delta)));
-                            }
-                        }
-                    }
+            if obs.enabled() {
+                obs.observe(names::DAG_STRATUM_WIDTH, touched.len() as u64);
+            }
+            // Nodes within one stratum are independent (their operands
+            // live strictly below): fan out over the pool when the
+            // stratum is wide enough, otherwise stay on the sequential
+            // path (which also emits the per-node filter/differentiate
+            // spans).
+            let outcomes: Vec<NodeOutcome> = if touched.len() >= 2 && threads > 1 {
+                let pool = ivm_parallel::Pool::new(threads);
+                let db = &self.db;
+                let views = &self.views;
+                let dependents = &self.dependents;
+                let options = &self.options;
+                let strategy = self.strategy;
+                let filtering = self.filtering_enabled;
+                let emitted_ref = &emitted;
+                let obs_ref = &obs;
+                pool.try_map(&touched, |name: &String| {
+                    let mv = &views[name.as_str()];
+                    let deps = dependents.get(name).is_some_and(|d| !d.is_empty());
+                    compute_node_outcome(
+                        db,
+                        views,
+                        mv,
+                        txn,
+                        emitted_ref,
+                        options,
+                        strategy,
+                        filtering,
+                        deps,
+                        obs_ref,
+                        false,
+                    )
+                })?
+            } else {
+                let mut out = Vec::with_capacity(touched.len());
+                for name in &touched {
+                    let mv = &self.views[name.as_str()];
+                    let deps = self.dependents.get(name).is_some_and(|d| !d.is_empty());
+                    out.push(compute_node_outcome(
+                        &self.db,
+                        &self.views,
+                        mv,
+                        txn,
+                        &emitted,
+                        &self.options,
+                        self.strategy,
+                        self.filtering_enabled,
+                        deps,
+                        &obs,
+                        true,
+                    )?);
                 }
-                RefreshPolicy::Deferred | RefreshPolicy::OnDemand => {
-                    let (filtered, fstats) = {
-                        let _filter_span = obs.span(names::SPAN_FILTER);
-                        Self::filter_for_view(
-                            &self.db,
-                            mv,
-                            txn,
-                            self.filtering_enabled,
-                            self.options.resolved_threads(),
-                            &obs,
-                        )?
-                    };
-                    report.filter += fstats;
-                    let Some(ftxn) = filtered else {
+                out
+            };
+            // Apply outcomes sequentially in stratum order: stats,
+            // metrics and the emitted-delta map stay deterministic at
+            // every thread count.
+            for (name, outcome) in touched.iter().zip(outcomes) {
+                let mv = self.views.get_mut(name).expect("view exists");
+                mv.stats.transactions_seen += 1;
+                report.views_touched += 1;
+                for (op, f) in outcome.new_filters {
+                    mv.filters.insert(op, f);
+                }
+                mv.stats.filter += outcome.fstats;
+                report.filter += outcome.fstats;
+                if outcome.shared_hits > 0 {
+                    report.shared_hits += outcome.shared_hits;
+                    obs.add(names::DAG_SHARED_HITS, outcome.shared_hits as u64);
+                }
+                match outcome.action {
+                    NodeAction::Skipped => {
                         mv.stats.skipped_by_filter += 1;
                         report.views_skipped += 1;
                         obs.add(names::MANAGER_SKIPPED_BY_FILTER, 1);
-                        continue;
-                    };
-                    report.views_deferred += 1;
-                    for relation in ftxn.touched() {
-                        let schema = self.db.schema(relation)?.clone();
-                        let delta = ftxn.delta(relation, &schema)?;
-                        match mv.pending.get_mut(relation) {
-                            Some(acc) => acc.merge(&delta)?,
-                            None => {
-                                mv.pending.insert(relation.to_owned(), delta);
+                    }
+                    NodeAction::Deferred(adds) => {
+                        report.views_deferred += 1;
+                        for (op, d) in adds {
+                            match mv.pending.get_mut(&op) {
+                                Some(acc) => acc.merge(&d)?,
+                                None => {
+                                    mv.pending.insert(op, d);
+                                }
                             }
                         }
                     }
+                    NodeAction::FullRecompute => {
+                        mv.stats.full_recomputes += 1;
+                        report.full_recomputes += 1;
+                        obs.add(names::MANAGER_FULL_RECOMPUTES, 1);
+                        nodes_maintained += 1;
+                        deltas.push((name.clone(), true));
+                    }
+                    NodeAction::Maintained(result) => {
+                        mv.stats.maintenance_runs += 1;
+                        mv.stats.diff += result.stats;
+                        mv.stats.last_rows_evaluated = result.stats.rows_evaluated;
+                        mv.stats.last_delta_tuples = result.delta.len();
+                        report.views_maintained += 1;
+                        report.diff += result.stats;
+                        obs.add(names::MANAGER_MAINTENANCE_RUNS, 1);
+                        nodes_maintained += 1;
+                        emitted.insert(name.clone(), result.delta);
+                        deltas.push((name.clone(), false));
+                    }
                 }
             }
+        }
+        if nodes_maintained > 0 {
+            obs.add(names::DAG_NODES_MAINTAINED, nodes_maintained);
         }
         // Phase 1b: tree views (always immediate; read-only against the
         // pre-transaction state).
@@ -794,7 +1260,7 @@ impl ViewManager {
         // post-commit publication reuses allocations for the rest.
         let mut dirty: std::collections::BTreeSet<String> = deltas
             .iter()
-            .filter(|(_, d)| d.as_ref().is_none_or(|d| !d.is_empty()))
+            .filter(|(n, full)| *full || emitted.get(n).is_some_and(|d| !d.is_empty()))
             .map(|(n, _)| n.clone())
             .collect();
         dirty.extend(
@@ -829,28 +1295,34 @@ impl ViewManager {
             self.durability.as_deref().map(|s| s.wal_path()),
         )?;
         // Phase 3: apply view deltas (or full recomputations) and notify
-        // listeners.
-        for (name, delta) in deltas {
-            let mv = self.views.get_mut(&name).expect("view exists");
-            let delta = match delta {
-                Some(d) => {
-                    mv.view.apply(&d)?;
-                    d
+        // listeners. `deltas` is in strata order, so a full re-evaluation
+        // of a stacked node sees its upstream views already up to date.
+        for (name, full) in deltas {
+            let delta = if full {
+                // Full re-evaluation against the new state (operands
+                // resolve to updated base relations and upstream views);
+                // the delta is still derived so listeners see a change
+                // stream. Only dependent-free nodes take this path —
+                // nodes with dependents are pinned to differential
+                // maintenance because their delta feeds downstream.
+                let expr = self.views[&name].view.definition().expr().clone();
+                let new_contents = self.eval_effective(&expr)?;
+                let mv = self.views.get_mut(&name).expect("view exists");
+                let mut d = new_contents.to_delta();
+                for (t, c) in mv.view.contents().iter() {
+                    d.add(t.clone(), -crate::differential::spj::signed_count(c)?);
                 }
-                None => {
-                    // Full re-evaluation against the new state; the delta
-                    // is still derived so listeners see a change stream.
-                    let new_contents =
-                        crate::full_reval::recompute(mv.view.definition().expr(), &self.db)?;
-                    let mut d = new_contents.to_delta();
-                    for (t, c) in mv.view.contents().iter() {
-                        d.add(t.clone(), -crate::differential::spj::signed_count(c)?);
-                    }
-                    mv.view.replace(new_contents);
-                    d
-                }
+                mv.view.replace(new_contents);
+                mv.stats.last_delta_tuples = d.len();
+                d
+            } else {
+                let d = emitted.remove(&name).expect("delta emitted in phase 1");
+                let mv = self.views.get_mut(&name).expect("view exists");
+                mv.view.apply(&d)?;
+                d
             };
             if !delta.is_empty() {
+                let mv = &self.views[&name];
                 for l in &mv.listeners {
                     l(&name, &delta);
                 }
@@ -901,35 +1373,27 @@ impl ViewManager {
         // differential below is computed against an equivalent baseline.
         let expr = mv.view.definition().expr().clone();
         let mut reconstructed: HashMap<&str, Relation> = HashMap::new();
-        for (relation, delta) in &pending {
-            let mut rel = self.db.relation(relation)?.clone();
+        for (operand, delta) in &pending {
+            // Operands may be base relations or upstream (immediate)
+            // views; either way the current contents minus the queued
+            // delta is the state as of the last refresh.
+            let mut rel = self.operand_contents(operand)?.clone();
             rel.apply_delta(&delta.negated())?;
-            reconstructed.insert(relation.as_str(), rel);
+            reconstructed.insert(operand.as_str(), rel);
         }
         let mut old: Vec<&Relation> = Vec::with_capacity(expr.arity());
         let mut updates = Vec::with_capacity(expr.arity());
-        for relation in &expr.relations {
-            match reconstructed.get(relation.as_str()) {
+        for operand in &expr.relations {
+            match reconstructed.get(operand.as_str()) {
                 Some(rel) => {
                     old.push(rel);
-                    let delta = &pending[relation];
-                    let mut inserts = Relation::empty(rel.schema().clone());
-                    let mut deletes = Relation::empty(rel.schema().clone());
-                    for (t, c) in delta.iter() {
-                        debug_assert!(c.abs() == 1, "base relations are sets");
-                        if c > 0 {
-                            inserts.insert(t.clone(), 1)?;
-                        } else {
-                            deletes.insert(t.clone(), 1)?;
-                        }
-                    }
-                    updates.push(Some(crate::differential::OperandUpdate {
-                        inserts,
-                        deletes,
-                    }));
+                    // Queued view deltas may carry |count| > 1; the
+                    // engines are count-linear, so multiplicities flow
+                    // through exactly.
+                    updates.push(Some(operand_update_from_delta(&pending[operand])?));
                 }
                 None => {
-                    old.push(self.db.relation(relation)?);
+                    old.push(self.operand_contents(operand)?);
                     updates.push(None);
                 }
             }
@@ -945,6 +1409,8 @@ impl ViewManager {
         let mv = self.managed_mut(name)?;
         mv.stats.maintenance_runs += 1;
         mv.stats.diff += result.stats;
+        mv.stats.last_rows_evaluated = result.stats.rows_evaluated;
+        mv.stats.last_delta_tuples = result.delta.len();
         mv.view.apply(&result.delta)?;
         let changed = !result.delta.is_empty();
         if changed {
@@ -970,14 +1436,17 @@ impl ViewManager {
         Ok(self.managed(name)?.view.contents().clone())
     }
 
-    /// Check every view against a full re-evaluation (test/debug helper).
-    /// Deferred views are compared after an implicit refresh.
+    /// Check every view — including internal shared nodes — against a
+    /// recursive from-scratch re-evaluation over base relations only (the
+    /// flattened oracle; test/debug helper). Deferred views are compared
+    /// after an implicit refresh.
     pub fn verify_consistency(&mut self) -> Result<()> {
         let names: Vec<String> = self.views.keys().cloned().collect();
         for name in names {
             self.refresh(&name)?;
             let mv = self.managed(&name)?;
-            if !mv.view.consistent_with(&self.db)? {
+            let expected = self.eval_scratch(mv.view.definition().expr())?;
+            if expected != *mv.view.contents() {
                 return Err(IvmError::UnsupportedView(format!(
                     "view {name} diverged from full re-evaluation"
                 )));
@@ -1001,7 +1470,8 @@ impl Default for ViewManager {
 }
 
 /// Derive join-key index specs from a view's equijoin structure and
-/// ensure the indexes exist on the base relations.
+/// ensure the indexes exist on the *base* operands (views are not
+/// indexed — their deltas arrive pre-joined from upstream maintenance).
 ///
 /// For every operand `X` of the view, the candidate key sets are
 ///
@@ -1016,26 +1486,30 @@ impl Default for ViewManager {
 /// column-position sets. A self-join contributes the full scheme as a
 /// key, falling out of the pairwise rule. Returns how many indexes were
 /// newly built (0 when every candidate already existed).
-pub(crate) fn derive_view_indexes(db: &mut Database, expr: &SpjExpr) -> Result<usize> {
-    let names = &expr.relations;
-    let mut schemas: Vec<Schema> = Vec::with_capacity(names.len());
-    for n in names {
-        schemas.push(db.schema(n)?.clone());
-    }
+pub(crate) fn derive_view_indexes_resolved(
+    db: &mut Database,
+    names: &[String],
+    schemas: &[Schema],
+    is_base: &[bool],
+) -> Result<usize> {
     let mut built = 0;
     for (i, name) in names.iter().enumerate() {
+        // ivm-lint: allow(no-unchecked-index) — i indexes the parallel slices the caller built one-per-name
+        if !is_base[i] {
+            continue;
+        }
         let mut candidates: Vec<Vec<AttrName>> = Vec::new();
         for (j, other) in schemas.iter().enumerate() {
             if i == j {
                 continue;
             }
-            // ivm-lint: allow(no-unchecked-index) — i indexes the schemas vec built one-per-name above
+            // ivm-lint: allow(no-unchecked-index) — i indexes the parallel slices the caller built one-per-name
             let key = schemas[i].intersection(other);
             if !key.is_empty() {
                 candidates.push(key);
             }
         }
-        // ivm-lint: allow(no-unchecked-index) — i indexes the schemas vec built one-per-name above
+        // ivm-lint: allow(no-unchecked-index) — i indexes the parallel slices the caller built one-per-name
         let union_key: Vec<AttrName> = schemas[i]
             .attrs()
             .iter()
@@ -1057,6 +1531,251 @@ pub(crate) fn derive_view_indexes(db: &mut Database, expr: &SpjExpr) -> Result<u
         }
     }
     Ok(built)
+}
+
+/// Outcome of computing one DAG node's maintenance for a transaction,
+/// produced against immutable pre-transaction state (so independent
+/// nodes of one stratum can fan out over the parallel pool) and applied
+/// sequentially in deterministic stratum order afterwards.
+struct NodeOutcome {
+    fstats: FilterStats,
+    /// Relevance filters built during this computation, cached onto the
+    /// view when the outcome is applied.
+    new_filters: Vec<(String, RelevanceFilter)>,
+    /// Upstream deltas consumed from internal shared nodes (one per
+    /// distinct shared operand).
+    shared_hits: usize,
+    action: NodeAction,
+}
+
+enum NodeAction {
+    /// Touched, but the §4 filter proved every changed tuple irrelevant.
+    Skipped,
+    /// Differential delta computed (applied in phase 3).
+    Maintained(DifferentialResult),
+    /// Strategy chose full re-evaluation (runs post-apply in phase 3).
+    FullRecompute,
+    /// Deferred policy: per-operand deltas to queue for a later refresh.
+    Deferred(Vec<(String, DeltaRelation)>),
+}
+
+/// Compute what maintaining `mv` for `txn` requires, without mutating
+/// anything. Base operands go through the §4 relevance filter; view
+/// operands consume the delta their node emitted earlier this
+/// transaction (`emitted`). `emit_spans` is false on the parallel path
+/// (spans are per-thread and would interleave).
+#[allow(clippy::too_many_arguments)]
+fn compute_node_outcome(
+    db: &Database,
+    views: &BTreeMap<String, ManagedView>,
+    mv: &ManagedView,
+    txn: &Transaction,
+    emitted: &HashMap<String, DeltaRelation>,
+    options: &DiffOptions,
+    strategy: MaintenanceStrategy,
+    filtering_enabled: bool,
+    has_dependents: bool,
+    obs: &Obs,
+    emit_spans: bool,
+) -> Result<NodeOutcome> {
+    let expr = mv.view.definition().expr();
+    let threads = options.resolved_threads();
+    let mut fstats = FilterStats::default();
+    let mut new_filters: Vec<(String, RelevanceFilter)> = Vec::new();
+    // Filter each distinct touched *base* operand once; self-joins reuse
+    // the filtered sets at every position.
+    let mut filtered_base: Vec<(String, Relation, Relation)> = Vec::new();
+    {
+        let _filter_span = emit_spans.then(|| obs.span(names::SPAN_FILTER));
+        for op in &expr.relations {
+            if !db.contains_relation(op)
+                || filtered_base.iter().any(|(n, _, _)| n == op)
+                || !txn.touched().contains(&op.as_str())
+            {
+                continue;
+            }
+            let rel = db.relation(op)?;
+            let (inserts, deletes) = if !filtering_enabled {
+                (
+                    txn.insert_set(op, rel.schema())?,
+                    txn.delete_set(op, rel.schema())?,
+                )
+            } else {
+                let f = match mv.filters.get(op.as_str()) {
+                    Some(f) => {
+                        obs.add(names::FILTER_GRAPH_CACHE_HITS, 1);
+                        f
+                    }
+                    None => {
+                        let built = RelevanceFilter::new_observed(expr, db, op, obs)?;
+                        new_filters.push((op.clone(), built));
+                        &new_filters.last().expect("just pushed").1
+                    }
+                };
+                let (kept_ins, ins_stats) = f.filter_with(txn.inserted(op), threads)?;
+                let (kept_del, del_stats) = f.filter_with(txn.deleted(op), threads)?;
+                fstats += ins_stats;
+                fstats += del_stats;
+                let mut ins = Relation::empty(rel.schema().clone());
+                for t in kept_ins {
+                    ins.insert(t, 1)?;
+                }
+                let mut del = Relation::empty(rel.schema().clone());
+                for t in kept_del {
+                    del.insert(t, 1)?;
+                }
+                (ins, del)
+            };
+            filtered_base.push((op.clone(), inserts, deletes));
+        }
+    }
+    if obs.enabled() {
+        obs.add(names::FILTER_TUPLES_CHECKED, fstats.checked as u64);
+        obs.add(names::FILTER_TUPLES_ADMITTED, fstats.relevant as u64);
+        obs.add(names::FILTER_TUPLES_FILTERED, fstats.irrelevant as u64);
+    }
+    // Per-position old state and net update, all pre-apply.
+    let mut old: Vec<&Relation> = Vec::with_capacity(expr.arity());
+    let mut updates: Vec<Option<OperandUpdate>> = Vec::with_capacity(expr.arity());
+    let mut shared_hits = 0usize;
+    let mut counted_shared: Vec<&str> = Vec::new();
+    for op in &expr.relations {
+        if db.contains_relation(op) {
+            old.push(db.relation(op)?);
+            match filtered_base.iter().find(|(n, _, _)| n == op) {
+                Some((_, ins, del)) if !(ins.is_empty() && del.is_empty()) => {
+                    updates.push(Some(OperandUpdate {
+                        inserts: ins.clone(),
+                        deletes: del.clone(),
+                    }));
+                }
+                _ => updates.push(None),
+            }
+        } else {
+            let up = views
+                .get(op.as_str())
+                .ok_or_else(|| IvmError::UnknownView(op.clone()))?;
+            old.push(up.view.contents());
+            match emitted.get(op.as_str()).filter(|d| !d.is_empty()) {
+                Some(d) => {
+                    if up.kind == ViewKind::Shared && !counted_shared.contains(&op.as_str()) {
+                        counted_shared.push(op.as_str());
+                        shared_hits += 1;
+                    }
+                    updates.push(Some(operand_update_from_delta(d)?));
+                }
+                None => updates.push(None),
+            }
+        }
+    }
+    if !updates.iter().any(Option::is_some) {
+        return Ok(NodeOutcome {
+            fstats,
+            new_filters,
+            shared_hits: 0,
+            action: NodeAction::Skipped,
+        });
+    }
+    match mv.policy {
+        RefreshPolicy::Deferred | RefreshPolicy::OnDemand => {
+            // Queue per-operand deltas for a later refresh: filtered base
+            // update sets plus upstream view deltas, one entry per
+            // distinct operand.
+            let mut adds: Vec<(String, DeltaRelation)> = Vec::new();
+            for (op, ins, del) in &filtered_base {
+                if ins.is_empty() && del.is_empty() {
+                    continue;
+                }
+                let mut d = ins.to_delta();
+                for (t, c) in del.iter() {
+                    d.add(t.clone(), -crate::differential::spj::signed_count(c)?);
+                }
+                adds.push((op.clone(), d));
+            }
+            for op in &expr.relations {
+                if db.contains_relation(op) || adds.iter().any(|(n, _)| n == op) {
+                    continue;
+                }
+                if let Some(d) = emitted.get(op.as_str()).filter(|d| !d.is_empty()) {
+                    adds.push((op.clone(), d.clone()));
+                }
+            }
+            Ok(NodeOutcome {
+                fstats,
+                new_filters,
+                shared_hits,
+                action: NodeAction::Deferred(adds),
+            })
+        }
+        RefreshPolicy::Immediate => {
+            let use_full = if has_dependents {
+                // Dependents consume this node's delta within the same
+                // transaction: differential is mandatory regardless of
+                // strategy.
+                false
+            } else {
+                match strategy {
+                    MaintenanceStrategy::AlwaysDifferential => false,
+                    MaintenanceStrategy::AlwaysFull => true,
+                    MaintenanceStrategy::CostBased => {
+                        // §6 sizes: view operands price in their upstream
+                        // cardinality and delta.
+                        let mut sizes = Vec::new();
+                        for ((op, update), oldr) in expr.relations.iter().zip(&updates).zip(&old) {
+                            let changed = update.as_ref().map_or(0, OperandUpdate::len) as u64;
+                            let (old_len, indexed) = if db.contains_relation(op) {
+                                let r = db.relation(op)?;
+                                (r.len() as u64, r.index_count() > 0)
+                            } else {
+                                (oldr.len() as u64, false)
+                            };
+                            sizes.push(crate::cost::OperandSize {
+                                old: old_len,
+                                changed,
+                                indexed,
+                            });
+                        }
+                        !crate::cost::prefer_differential(&sizes)
+                    }
+                }
+            };
+            if use_full {
+                return Ok(NodeOutcome {
+                    fstats,
+                    new_filters,
+                    shared_hits,
+                    action: NodeAction::FullRecompute,
+                });
+            }
+            let result = {
+                let _diff_span = emit_spans.then(|| obs.span(names::SPAN_DIFFERENTIATE));
+                differential_delta_parts_observed(expr, &old, &updates, options, obs)?
+            };
+            Ok(NodeOutcome {
+                fstats,
+                new_filters,
+                shared_hits,
+                action: NodeAction::Maintained(result),
+            })
+        }
+    }
+}
+
+/// Split a counted view delta into the insert/delete relation pair the
+/// differential engines consume. View deltas may carry |count| > 1; the
+/// engines are count-linear, so multiplicities flow through exactly.
+fn operand_update_from_delta(delta: &DeltaRelation) -> Result<OperandUpdate> {
+    let schema = delta.schema().clone();
+    let (ins, del) = delta.split();
+    let mut inserts = Relation::empty(schema.clone());
+    for (t, c) in ins {
+        inserts.insert(t, c)?;
+    }
+    let mut deletes = Relation::empty(schema);
+    for (t, c) in del {
+        deletes.insert(t, c)?;
+    }
+    Ok(OperandUpdate { inserts, deletes })
 }
 
 /// A clonable, thread-safe handle around a [`ViewManager`]

@@ -83,6 +83,24 @@ impl MaterializedView {
         Ok(MaterializedView { def, data })
     }
 
+    /// Materialize a view by full evaluation over explicit positional
+    /// operands — the registration path for stacked views, whose operands
+    /// are other views' materializations rather than base relations.
+    pub fn materialize_with(def: ViewDefinition, operands: &[&Relation]) -> Result<Self> {
+        let schemas: Vec<&Schema> = operands.iter().map(|r| r.schema()).collect();
+        def.expr().validate_with(&schemas)?;
+        let data = def.expr().eval_with(operands)?;
+        Ok(MaterializedView { def, data })
+    }
+
+    /// Swap the defining expression while keeping the materialization.
+    /// Used when a view is retroactively rewritten over a shared common
+    /// subexpression node: the rewrite is plan-level only — the rewritten
+    /// expression must evaluate to the same contents.
+    pub fn redefine(&mut self, def: ViewDefinition) {
+        self.def = def;
+    }
+
     /// Reinstall a view from persisted state **without re-evaluating it**:
     /// `data` is trusted to be the materialization the definition had when
     /// it was checkpointed. This is the recovery path — re-evaluating here

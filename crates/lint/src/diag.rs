@@ -37,6 +37,9 @@ pub enum RuleId {
     /// `redundant-atom`: a condition atom implied by the transitive
     /// closure of the remaining atoms' RH constraint digraph.
     RedundantAtom,
+    /// `view-cycle`: a set of view definitions that reference each other
+    /// cyclically — no topological maintenance order exists.
+    ViewCycle,
 }
 
 impl RuleId {
@@ -51,6 +54,7 @@ impl RuleId {
         RuleId::UnsatView,
         RuleId::AlwaysIrrelevant,
         RuleId::RedundantAtom,
+        RuleId::ViewCycle,
     ];
 
     /// The stable kebab-case name used in output, suppressions and
@@ -65,6 +69,7 @@ impl RuleId {
             RuleId::UnsatView => "unsat-view",
             RuleId::AlwaysIrrelevant => "always-irrelevant",
             RuleId::RedundantAtom => "redundant-atom",
+            RuleId::ViewCycle => "view-cycle",
         }
     }
 
@@ -99,6 +104,9 @@ impl RuleId {
             }
             RuleId::RedundantAtom => {
                 "the atom is implied by the RH digraph's transitive closure of the others"
+            }
+            RuleId::ViewCycle => {
+                "view definitions must form a DAG; a cycle has no topological maintenance order"
             }
         }
     }

@@ -15,8 +15,10 @@
 //! * **Frontend B** ([`views`]) — definition-time analysis of view
 //!   definitions: statically-unsatisfiable (empty-forever) conditions,
 //!   always-irrelevant `(view, relation)` pairs (the degenerate case of
-//!   Theorem 4.2), and predicates implied by the RH digraph's transitive
-//!   closure. Surfaced through the shell's `\analyze` command.
+//!   Theorem 4.2), predicates implied by the RH digraph's transitive
+//!   closure, and DAG-structure checks over definition *sets* (cycles,
+//!   unresolved operands, shared select-join cores). Surfaced through
+//!   the shell's `\analyze` command.
 //!
 //! Pre-existing findings are grandfathered by `lint-baseline.toml`
 //! ([`baseline`]) so the gate fails only on regressions; one-off
@@ -38,5 +40,5 @@ pub mod workspace;
 pub use baseline::{Baseline, BaselineOutcome};
 pub use config::LintConfig;
 pub use diag::{Finding, Report, RuleId};
-pub use views::{analyze_all, analyze_view, ViewAnalysisReport};
+pub use views::{analyze_all, analyze_dag, analyze_view, DagAnalysis, ViewAnalysisReport};
 pub use workspace::{lint_workspace, load_catalog};

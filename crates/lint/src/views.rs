@@ -20,9 +20,19 @@
 //!   atoms of its disjunct: deleting it leaves the view's contents
 //!   identical on every instance, and the maintenance engine faster.
 //!
-//! Results surface as a [`ViewAnalysisReport`] (the `MaintenanceReport`
-//! of this crate) and through the shell's `\analyze` command.
+//! A second, structural analysis works on definition *sets* rather than
+//! single conditions: [`analyze_dag`] checks that a set of view
+//! definitions (which may reference each other as operands) forms a
+//! dependency DAG — reporting **`view-cycle`** findings for definition
+//! cycles, unresolved operands, the topological strata a maintainer
+//! would use, and groups of siblings with an identical select-join core
+//! (candidates for shared maintenance, see `docs/PIPELINES.md`).
+//!
+//! Results surface as a [`ViewAnalysisReport`] / [`DagAnalysis`] (the
+//! `MaintenanceReport`s of this crate) and through the shell's
+//! `\analyze` command.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use ivm::relevance::classify::{to_sat_atom, VarMap};
@@ -309,6 +319,223 @@ pub fn analyze_view(name: &str, expr: &SpjExpr, db: &Database) -> ViewAnalysisRe
     report
 }
 
+/// Structural verdict over a *set* of view definitions that may
+/// reference each other: does it admit a topological maintenance order,
+/// and where could maintenance work be shared?
+#[derive(Debug, Clone, Default)]
+pub struct DagAnalysis {
+    /// Views by stratum: `strata[0]` depends only on base relations,
+    /// `strata[i]` has its deepest operand in `strata[i-1]`. Views in a
+    /// cycle or behind an unresolved operand are absent.
+    pub strata: Vec<Vec<String>>,
+    /// Definition cycles, each listed in traversal order starting from
+    /// its lexicographically smallest member.
+    pub cycles: Vec<Vec<String>>,
+    /// `(view, operand)` pairs where the operand is neither a base
+    /// relation nor a defined view.
+    pub unresolved: Vec<(String, String)>,
+    /// Groups (size ≥ 2) of views with an identical select-join core —
+    /// the manager maintains such a core once and fans its delta out.
+    pub sharing: Vec<Vec<String>>,
+}
+
+impl DagAnalysis {
+    /// True when every view is stratifiable (no cycles, no unresolved
+    /// operands).
+    pub fn is_stratified(&self) -> bool {
+        self.cycles.is_empty() && self.unresolved.is_empty()
+    }
+
+    /// Lower cycle findings into the shared diagnostic model (one
+    /// `view-cycle` finding per cycle, attributed to its smallest
+    /// member).
+    pub fn to_report(&self) -> Report {
+        let mut report = Report::default();
+        for cycle in &self.cycles {
+            let path = cycle.join(" -> ");
+            let first = cycle.first().map(String::as_str).unwrap_or("?");
+            report.findings.push(Finding {
+                rule: RuleId::ViewCycle,
+                file: format!("view:{first}"),
+                line: 0,
+                col: 0,
+                message: format!(
+                    "definition cycle {path} -> {first}: no topological maintenance order exists"
+                ),
+            });
+        }
+        report
+    }
+}
+
+impl fmt::Display for DagAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n: usize = self.strata.iter().map(Vec::len).sum();
+        writeln!(
+            f,
+            "dependency DAG: {n} stratified view(s) across {} stratum(s), {}",
+            self.strata.len(),
+            if self.is_stratified() {
+                "acyclic"
+            } else {
+                "NOT stratifiable"
+            }
+        )?;
+        for (i, level) in self.strata.iter().enumerate() {
+            writeln!(f, "  stratum {}: {}", i + 1, level.join(" "))?;
+        }
+        for group in &self.sharing {
+            writeln!(
+                f,
+                "  shared core: {} (identical select-join core; maintained once)",
+                group.join(", ")
+            )?;
+        }
+        for cycle in &self.cycles {
+            let first = cycle.first().map(String::as_str).unwrap_or("?");
+            writeln!(f, "  CYCLE: {} -> {first}", cycle.join(" -> "))?;
+        }
+        for (view, op) in &self.unresolved {
+            writeln!(
+                f,
+                "  unresolved: `{view}` references `{op}`, which is neither a base relation nor a defined view"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyze a definition *set* for DAG structure: stratify what can be
+/// stratified, extract the cycles that block the rest, flag unresolved
+/// operands, and group views by identical select-join core.
+///
+/// The database supplies base-relation names only; contents are never
+/// consulted. Definitions may arrive in any order — unlike the
+/// manager's registration path, operands may be defined later in the
+/// set.
+pub fn analyze_dag<'a>(
+    views: impl IntoIterator<Item = (&'a str, &'a SpjExpr)>,
+    db: &Database,
+) -> DagAnalysis {
+    let defs: BTreeMap<&str, &SpjExpr> = views.into_iter().collect();
+    let mut analysis = DagAnalysis::default();
+
+    // Unresolved operands disqualify a view from stratification.
+    for (&name, expr) in &defs {
+        for op in &expr.relations {
+            if !db.contains_relation(op) && !defs.contains_key(op.as_str()) {
+                analysis.unresolved.push((name.to_owned(), op.clone()));
+            }
+        }
+    }
+    let blocked: BTreeSet<&str> = analysis
+        .unresolved
+        .iter()
+        .map(|(v, _)| v.as_str())
+        .collect();
+
+    // Stratification fixpoint, exactly the manager's rule: a view's
+    // stratum is 1 + the deepest view operand (base operands count 0).
+    let mut stratum: BTreeMap<&str, usize> = BTreeMap::new();
+    loop {
+        let mut progressed = false;
+        for (&name, expr) in &defs {
+            if stratum.contains_key(name) || blocked.contains(name) {
+                continue;
+            }
+            let mut depth = Some(0usize);
+            for op in &expr.relations {
+                if defs.contains_key(op.as_str()) {
+                    match stratum.get(op.as_str()) {
+                        Some(&d) => depth = depth.map(|cur| cur.max(d + 1)),
+                        None => depth = None, // operand not placed (yet)
+                    }
+                }
+                if depth.is_none() {
+                    break;
+                }
+            }
+            if let Some(d) = depth {
+                stratum.insert(name, d);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let max_stratum = stratum.values().copied().max().unwrap_or(0);
+    if !stratum.is_empty() {
+        analysis.strata = vec![Vec::new(); max_stratum + 1];
+        for (name, &d) in &stratum {
+            analysis.strata[d].push((*name).to_owned());
+        }
+    }
+
+    // Whatever is neither stratified nor blocked on an unknown operand
+    // depends (transitively) on a cycle. Walk each leftover's operand
+    // chain until a node repeats on the path: that slice is the cycle.
+    let mut in_cycle: BTreeSet<&str> = BTreeSet::new();
+    for &start in defs.keys() {
+        if stratum.contains_key(start) || blocked.contains(start) || in_cycle.contains(start) {
+            continue;
+        }
+        let mut path: Vec<&str> = Vec::new();
+        let mut cur = start;
+        let cycle = loop {
+            if let Some(pos) = path.iter().position(|&n| n == cur) {
+                break &path[pos..];
+            }
+            path.push(cur);
+            // Follow the first operand that is itself an unplaced view —
+            // every leftover has one, or it would have stratified.
+            let Some(next) = defs[cur].relations.iter().find(|op| {
+                defs.contains_key(op.as_str())
+                    && !stratum.contains_key(op.as_str())
+                    && !blocked.contains(op.as_str())
+            }) else {
+                break &path[path.len()..]; // blocked transitively, not cyclic itself
+            };
+            cur = next.as_str();
+        };
+        if cycle.is_empty() {
+            continue;
+        }
+        if cycle.iter().any(|n| in_cycle.contains(n)) {
+            continue; // reached an already-reported cycle
+        }
+        in_cycle.extend(cycle.iter().copied());
+        // Rotate so the smallest member leads: deterministic output.
+        let min_pos = cycle
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, n)| **n)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let rotated: Vec<String> = cycle[min_pos..]
+            .iter()
+            .chain(&cycle[..min_pos])
+            .map(|n| (*n).to_owned())
+            .collect();
+        analysis.cycles.push(rotated);
+    }
+    analysis.cycles.sort();
+
+    // Sharing groups: identical select-join core (relations + condition).
+    let mut by_core: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (&name, expr) in &defs {
+        by_core
+            .entry(expr.core_key())
+            .or_default()
+            .push(name.to_owned());
+    }
+    analysis.sharing = by_core
+        .into_values()
+        .filter(|group| group.len() >= 2)
+        .collect();
+    analysis
+}
+
 /// Analyze every `(name, expr)` pair and merge into one [`Report`] for
 /// the shared baseline/diagnostic pipeline.
 pub fn analyze_all<'a>(
@@ -500,6 +727,72 @@ mod tests {
         assert_eq!(reports.len(), 2);
         assert_eq!(merged.scanned, 2);
         assert!(merged.findings.iter().all(|f| f.file == "view:b"));
+    }
+
+    fn named(rels: &[&str]) -> SpjExpr {
+        SpjExpr::new(
+            rels.iter().map(|r| r.to_string()),
+            Condition::always_true(),
+            None,
+        )
+    }
+
+    #[test]
+    fn dag_stratifies_a_stacked_definition_set() {
+        let l1 = named(&["R", "S"]);
+        let l2 = named(&["l1", "S"]);
+        let l3 = named(&["l2"]);
+        // Definition order does not matter: l3 arrives before l1.
+        let a = analyze_dag([("l3", &l3), ("l1", &l1), ("l2", &l2)], &db());
+        assert!(a.is_stratified(), "{a}");
+        assert_eq!(a.strata, [vec!["l1"], vec!["l2"], vec!["l3"]]);
+        assert!(a.to_report().is_clean());
+    }
+
+    #[test]
+    fn dag_reports_cycles() {
+        let va = named(&["vb", "R"]);
+        let vb = named(&["vc"]);
+        let vc = named(&["va"]);
+        let ok = named(&["R"]);
+        let a = analyze_dag([("va", &va), ("vb", &vb), ("vc", &vc), ("ok", &ok)], &db());
+        assert!(!a.is_stratified());
+        assert_eq!(a.strata, [vec!["ok"]]);
+        assert_eq!(a.cycles, [vec!["va", "vb", "vc"]]);
+        let rep = a.to_report();
+        assert_eq!(rep.findings.len(), 1);
+        assert_eq!(rep.findings[0].rule, RuleId::ViewCycle);
+        assert!(rep.findings[0].message.contains("va -> vb -> vc -> va"));
+        assert!(a.to_string().contains("CYCLE: va -> vb -> vc -> va"));
+    }
+
+    #[test]
+    fn dag_self_reference_is_a_unit_cycle() {
+        let v = named(&["v"]);
+        let a = analyze_dag([("v", &v)], &db());
+        assert_eq!(a.cycles, [vec!["v"]]);
+    }
+
+    #[test]
+    fn dag_flags_unresolved_operands() {
+        let v = named(&["ghost"]);
+        let over = named(&["v"]); // transitively blocked, not cyclic
+        let a = analyze_dag([("v", &v), ("over", &over)], &db());
+        assert_eq!(a.unresolved, [("v".to_owned(), "ghost".to_owned())]);
+        assert!(a.cycles.is_empty());
+        assert!(a.strata.is_empty());
+        assert!(a.to_string().contains("unresolved: `v` references `ghost`"));
+    }
+
+    #[test]
+    fn dag_groups_identical_cores() {
+        let cond: Condition = Atom::lt_const("A", 10).into();
+        let p1 = SpjExpr::new(["R", "S"], cond.clone(), Some(vec!["A".into()]));
+        let p2 = SpjExpr::new(["R", "S"], cond, Some(vec!["B".into()]));
+        let other = named(&["R"]);
+        let a = analyze_dag([("p1", &p1), ("p2", &p2), ("other", &other)], &db());
+        assert_eq!(a.sharing, [vec!["p1", "p2"]]);
+        assert!(a.to_string().contains("shared core: p1, p2"));
     }
 
     #[test]

@@ -91,6 +91,22 @@ pub const MANAGER_SKIPPED_BY_FILTER: &str = "manager.skipped_by_filter";
 /// Counter: full re-evaluations chosen by the maintenance strategy.
 pub const MANAGER_FULL_RECOMPUTES: &str = "manager.full_recomputes";
 
+// --- view dependency DAG ----------------------------------------------
+
+/// Counter: DAG nodes (user views *and* internal shared nodes) brought up
+/// to date during transaction commits — differential runs plus full
+/// recomputes, but not filter-skips.
+pub const DAG_NODES_MAINTAINED: &str = "dag.nodes_maintained";
+/// Counter: times the delta of a shared internal node (a common
+/// subexpression maintained once) was consumed by a dependent view
+/// instead of being recomputed — one hit per (node, dependent) pair per
+/// transaction.
+pub const DAG_SHARED_HITS: &str = "dag.shared_hits";
+/// Histogram (views): number of DAG nodes maintained together in one
+/// topological stratum of one transaction (the fan-out width the parallel
+/// pool can exploit).
+pub const DAG_STRATUM_WIDTH: &str = "dag.stratum_width";
+
 // --- parallel pool ----------------------------------------------------
 
 /// Counter: chunks dispatched to pool workers.
@@ -187,6 +203,8 @@ pub const ALL_COUNTERS: &[&str] = &[
     MANAGER_MAINTENANCE_RUNS,
     MANAGER_SKIPPED_BY_FILTER,
     MANAGER_FULL_RECOMPUTES,
+    DAG_NODES_MAINTAINED,
+    DAG_SHARED_HITS,
     POOL_CHUNKS,
     WAL_RECORDS_APPENDED,
     WAL_BYTES_APPENDED,
@@ -206,6 +224,7 @@ pub const ALL_COUNTERS: &[&str] = &[
 pub const ALL_HISTOGRAMS: &[&str] = &[
     FILTER_APSP_BUILD_MICROS,
     DIFF_ROW_OUTPUT_TUPLES,
+    DAG_STRATUM_WIDTH,
     INDEX_MEMORY_BYTES,
     POOL_CHUNK_MICROS,
     POOL_QUEUE_WAIT_MICROS,

@@ -66,12 +66,28 @@ impl SpjExpr {
 
     /// Scheme of the join `R₁ ⋈ … ⋈ R_p` before projection.
     pub fn join_schema(&self, db: &Database) -> Result<Schema> {
-        let mut schema: Option<Schema> = None;
+        let mut schemas = Vec::with_capacity(self.relations.len());
         for name in &self.relations {
-            let s = db.relation(name)?.schema().clone();
+            schemas.push(db.relation(name)?.schema().clone());
+        }
+        let refs: Vec<&Schema> = schemas.iter().collect();
+        self.join_schema_with(&refs)
+    }
+
+    /// [`SpjExpr::join_schema`] over explicit positional operand schemes —
+    /// the operands need not live in a [`Database`] (view-over-view
+    /// operands resolve to other views' output schemes).
+    pub fn join_schema_with(&self, schemas: &[&Schema]) -> Result<Schema> {
+        assert_eq!(
+            schemas.len(),
+            self.relations.len(),
+            "operand count mismatch"
+        );
+        let mut schema: Option<Schema> = None;
+        for s in schemas {
             schema = Some(match schema {
-                None => s,
-                Some(acc) => acc.join(&s),
+                None => (*s).clone(),
+                Some(acc) => acc.join(s),
             });
         }
         schema.ok_or_else(|| RelError::UnknownRelation("<empty SPJ expression>".into()))
@@ -80,6 +96,16 @@ impl SpjExpr {
     /// Scheme of the view this expression defines.
     pub fn output_schema(&self, db: &Database) -> Result<Schema> {
         let joined = self.join_schema(db)?;
+        self.project_schema(joined)
+    }
+
+    /// [`SpjExpr::output_schema`] over explicit positional operand schemes.
+    pub fn output_schema_with(&self, schemas: &[&Schema]) -> Result<Schema> {
+        let joined = self.join_schema_with(schemas)?;
+        self.project_schema(joined)
+    }
+
+    fn project_schema(&self, joined: Schema) -> Result<Schema> {
         match &self.projection {
             None => Ok(joined),
             Some(attrs) => joined.project(attrs.iter()),
@@ -91,6 +117,18 @@ impl SpjExpr {
     /// joined scheme.
     pub fn validate(&self, db: &Database) -> Result<()> {
         let joined = self.join_schema(db)?;
+        self.validate_against(&joined)
+    }
+
+    /// [`SpjExpr::validate`] over explicit positional operand schemes:
+    /// condition variables and projection attributes must resolve in the
+    /// joined scheme.
+    pub fn validate_with(&self, schemas: &[&Schema]) -> Result<()> {
+        let joined = self.join_schema_with(schemas)?;
+        self.validate_against(&joined)
+    }
+
+    fn validate_against(&self, joined: &Schema) -> Result<()> {
         for v in self.condition.vars() {
             joined.require(&v)?;
         }
@@ -100,6 +138,28 @@ impl SpjExpr {
             }
         }
         Ok(())
+    }
+
+    /// The expression's *core*: the same operands and selection with the
+    /// projection dropped — `σ_C(R₁ ⋈ … ⋈ R_p)`. Two views whose cores
+    /// coincide differ only by their final projections, so one maintained
+    /// core can feed both (common-subexpression sharing).
+    pub fn core(&self) -> SpjExpr {
+        SpjExpr {
+            relations: self.relations.clone(),
+            condition: self.condition.clone(),
+            projection: None,
+        }
+    }
+
+    /// A syntactic identity key for the expression's core: equal keys ⟺
+    /// same operand list (same order — join order fixes the output column
+    /// order) and the same selection condition. Used by the view manager
+    /// to detect shareable common subexpressions; deliberately *syntactic*
+    /// (no condition equivalence reasoning), so detection is predictable
+    /// and survives recovery replay byte-for-byte.
+    pub fn core_key(&self) -> String {
+        format!("{}|{}", self.relations.join(","), self.condition)
     }
 
     /// Full evaluation against the database (the paper's "complete

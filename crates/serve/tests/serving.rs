@@ -291,3 +291,69 @@ fn eight_readers_only_ever_observe_committed_prefix_states() {
     let hub_final = hub.reader().latest();
     assert_eq!(hub_final.digest(), digests[TXNS]);
 }
+
+/// DDL for *stacked* views over the wire: a client registers a view, a
+/// sibling sharing its core, and a view over a view, then updates the
+/// base and reads the whole stack through pinned snapshots. Internal
+/// shared nodes never leak into the protocol's view list.
+#[test]
+fn stacked_view_ddl_over_the_wire() {
+    let mut mgr = ViewManager::new();
+    mgr.create_relation("R", Schema::new(["A", "B"]).unwrap())
+        .unwrap();
+    mgr.create_relation("S", Schema::new(["B", "C"]).unwrap())
+        .unwrap();
+    let server = Server::start(mgr, "127.0.0.1:0").unwrap();
+    let mut c = Client::connect(server.addr().to_string().as_str()).unwrap();
+
+    // Two siblings over the same core mint a shared node server-side.
+    c.register_view(
+        "pa",
+        SpjExpr::new(
+            ["R", "S"],
+            Atom::lt_const("A", 100).into(),
+            Some(vec!["A".into()]),
+        ),
+        RefreshPolicy::Immediate,
+    )
+    .unwrap();
+    c.register_view(
+        "pc",
+        SpjExpr::new(
+            ["R", "S"],
+            Atom::lt_const("A", 100).into(),
+            Some(vec!["C".into()]),
+        ),
+        RefreshPolicy::Immediate,
+    )
+    .unwrap();
+    // A view over a view, stratum 2.
+    c.register_view(
+        "top",
+        SpjExpr::new(["pa"], Atom::lt_const("A", 10).into(), None),
+        RefreshPolicy::Immediate,
+    )
+    .unwrap();
+    assert_eq!(c.list_views().unwrap(), vec!["pa", "pc", "top"]);
+
+    let mut txn = Transaction::new();
+    txn.insert("R", [1, 5]).unwrap();
+    txn.insert("R", [50, 5]).unwrap();
+    txn.insert("S", [5, 9]).unwrap();
+    let (_, maintained) = c.execute(txn).unwrap();
+    assert_eq!(maintained, 4, "shared core + two siblings + top");
+
+    // All levels read from one consistent published epoch.
+    let (e1, pa) = c.query("pa").unwrap();
+    let (e2, pc) = c.query("pc").unwrap();
+    let (e3, top) = c.query("top").unwrap();
+    assert_eq!((e1, e2), (e3, e3));
+    assert_eq!(pa.len(), 2);
+    assert_eq!(pc.len(), 1, "both A values project to C=9");
+    assert_eq!(top.len(), 1, "only A=1 survives A<10");
+    assert!(c.query("~s0").is_err(), "shared nodes are not served");
+
+    c.shutdown().unwrap();
+    let mut mgr = server.join().unwrap();
+    mgr.verify_consistency().unwrap();
+}

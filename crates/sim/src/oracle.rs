@@ -5,8 +5,10 @@
 //! behind a relevance filter (Algorithm 4.1), through a WAL, checkpoints
 //! and an optional thread pool. The oracle does none of that: it keeps its
 //! own [`Database`], applies committed transactions directly, and
-//! recomputes each view's expected contents by full re-evaluation
-//! ([`SpjExpr::eval`]) at the view's materialization points. The paper's
+//! recomputes each view's expected contents by full re-evaluation at the
+//! view's materialization points — resolving view operands recursively,
+//! so a stacked (view-over-view) definition is flattened down to base
+//! relations rather than maintained level by level. The paper's
 //! central claim — differential maintenance is *equivalent* to full
 //! re-evaluation — becomes the checkable invariant `engine state ==
 //! oracle state` after every step.
@@ -58,10 +60,16 @@ impl Oracle {
         for r in &scenario.relations {
             db.create(r.name.clone(), r.schema())?;
         }
-        let mut views = BTreeMap::new();
+        let mut oracle = Oracle {
+            db,
+            views: BTreeMap::new(),
+        };
+        // Scenario views arrive in dependency order (stacked views only
+        // reference earlier ones), so each definition can be evaluated as
+        // it is inserted.
         for v in &scenario.views {
-            let expected = v.expr.eval(&db)?;
-            views.insert(
+            let expected = oracle.eval_from_scratch(&v.expr)?;
+            oracle.views.insert(
                 v.name.clone(),
                 OracleView {
                     expr: v.expr.clone(),
@@ -70,7 +78,23 @@ impl Oracle {
                 },
             );
         }
-        Ok(Oracle { db, views })
+        Ok(oracle)
+    }
+
+    /// Evaluate a definition from scratch, resolving view operands
+    /// recursively — a stacked view flattens to its base relations. The
+    /// engine only accepts *immediate* views as operands, so the current
+    /// base state is always the correct input for every level.
+    fn eval_from_scratch(&self, expr: &SpjExpr) -> Result<Relation> {
+        let mut owned: Vec<Relation> = Vec::with_capacity(expr.relations.len());
+        for op in &expr.relations {
+            match self.views.get(op) {
+                Some(ov) => owned.push(self.eval_from_scratch(&ov.expr)?),
+                None => owned.push(self.db.relation(op)?.clone()),
+            }
+        }
+        let refs: Vec<&Relation> = owned.iter().collect();
+        expr.eval_with(&refs)
     }
 
     /// Would this transaction be accepted? The engine validates before its
@@ -83,21 +107,17 @@ impl Oracle {
     /// re-materialize every immediate view from scratch.
     pub fn commit(&mut self, spec: &TxnSpec) -> Result<()> {
         self.db.apply(&spec.to_transaction())?;
-        let db = &self.db;
-        for ov in self.views.values_mut() {
-            if ov.policy == RefreshPolicy::Immediate {
-                ov.expected = ov.expr.eval(db)?;
-            }
-        }
-        Ok(())
+        self.rematerialize(|policy| policy == RefreshPolicy::Immediate)
     }
 
     /// Re-materialize one view against the current base state (refresh,
     /// on-demand query, or post-recovery convergence).
     pub fn materialize(&mut self, view: &str) -> Result<()> {
-        let db = &self.db;
-        if let Some(ov) = self.views.get_mut(view) {
-            ov.expected = ov.expr.eval(db)?;
+        if let Some(ov) = self.views.get(view) {
+            let expected = self.eval_from_scratch(&ov.expr.clone())?;
+            if let Some(ov) = self.views.get_mut(view) {
+                ov.expected = expected;
+            }
         }
         Ok(())
     }
@@ -105,10 +125,20 @@ impl Oracle {
     /// Re-materialize every non-immediate view (used right after crash
     /// recovery, paired with engine-side refreshes).
     pub fn materialize_stale(&mut self) -> Result<()> {
-        let db = &self.db;
-        for ov in self.views.values_mut() {
-            if ov.policy != RefreshPolicy::Immediate {
-                ov.expected = ov.expr.eval(db)?;
+        self.rematerialize(|policy| policy != RefreshPolicy::Immediate)
+    }
+
+    /// Re-materialize every view whose policy matches the filter.
+    fn rematerialize(&mut self, want: impl Fn(RefreshPolicy) -> bool) -> Result<()> {
+        let updates: Vec<(String, Relation)> = self
+            .views
+            .iter()
+            .filter(|(_, ov)| want(ov.policy))
+            .map(|(name, ov)| Ok((name.clone(), self.eval_from_scratch(&ov.expr)?)))
+            .collect::<Result<_>>()?;
+        for (name, expected) in updates {
+            if let Some(ov) = self.views.get_mut(&name) {
+                ov.expected = expected;
             }
         }
         Ok(())

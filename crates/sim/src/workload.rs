@@ -14,6 +14,9 @@
 //!   `x op c` and `x op y + c` with `op ∈ {=, <, >, ≤, ≥}`;
 //! * attribute names are drawn from a shared pool, so overlapping schemas
 //!   produce natural-join keys;
+//! * some scenarios stack views over earlier *immediate* views (the only
+//!   operand kind the engine accepts), exercising the dependency-DAG
+//!   propagation path; the views list is always in dependency order;
 //! * transactions are generated against a *model* of the database that
 //!   assumes every transaction commits. When fault injection aborts one,
 //!   later transactions may become invalid (inserting a present tuple,
@@ -231,6 +234,10 @@ pub fn generate_with_faults(seed: u64, steps: usize, faults: bool) -> Scenario {
     // --- Views -------------------------------------------------------
     let nviews = view_rng.range_u64(1, 4) as usize;
     let mut views = Vec::with_capacity(nviews);
+    // Per generated view: its output attributes (for stacking further
+    // views on top) and its flattened join width (for the size cap).
+    let mut out_attrs: Vec<Vec<String>> = Vec::new();
+    let mut flat_width: Vec<usize> = Vec::new();
     for i in 0..nviews {
         // Width skews narrow: wide joins are expensive for the oracle, so
         // they appear, but rarely.
@@ -257,45 +264,8 @@ pub fn generate_with_faults(seed: u64, steps: usize, faults: bool) -> Scenario {
         }
 
         // Condition: a conjunction of 0..=3 Rosenkrantz–Hunt atoms.
-        let natoms = view_rng.range_u64(0, 3) as usize;
-        let mut atoms = Vec::with_capacity(natoms);
-        for _ in 0..natoms {
-            let left = view_rng.choose(&join_attrs).clone();
-            let op =
-                *view_rng.choose(&[CompOp::Eq, CompOp::Lt, CompOp::Gt, CompOp::Le, CompOp::Ge]);
-            // `x op y + c` needs a second attribute; fall back to a
-            // constant comparison on single-attribute schemas.
-            if join_attrs.len() >= 2 && view_rng.chance(1, 3) {
-                let right = loop {
-                    let r = view_rng.choose(&join_attrs).clone();
-                    if r != left {
-                        break r;
-                    }
-                };
-                atoms.push(Atom::cmp_attr(left, op, right, view_rng.range_i64(-3, 3)));
-            } else {
-                atoms.push(Atom::cmp_const(
-                    left,
-                    op,
-                    view_rng.range_i64(-2, VALUE_MAX + 2),
-                ));
-            }
-        }
-        let condition = Condition::conjunction(atoms);
-
-        // Projection: a non-empty subset of the join schema, half the time.
-        let projection = if view_rng.chance(1, 2) {
-            let k = view_rng.range_u64(1, join_attrs.len() as u64) as usize;
-            Some(
-                view_rng
-                    .distinct_indices(join_attrs.len(), k)
-                    .into_iter()
-                    .map(|p| AttrName::from(join_attrs[p].as_str()))
-                    .collect::<Vec<_>>(),
-            )
-        } else {
-            None
-        };
+        let condition = gen_condition(&mut view_rng, &join_attrs, 3);
+        let projection = gen_projection(&mut view_rng, &join_attrs);
 
         let policy = if view_rng.chance(7, 10) {
             RefreshPolicy::Immediate
@@ -305,6 +275,11 @@ pub fn generate_with_faults(seed: u64, steps: usize, faults: bool) -> Scenario {
             RefreshPolicy::OnDemand
         };
 
+        out_attrs.push(match &projection {
+            Some(attrs) => attrs.iter().map(|a| a.as_str().to_string()).collect(),
+            None => join_attrs.clone(),
+        });
+        flat_width.push(view_rels.len());
         views.push(ViewSpec {
             name: format!("v{i}"),
             expr: SpjExpr::new(view_rels, condition, projection),
@@ -312,12 +287,64 @@ pub fn generate_with_faults(seed: u64, steps: usize, faults: bool) -> Scenario {
         });
     }
 
+    // --- Stacked views (views over views) ----------------------------
+    // The engine only accepts *immediate* views as operands, so stacked
+    // definitions are drawn over the immediate views generated so far
+    // (including earlier stacked ones — multi-level DAGs appear), with
+    // at most one base relation joined in to keep the flattened width
+    // oracle-affordable.
+    let n_stacked = view_rng.range_u64(0, 2) as usize;
+    for k in 0..n_stacked {
+        let candidates: Vec<usize> = views
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.policy == RefreshPolicy::Immediate)
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let up = *view_rng.choose(&candidates);
+        let mut stacked_rels = vec![views[up].name.clone()];
+        let mut join_attrs = out_attrs[up].clone();
+        let mut width = flat_width[up];
+        if view_rng.chance(1, 2) {
+            let ri = view_rng.index(relations.len());
+            stacked_rels.push(relations[ri].name.clone());
+            for a in &relations[ri].attrs {
+                if !join_attrs.contains(a) {
+                    join_attrs.push(a.clone());
+                }
+            }
+            width += 1;
+        }
+        let condition = gen_condition(&mut view_rng, &join_attrs, 2);
+        let projection = gen_projection(&mut view_rng, &join_attrs);
+        // The stacked view itself may use any policy; only operands must
+        // be immediate.
+        let policy = if view_rng.chance(4, 5) {
+            RefreshPolicy::Immediate
+        } else if view_rng.chance(1, 2) {
+            RefreshPolicy::Deferred
+        } else {
+            RefreshPolicy::OnDemand
+        };
+        out_attrs.push(match &projection {
+            Some(attrs) => attrs.iter().map(|a| a.as_str().to_string()).collect(),
+            None => join_attrs.clone(),
+        });
+        flat_width.push(width);
+        views.push(ViewSpec {
+            name: format!("w{k}"),
+            expr: SpjExpr::new(stacked_rels, condition, projection),
+            policy,
+        });
+    }
+
     // --- Steps -------------------------------------------------------
-    let width = views
-        .iter()
-        .map(|v| v.expr.relations.len())
-        .max()
-        .unwrap_or(0);
+    // The cap keys off the *flattened* width: a stacked view's oracle
+    // evaluation joins every base relation under it.
+    let width = flat_width.iter().copied().max().unwrap_or(0);
     let cap = size_cap(width);
     // Model of every relation's contents, assuming each txn commits.
     let mut model: Vec<BTreeSet<Vec<i64>>> = vec![BTreeSet::new(); relations.len()];
@@ -369,6 +396,46 @@ pub fn generate_with_faults(seed: u64, steps: usize, faults: bool) -> Scenario {
         relations,
         views,
         steps: step_list,
+    }
+}
+
+/// A conjunction of `0..=max_atoms` Rosenkrantz–Hunt atoms over the
+/// given attributes.
+fn gen_condition(rng: &mut SimRng, join_attrs: &[String], max_atoms: u64) -> Condition {
+    let natoms = rng.range_u64(0, max_atoms) as usize;
+    let mut atoms = Vec::with_capacity(natoms);
+    for _ in 0..natoms {
+        let left = rng.choose(join_attrs).clone();
+        let op = *rng.choose(&[CompOp::Eq, CompOp::Lt, CompOp::Gt, CompOp::Le, CompOp::Ge]);
+        // `x op y + c` needs a second attribute; fall back to a
+        // constant comparison on single-attribute schemas.
+        if join_attrs.len() >= 2 && rng.chance(1, 3) {
+            let right = loop {
+                let r = rng.choose(join_attrs).clone();
+                if r != left {
+                    break r;
+                }
+            };
+            atoms.push(Atom::cmp_attr(left, op, right, rng.range_i64(-3, 3)));
+        } else {
+            atoms.push(Atom::cmp_const(left, op, rng.range_i64(-2, VALUE_MAX + 2)));
+        }
+    }
+    Condition::conjunction(atoms)
+}
+
+/// A non-empty subset of the join schema, half the time.
+fn gen_projection(rng: &mut SimRng, join_attrs: &[String]) -> Option<Vec<AttrName>> {
+    if rng.chance(1, 2) {
+        let k = rng.range_u64(1, join_attrs.len() as u64) as usize;
+        Some(
+            rng.distinct_indices(join_attrs.len(), k)
+                .into_iter()
+                .map(|p| AttrName::from(join_attrs[p].as_str()))
+                .collect(),
+        )
+    } else {
+        None
     }
 }
 
@@ -453,10 +520,19 @@ mod tests {
             // schema only (validated for real by the engine at
             // registration; this is the generator's own contract).
             let rel_names: Vec<&str> = s.relations.iter().map(|r| r.name.as_str()).collect();
+            let mut seen_views: Vec<&str> = Vec::new();
             for v in &s.views {
                 for r in &v.expr.relations {
-                    assert!(rel_names.contains(&r.as_str()), "unknown relation {r}");
+                    if seen_views.contains(&r.as_str()) {
+                        // Stacked operand: must be an *earlier, immediate*
+                        // view (the engine rejects anything else).
+                        let up = s.views.iter().find(|u| u.name == *r).unwrap();
+                        assert_eq!(up.policy, RefreshPolicy::Immediate, "operand {r}");
+                    } else {
+                        assert!(rel_names.contains(&r.as_str()), "unknown operand {r}");
+                    }
                 }
+                seen_views.push(v.name.as_str());
             }
             // Transactions reference existing relations with right arity.
             for step in &s.steps {
@@ -472,6 +548,27 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn some_seeds_generate_stacked_views() {
+        let mut stacked = Vec::new();
+        for seed in 0..64u64 {
+            let s = generate(seed, 10);
+            if s.views.iter().any(|v| {
+                v.expr
+                    .relations
+                    .iter()
+                    .any(|op| s.views.iter().any(|u| u.name == *op))
+            }) {
+                stacked.push(seed);
+            }
+        }
+        println!("seeds with stacked views: {stacked:?}");
+        assert!(
+            !stacked.is_empty(),
+            "no seed in 0..64 stacks a view over a view — generator coverage lost"
+        );
     }
 
     #[test]

@@ -37,12 +37,17 @@ const TMP_SUFFIX: &str = ".tmp";
 pub enum StoredViewKind {
     /// An SPJ view in the paper's normal form.
     Spj {
-        /// Defining expression.
+        /// Effective (plan) expression actually maintained. Operands may
+        /// be other stored views (the registry is a dependency DAG).
         expr: SpjExpr,
+        /// The expression as registered by the user; differs from `expr`
+        /// when the maintenance layer rewrote the plan over a shared
+        /// common-subexpression node.
+        user_expr: SpjExpr,
         /// Refresh policy, encoded by the maintenance layer (opaque here).
         policy: u8,
-        /// Accumulated, relevance-filtered base deltas not yet folded in
-        /// (deferred / on-demand policies), keyed by relation name.
+        /// Accumulated, relevance-filtered operand deltas not yet folded
+        /// in (deferred / on-demand policies), keyed by operand name.
         pending: Vec<(String, DeltaRelation)>,
     },
     /// A general-algebra view maintained by tree deltas.
@@ -87,11 +92,13 @@ impl Codec for StoredView {
         match &self.kind {
             StoredViewKind::Spj {
                 expr,
+                user_expr,
                 policy,
                 pending,
             } => {
                 out.push(VIEW_SPJ);
                 expr.encode_into(out);
+                user_expr.encode_into(out);
                 out.push(*policy);
                 out.extend_from_slice(&(pending.len() as u32).to_le_bytes());
                 for (relation, delta) in pending {
@@ -113,6 +120,7 @@ impl Codec for StoredView {
         let kind = match r.u8()? {
             VIEW_SPJ => {
                 let expr = SpjExpr::decode_from(r)?;
+                let user_expr = SpjExpr::decode_from(r)?;
                 let policy = r.u8()?;
                 let n = r.u32()? as usize;
                 r.check_count(n, 16)?;
@@ -124,6 +132,7 @@ impl Codec for StoredView {
                 }
                 StoredViewKind::Spj {
                     expr,
+                    user_expr,
                     policy,
                     pending,
                 }
@@ -332,6 +341,7 @@ mod tests {
                     name: "V".into(),
                     kind: StoredViewKind::Spj {
                         expr: SpjExpr::new(["R"], Condition::always_true(), None),
+                        user_expr: SpjExpr::new(["R"], Condition::always_true(), None),
                         policy: 1,
                         pending: vec![("R".into(), pending)],
                     },

@@ -32,7 +32,10 @@ use crate::error::{Result, StorageError};
 use crate::frame::{framed_len, read_frame, write_frame};
 
 /// On-disk format version understood by this build.
-pub const FORMAT_VERSION: u8 = 1;
+///
+/// v2: checkpoint `StoredViewKind::Spj` carries the user expression next
+/// to the effective plan (view-over-view DAG support).
+pub const FORMAT_VERSION: u8 = 2;
 
 /// Conventional WAL file name inside a storage directory.
 pub const WAL_FILE: &str = "wal.log";

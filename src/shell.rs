@@ -6,9 +6,11 @@
 //! create <rel> (<attrs>)                     create a base relation
 //! load <rel> (<tuple>) [(<tuple>)...]        bulk-load rows
 //! view <name> [deferred|ondemand] = from <rels> [where <cond>] [project <attrs>]
+//!                                            (operands may be previously defined views)
 //! begin / insert <rel> (<tuple>) / delete <rel> (<tuple>) / commit
 //! insert|delete outside begin..commit run as single-op transactions
 //! show <rel-or-view>                         print contents
+//! views                                      dependency DAG with per-node stats
 //! stats <view>                               per-view maintenance statistics
 //! stats                                      session-wide metrics snapshot
 //! refresh <view>                             fold pending changes in
@@ -136,6 +138,7 @@ impl Shell {
                 }
             },
             "show" => self.cmd_show(rest),
+            "views" => self.cmd_views(),
             "stats" => {
                 if rest.is_empty() {
                     Ok(self.recorder.snapshot().to_string())
@@ -248,7 +251,9 @@ impl Shell {
     /// `analyze` — definition-time static analysis of view definitions
     /// (Frontend B of `ivm-lint`). Three forms:
     ///
-    /// * `analyze` — every registered view
+    /// * `analyze` — every registered view, plus the structural DAG
+    ///   analysis of the whole definition set (strata, reachability,
+    ///   shared select-join cores)
     /// * `analyze <view>` — one registered view
     /// * `analyze from …` — an ad-hoc candidate definition, without
     ///   registering it (the only way to inspect the full report of an
@@ -272,6 +277,7 @@ impl Shell {
         }
         let mut out = String::new();
         let mut findings = 0;
+        let mut defs: Vec<(String, SpjExpr)> = Vec::new();
         for name in names {
             let Ok(expr) = self.manager.view_expr(name) else {
                 // Tree views have no SPJ definition to analyze.
@@ -281,9 +287,89 @@ impl Shell {
             let r = ivm_lint::analyze_view(name, &expr, self.manager.database());
             findings += r.to_report().findings.len();
             out.push_str(&r.to_string());
+            defs.push((name.to_owned(), expr));
+        }
+        // Whole-set structural analysis: how the definitions stack into a
+        // DAG and where cores coincide. The registry is acyclic by
+        // construction, so this reports strata/sharing, never cycles.
+        if rest.is_empty() && !defs.is_empty() {
+            let dag = ivm_lint::analyze_dag(
+                defs.iter().map(|(n, e)| (n.as_str(), e)),
+                self.manager.database(),
+            );
+            findings += dag.to_report().findings.len();
+            out.push_str(&dag.to_string());
         }
         out.push_str(&format!("{findings} definition-time finding(s)"));
         Ok(out)
+    }
+
+    /// `views` — the dependency DAG, stratum by stratum: every node
+    /// (internal shared cores included), its operands and dependents,
+    /// and per-node maintenance statistics from the last run.
+    fn cmd_views(&self) -> Result<String> {
+        use std::fmt::Write as _;
+        let dag = self.manager.dag();
+        let spj: std::collections::BTreeSet<&str> = dag.iter().map(|n| n.name.as_str()).collect();
+        let tree: Vec<&str> = self
+            .manager
+            .view_names()
+            .filter(|n| !spj.contains(n))
+            .collect();
+        if dag.is_empty() && tree.is_empty() {
+            return Ok("no views registered".into());
+        }
+        let mut out = String::new();
+        let mut cur = usize::MAX;
+        for node in &dag {
+            if node.stratum != cur {
+                cur = node.stratum;
+                writeln!(out, "stratum {cur}:").expect("write to string");
+            }
+            let role = if node.shared { " [shared core]" } else { "" };
+            writeln!(
+                out,
+                "  {}{role} := {} [{}, {} row(s)]",
+                node.name,
+                node.user_expr,
+                policy_name(node.policy),
+                node.rows
+            )
+            .expect("write to string");
+            let ops: Vec<String> = node
+                .effective_expr
+                .relations
+                .iter()
+                .map(|op| {
+                    if spj.contains(op.as_str()) {
+                        format!("{op} (view)")
+                    } else {
+                        op.clone()
+                    }
+                })
+                .collect();
+            let feeds = if node.dependents.is_empty() {
+                String::new()
+            } else {
+                format!("; feeds {}", node.dependents.join(", "))
+            };
+            writeln!(
+                out,
+                "      operands {}{feeds}; {} run(s), {} full, last Δ {} tuple(s), {} row(s) evaluated",
+                ops.join(", "),
+                node.stats.maintenance_runs,
+                node.stats.full_recomputes,
+                node.stats.last_delta_tuples,
+                node.stats.last_rows_evaluated,
+            )
+            .expect("write to string");
+        }
+        for name in tree {
+            let rows = self.manager.view_contents(name)?.len();
+            writeln!(out, "tree view {name} [{rows} row(s); no SPJ plan]")
+                .expect("write to string");
+        }
+        Ok(out.trim_end().to_string())
     }
 
     fn cmd_change(&mut self, rest: &str, is_insert: bool) -> Result<String> {
@@ -647,13 +733,22 @@ impl Shell {
                 writeln!(out, "load {name} {}", rendered.join(" ")).expect("write to string");
             }
         }
-        for name in self.manager.view_names() {
-            let Ok(expr) = self.manager.view_expr(name) else {
-                writeln!(out, "# tree view {name} skipped (no textual syntax)")
-                    .expect("write to string");
+        // Views replay in topological (stratum-major) order so a stacked
+        // view's operands are always registered before it; internal
+        // shared cores are plan-level and re-derived on replay.
+        let dag = self.manager.dag();
+        let spj: std::collections::BTreeSet<&str> = dag.iter().map(|n| n.name.as_str()).collect();
+        for name in self.manager.view_names().filter(|n| !spj.contains(n)) {
+            writeln!(out, "# tree view {name} skipped (no textual syntax)")
+                .expect("write to string");
+        }
+        for node in &dag {
+            if node.shared {
                 continue;
-            };
-            let policy = match self.manager.view_policy(name)? {
+            }
+            let name = node.name.as_str();
+            let expr = &node.user_expr;
+            let policy = match node.policy {
                 RefreshPolicy::Immediate => "",
                 RefreshPolicy::Deferred => " deferred",
                 RefreshPolicy::OnDemand => " ondemand",
@@ -730,6 +825,15 @@ fn render_tuple(t: &Tuple) -> String {
     format!("({})", fields.join(", "))
 }
 
+/// Render a refresh policy in the shell's surface syntax.
+fn policy_name(p: RefreshPolicy) -> &'static str {
+    match p {
+        RefreshPolicy::Immediate => "immediate",
+        RefreshPolicy::Deferred => "deferred",
+        RefreshPolicy::OnDemand => "ondemand",
+    }
+}
+
 /// Render a condition in the shell's `and`/`or` surface syntax.
 fn render_condition(cond: &Condition) -> String {
     cond.disjuncts
@@ -784,6 +888,7 @@ load <rel> (<tuple>) [(<tuple>)...]           bulk-load rows
 view <name> [deferred|ondemand] = from <rels> [where <cond>] [project <attrs>]
 begin / insert <rel> (<t>) / delete <rel> (<t>) / commit
 show <rel-or-view> | stats [<view>] | refresh <view>
+views                                         dependency DAG with per-node maintenance stats
 stats without a view prints the session-wide metrics snapshot
 check <rel> (<tuple>) against <view>          Theorem 4.1 relevance verdict
 analyze [<view> | from <body>]                definition-time static analysis
@@ -894,6 +999,90 @@ mod tests {
         let out = s.dispatch("stats v").unwrap();
         assert!(out.contains("1 irrelevant"), "{out}");
         assert!(out.contains("skipped by filter 1"), "{out}");
+    }
+
+    #[test]
+    fn stacked_view_over_view() {
+        let mut s = seeded();
+        s.dispatch("view base = from R, S where A < 10").unwrap();
+        let out = s
+            .dispatch("view top = from base where C > 50 project A")
+            .unwrap();
+        assert!(out.contains("registered top"), "{out}");
+        s.dispatch("insert R (3, 20)").unwrap(); // joins S(20,200), C=200>50
+        assert!(s.dispatch("show top").unwrap().contains("(3)"));
+        assert!(s.dispatch("verify").unwrap().contains('✓'));
+    }
+
+    #[test]
+    fn views_command_renders_the_dag() {
+        let mut s = seeded();
+        assert_eq!(s.dispatch("views").unwrap(), "no views registered");
+        s.dispatch("view base = from R, S where A < 10").unwrap();
+        s.dispatch("view top = from base project A").unwrap();
+        s.dispatch("insert R (3, 20)").unwrap();
+        let out = s.dispatch("\\views").unwrap();
+        assert!(out.contains("stratum 0:"), "{out}");
+        assert!(out.contains("stratum 1:"), "{out}");
+        assert!(out.contains("feeds top"), "{out}");
+        assert!(out.contains("base (view)"), "{out}");
+        assert!(out.contains("run(s)"), "{out}");
+    }
+
+    #[test]
+    fn views_command_shows_shared_cores() {
+        let mut s = seeded();
+        s.dispatch("view pa = from R, S where A < 10 project A")
+            .unwrap();
+        s.dispatch("view pc = from R, S where A < 10 project C")
+            .unwrap();
+        let out = s.dispatch("views").unwrap();
+        assert!(out.contains("[shared core]"), "{out}");
+        assert!(out.contains("~s0"), "{out}");
+    }
+
+    #[test]
+    fn analyze_reports_dag_structure() {
+        let mut s = seeded();
+        s.dispatch("view base = from R, S where A < 10").unwrap();
+        s.dispatch("view top = from base project A").unwrap();
+        s.dispatch("view pa = from R where A < 5 project A")
+            .unwrap();
+        s.dispatch("view pb = from R where A < 5 project B")
+            .unwrap();
+        let out = s.dispatch("analyze").unwrap();
+        assert!(out.contains("dependency DAG"), "{out}");
+        assert!(out.contains("acyclic"), "{out}");
+        assert!(out.contains("shared core: pa, pb"), "{out}");
+        // Per-view analysis of one view skips the DAG section.
+        let one = s.dispatch("analyze top").unwrap();
+        assert!(!one.contains("dependency DAG"), "{one}");
+    }
+
+    #[test]
+    fn dump_replays_stacked_views_in_dependency_order() {
+        let mut s = seeded();
+        // Register so that name order disagrees with dependency order.
+        s.dispatch("view z_base = from R, S where A < 10").unwrap();
+        s.dispatch("view a_top = from z_base project A").unwrap();
+        s.dispatch("insert R (3, 20)").unwrap();
+        let script = s.dispatch("dump").unwrap();
+        let base_pos = script.find("view z_base").unwrap();
+        let top_pos = script.find("view a_top").unwrap();
+        assert!(base_pos < top_pos, "{script}");
+        assert!(
+            !script.contains("~s"),
+            "shared nodes are plan-internal: {script}"
+        );
+        // The dump replays into an equivalent session.
+        let mut replay = Shell::new();
+        for line in script.lines() {
+            replay.dispatch(line).unwrap();
+        }
+        assert_eq!(
+            replay.dispatch("show a_top").unwrap(),
+            s.dispatch("show a_top").unwrap()
+        );
     }
 
     #[test]
