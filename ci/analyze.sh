@@ -3,13 +3,17 @@
 #
 #   ./ci/analyze.sh
 #
-# Three stages:
+# Four stages:
 #   1. build the `ivm-lint` binary (release — the scan itself is timed);
 #   2. self-test: the seeded regression fixture under
 #      crates/lint/fixtures/regression MUST fail the scan, proving the
 #      gate can actually catch violations;
-#   3. scan the real workspace against the committed lint-baseline.toml —
-#      grandfathered findings pass, anything new fails.
+#   3. scan the real workspace against the committed lint-baseline.toml
+#      and concurrency-catalog.toml — grandfathered findings pass,
+#      anything new fails;
+#   4. model-check the snapshot/serve protocols with `ivm-race`: both
+#      clean models must verify (≥500 interleavings each), every seeded
+#      foil must be caught with a replayable counterexample.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,5 +37,19 @@ echo "scan wall time: ${elapsed_ms} ms"
 # the budget guards against accidentally quadratic rules.
 if [ "$elapsed_ms" -gt 5000 ]; then
     echo "ERROR: workspace scan took ${elapsed_ms} ms (> 5000 ms budget)" >&2
+    exit 1
+fi
+
+echo "== model-check protocols (ivm-race) =="
+cargo build --release -q -p ivm-race
+start_ns=$(date +%s%N)
+target/release/ivm-race
+elapsed_ms=$(( ($(date +%s%N) - start_ns) / 1000000 ))
+echo "model-check wall time: ${elapsed_ms} ms"
+# The full DPOR sweep (two clean protocols, three foils, the litmus in
+# both memory modes) finishes in well under a second; the budget only
+# guards against a state-space explosion slipping into a model.
+if [ "$elapsed_ms" -gt 60000 ]; then
+    echo "ERROR: model checking took ${elapsed_ms} ms (> 60000 ms budget)" >&2
     exit 1
 fi

@@ -1,0 +1,31 @@
+//! Seeded Frontend C regressions. The fixture root has no
+//! `concurrency-catalog.toml`, so the atomic site below must be reported
+//! as uncataloged, and `forward`/`backward` acquire the two mutexes in
+//! opposite orders, so the lock-order digraph must contain a cycle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub struct Pair {
+    m1: Mutex<u64>,
+    m2: Mutex<u64>,
+    epoch: AtomicU64,
+}
+
+impl Pair {
+    pub fn bump(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst)
+    }
+
+    pub fn forward(&self) -> u64 {
+        let a = self.m1.lock().unwrap();
+        let b = self.m2.lock().unwrap();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u64 {
+        let b = self.m2.lock().unwrap();
+        let a = self.m1.lock().unwrap();
+        *a - *b
+    }
+}

@@ -1,0 +1,1125 @@
+//! Frontend C: concurrency static analysis — the atomic-ordering audit
+//! and the lock-order digraph.
+//!
+//! The model checker (`crates/race`) verifies the *protocols*; this pass
+//! verifies the *bookkeeping around them*:
+//!
+//! * **atomic-audit** — every `Ordering::*` site in the workspace must
+//!   appear in the checked-in `concurrency-catalog.toml` with a one-line
+//!   rationale. The catalog is a reviewed inventory: adding an atomic
+//!   means writing down why its ordering is sufficient, and removing one
+//!   means ratcheting the catalog (stale ceilings are diagnostics, like
+//!   the lint baseline). Counting is per `(file, ordering)` so line
+//!   churn never invalidates entries.
+//! * **lock-order-cycle** — `Mutex`/`RwLock` acquisitions are extracted
+//!   per function (token-level), an approximate inter-procedural
+//!   digraph is built (locks held at a call site propagate over the
+//!   callee's transitively-acquired locks), and every cycle is reported
+//!   with the acquisition path witnessing each edge — the classic
+//!   deadlock shape, caught before a scheduler has to.
+//!
+//! Approximations (deliberate, documented): lock identity is the
+//! declared field/static name scoped to its file (`file::name`), so
+//! acquisitions are only recognized in the file that declares the lock;
+//! a guard is assumed held until the end of the enclosing function
+//! (drops are invisible at token level — conservative for ordering);
+//! `.read()`/`.write()`/`.lock()` count only with an empty argument
+//! list, which excludes `io::Read::read(&mut buf)`-style calls; calls
+//! are resolved by bare name against every scanned function (may
+//! over-approximate across modules). All of these only ever *add*
+//! edges, so a reported cycle deserves a look even when the runtime
+//! nesting makes it unreachable — restructure or document it.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use crate::diag::{Finding, Report, RuleId};
+use crate::tokenizer::{tokenize, Token, TokenKind};
+use crate::workspace::rust_files;
+
+/// The five store/load orderings of `std::sync::atomic::Ordering`.
+pub const ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+// ---------------------------------------------------------------------
+// The concurrency catalog (TOML subset, like the lint baseline).
+// ---------------------------------------------------------------------
+
+/// One catalog entry: up to `count` `Ordering::<ordering>` sites in
+/// `file`, with the rationale for why that ordering is correct there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicEntry {
+    /// Repo-relative file.
+    pub file: String,
+    /// Ordering name (`Relaxed`, `Acquire`, `Release`, `AcqRel`, `SeqCst`).
+    pub ordering: String,
+    /// Number of sites of this ordering in the file.
+    pub count: usize,
+    /// One-line justification (required; empty is a diagnostic).
+    pub rationale: String,
+}
+
+/// The parsed `concurrency-catalog.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct ConcurrencyCatalog {
+    /// All entries, in file/ordering order.
+    pub atomics: Vec<AtomicEntry>,
+}
+
+/// An `[[atomic]]` entry mid-parse: (file, ordering, count, rationale).
+type PartialEntry = (Option<String>, Option<String>, Option<usize>, String);
+
+impl ConcurrencyCatalog {
+    /// Parse the TOML subset (same grammar family as the lint baseline:
+    /// table arrays of scalar `key = value` pairs, hand-parsed because
+    /// the container is offline).
+    pub fn parse(text: &str) -> Result<ConcurrencyCatalog, String> {
+        let mut atomics: Vec<AtomicEntry> = Vec::new();
+        let mut current: Option<PartialEntry> = None;
+        let mut finish = |cur: &mut Option<PartialEntry>| -> Result<(), String> {
+            if let Some((file, ordering, count, rationale)) = cur.take() {
+                let file = file.ok_or("entry missing `file`")?;
+                let ordering = ordering.ok_or("entry missing `ordering`")?;
+                if !ORDERINGS.contains(&ordering.as_str()) {
+                    return Err(format!("unknown ordering `{ordering}`"));
+                }
+                atomics.push(AtomicEntry {
+                    file,
+                    ordering,
+                    count: count.unwrap_or(1),
+                    rationale,
+                });
+            }
+            Ok(())
+        };
+        for (n, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[atomic]]" {
+                finish(&mut current)?;
+                current = Some((None, None, None, String::new()));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", n + 1));
+            };
+            let Some(cur) = current.as_mut() else {
+                return Err(format!("line {}: key outside an [[atomic]] entry", n + 1));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let unquote = |v: &str| -> Result<String, String> {
+                v.strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .map(str::to_owned)
+                    .ok_or(format!("line {}: expected a quoted string", n + 1))
+            };
+            match key {
+                "file" => cur.0 = Some(unquote(value)?),
+                "ordering" => cur.1 = Some(unquote(value)?),
+                "count" => {
+                    cur.2 = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("line {}: bad count `{value}`", n + 1))?,
+                    )
+                }
+                "rationale" => cur.3 = unquote(value)?,
+                _ => {}
+            }
+        }
+        finish(&mut current)?;
+        Ok(ConcurrencyCatalog { atomics })
+    }
+
+    /// Render back to the TOML subset (for `--write-concurrency-catalog`).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# ivm-lint concurrency catalog — every `Ordering::*` site in the workspace,\n\
+             # counted per (file, ordering), each with a one-line rationale for why that\n\
+             # ordering is sufficient. The atomic-audit lint fails on any site not\n\
+             # covered here and reports stale ceilings when sites are removed.\n\
+             # Regenerate counts (rationales are preserved) with:\n\
+             #   cargo run -p ivm-lint -- --write-concurrency-catalog\n",
+        );
+        for e in &self.atomics {
+            out.push_str("\n[[atomic]]\n");
+            out.push_str(&format!("file = \"{}\"\n", e.file));
+            out.push_str(&format!("ordering = \"{}\"\n", e.ordering));
+            out.push_str(&format!("count = {}\n", e.count));
+            out.push_str(&format!("rationale = \"{}\"\n", e.rationale));
+        }
+        out
+    }
+
+    /// Build a catalog exactly covering `sites`, carrying over rationales
+    /// from `previous` where the `(file, ordering)` key survives.
+    pub fn from_sites(sites: &[AtomicSite], previous: &ConcurrencyCatalog) -> ConcurrencyCatalog {
+        let old: BTreeMap<(&str, &str), &str> = previous
+            .atomics
+            .iter()
+            .map(|e| ((e.file.as_str(), e.ordering.as_str()), e.rationale.as_str()))
+            .collect();
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for s in sites {
+            *counts
+                .entry((s.file.clone(), s.ordering.clone()))
+                .or_default() += 1;
+        }
+        ConcurrencyCatalog {
+            atomics: counts
+                .into_iter()
+                .map(|((file, ordering), count)| {
+                    let rationale = old
+                        .get(&(file.as_str(), ordering.as_str()))
+                        .map(|r| (*r).to_owned())
+                        .unwrap_or_default();
+                    AtomicEntry {
+                        file,
+                        ordering,
+                        count,
+                        rationale,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomic-ordering site scanner.
+// ---------------------------------------------------------------------
+
+/// One `Ordering::*` occurrence in source code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicSite {
+    /// Repo-relative file.
+    pub file: String,
+    /// 1-based line of the ordering name.
+    pub line: usize,
+    /// 1-based column of the ordering name.
+    pub col: usize,
+    /// Ordering name (`Relaxed`, …, `SeqCst`).
+    pub ordering: String,
+}
+
+/// Scan one file's tokens for `Ordering::<name>` sites. Comments and
+/// strings never match (they are distinct token kinds); `use` statements
+/// are skipped (imports are not call sites) — but a
+/// `use …::Ordering::SeqCst;` import makes later *bare* `SeqCst` idents
+/// count as sites; test code *is* included — a test's atomics race like
+/// any other code's.
+pub fn atomic_sites(path: &str, tokens: &[Token]) -> Vec<AtomicSite> {
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    // Pass 1: ordering names imported directly (`Ordering::SeqCst` or
+    // `Ordering::{SeqCst, Relaxed}` inside a `use`).
+    let mut imported: BTreeSet<&str> = BTreeSet::new();
+    let mut in_use = false;
+    for tok in &code {
+        match &tok.kind {
+            TokenKind::Ident(s) if s == "use" => in_use = true,
+            TokenKind::Punct(';') => in_use = false,
+            TokenKind::Ident(s) if in_use => {
+                if let Some(o) = ORDERINGS.iter().find(|o| *o == s) {
+                    imported.insert(o);
+                }
+            }
+            _ => {}
+        }
+    }
+    // Pass 2: the sites themselves.
+    let mut sites = Vec::new();
+    let mut in_use = false;
+    for i in 0..code.len() {
+        let tok = code[i];
+        let push = |sites: &mut Vec<AtomicSite>, t: &Token, name: &str| {
+            sites.push(AtomicSite {
+                file: path.to_owned(),
+                line: t.line,
+                col: t.col,
+                ordering: name.to_owned(),
+            });
+        };
+        match &tok.kind {
+            TokenKind::Ident(s) if s == "use" => in_use = true,
+            TokenKind::Punct(';') => in_use = false,
+            TokenKind::Ident(s)
+                if s == "Ordering"
+                    && !in_use
+                    && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && code.get(i + 2).is_some_and(|t| t.is_punct(':')) =>
+            {
+                if let Some(name) = code.get(i + 3).and_then(|t| t.ident()) {
+                    if ORDERINGS.contains(&name) {
+                        push(&mut sites, code[i + 3], name);
+                    }
+                }
+            }
+            TokenKind::Ident(s)
+                if !in_use
+                    && imported.contains(s.as_str())
+                    // A path-qualified use (`Ordering::SeqCst`,
+                    // `DeclaredOrdering::Relaxed`) is counted — or
+                    // excluded — by the qualified match above, so a
+                    // bare site must not follow `::`.
+                    && !(i >= 2
+                        && code[i - 1].is_punct(':')
+                        && code[i - 2].is_punct(':')) =>
+            {
+                push(&mut sites, tok, s);
+            }
+            _ => {}
+        }
+    }
+    sites
+}
+
+// ---------------------------------------------------------------------
+// Lock-order extraction.
+// ---------------------------------------------------------------------
+
+/// One ordered event inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LockEvent {
+    /// Acquisition of a declared lock (qualified id) at a line.
+    Acquire { lock: String, line: usize },
+    /// Call to a (possibly scanned) function by bare name.
+    Call { name: String, line: usize },
+}
+
+/// One scanned function and its event sequence.
+#[derive(Debug, Clone)]
+struct FnInfo {
+    file: String,
+    name: String,
+    events: Vec<LockEvent>,
+}
+
+/// Idents that look like calls but are not (`if x.read().is_ok()` style
+/// noise is fine — these are control keywords that precede `(`).
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "fn", "let", "loop", "in", "as", "move", "else",
+    "impl", "where", "pub", "unsafe", "dyn",
+];
+
+/// Collect the names declared as `Mutex<…>` / `RwLock<…>` in this file:
+/// `name: Mutex<…>` field/static declarations, with a bounded lookahead
+/// through path prefixes (`std::sync::Mutex`) and wrappers (`Arc<Mutex<…>>`).
+fn declared_locks(code: &[&Token]) -> BTreeSet<String> {
+    let mut locks = BTreeSet::new();
+    for i in 0..code.len() {
+        let Some(name) = code[i].ident() else {
+            continue;
+        };
+        // `name :` but not `name ::` and not `:: name`.
+        if !code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            || code.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            || i.checked_sub(1)
+                .and_then(|p| code.get(p))
+                .is_some_and(|t| t.is_punct(':'))
+        {
+            continue;
+        }
+        // Lookahead through the type annotation for `Mutex<` / `RwLock<`.
+        let mut j = i + 2;
+        let mut steps = 0;
+        while let Some(t) = code.get(j) {
+            if steps > 16
+                || t.is_punct(',')
+                || t.is_punct(';')
+                || t.is_punct('{')
+                || t.is_punct('}')
+                || t.is_punct(')')
+                || t.is_punct('=')
+            {
+                break;
+            }
+            if matches!(t.ident(), Some("Mutex" | "RwLock"))
+                && code.get(j + 1).is_some_and(|t| t.is_punct('<'))
+            {
+                locks.insert(name.to_owned());
+                break;
+            }
+            j += 1;
+            steps += 1;
+        }
+    }
+    locks
+}
+
+/// Extract every `fn` body's ordered lock/call events from one file.
+/// Events inside a nested `fn` belong to the nested function only.
+fn scan_functions(path: &str, code: &[&Token], locks: &BTreeSet<String>) -> Vec<FnInfo> {
+    // Pass 1: find fn body spans `[open_brace, close_brace]` by index.
+    struct Span {
+        name: String,
+        start: usize,
+        end: usize,
+    }
+    let mut spans: Vec<Span> = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].ident() == Some("fn") {
+            if let Some(name) = code.get(i + 1).and_then(|t| t.ident()) {
+                // Find the body `{`, unless this is a trait decl ending `;`.
+                let mut j = i + 2;
+                let mut depth = 0usize; // (), <> not tracked — `{` in a
+                                        // signature only occurs in const
+                                        // generics, which the repo avoids
+                while let Some(t) = code.get(j) {
+                    if t.is_punct('{') && depth == 0 {
+                        break;
+                    }
+                    if t.is_punct(';') && depth == 0 {
+                        break;
+                    }
+                    if t.is_punct('(') {
+                        depth += 1;
+                    }
+                    if t.is_punct(')') {
+                        depth = depth.saturating_sub(1);
+                    }
+                    j += 1;
+                }
+                if code.get(j).is_some_and(|t| t.is_punct('{')) {
+                    let mut braces = 0usize;
+                    let mut end = j;
+                    while let Some(t) = code.get(end) {
+                        if t.is_punct('{') {
+                            braces += 1;
+                        } else if t.is_punct('}') {
+                            braces -= 1;
+                            if braces == 0 {
+                                break;
+                            }
+                        }
+                        end += 1;
+                    }
+                    spans.push(Span {
+                        name: name.to_owned(),
+                        start: j,
+                        end: end.min(code.len()),
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Pass 2: walk each span, attributing events to the innermost fn.
+    let innermost = |idx: usize| -> Option<usize> {
+        spans
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| idx > s.start && idx < s.end)
+            .min_by_key(|(_, s)| s.end - s.start)
+            .map(|(k, _)| k)
+    };
+    let mut infos: Vec<FnInfo> = spans
+        .iter()
+        .map(|s| FnInfo {
+            file: path.to_owned(),
+            name: s.name.clone(),
+            events: Vec::new(),
+        })
+        .collect();
+    for idx in 0..code.len() {
+        let Some(owner) = innermost(idx) else {
+            continue;
+        };
+        let tok = code[idx];
+        // Acquisition: `name . {lock|read|write} ( )` with `name` declared
+        // as a lock in this file. Empty arg list excludes io::Read-style
+        // calls that share the method name.
+        if let Some(name) = tok.ident() {
+            if locks.contains(name)
+                && code.get(idx + 1).is_some_and(|t| t.is_punct('.'))
+                && matches!(
+                    code.get(idx + 2).and_then(|t| t.ident()),
+                    Some("lock" | "read" | "write")
+                )
+                && code.get(idx + 3).is_some_and(|t| t.is_punct('('))
+                && code.get(idx + 4).is_some_and(|t| t.is_punct(')'))
+            {
+                infos[owner].events.push(LockEvent::Acquire {
+                    lock: format!("{path}::{name}"),
+                    line: tok.line,
+                });
+                continue;
+            }
+            // Call: `name(` (free/associated) or `self.name(`. Method
+            // calls on arbitrary receivers are deliberately ignored —
+            // resolving `conn.write(…)` by bare name to every `write`
+            // in the workspace floods the graph with phantom edges.
+            if !NON_CALL_KEYWORDS.contains(&name)
+                && code.get(idx + 1).is_some_and(|t| t.is_punct('('))
+            {
+                let prev_dot = idx
+                    .checked_sub(1)
+                    .and_then(|p| code.get(p))
+                    .is_some_and(|t| t.is_punct('.'));
+                let self_recv = idx
+                    .checked_sub(2)
+                    .and_then(|p| code.get(p))
+                    .is_some_and(|t| t.ident() == Some("self"));
+                if !prev_dot || self_recv {
+                    infos[owner].events.push(LockEvent::Call {
+                        name: name.to_owned(),
+                        line: tok.line,
+                    });
+                }
+            }
+        }
+    }
+    infos
+}
+
+// ---------------------------------------------------------------------
+// The inter-procedural lock-order digraph.
+// ---------------------------------------------------------------------
+
+/// Why an edge exists: where the earlier lock was held and the later one
+/// acquired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeWitness {
+    /// Repo-relative file of the acquiring function.
+    pub file: String,
+    /// Function in which the ordering was observed.
+    pub function: String,
+    /// Line of the second acquisition (or the call that performs it).
+    pub line: usize,
+    /// Human-readable description of the acquisition path.
+    pub detail: String,
+}
+
+/// The extracted lock-order digraph: nodes are qualified lock ids, each
+/// edge `a → b` ("a held while acquiring b") keeps its first witness.
+#[derive(Debug, Clone, Default)]
+pub struct LockGraph {
+    /// Edge map: `(from, to)` → first witness observed.
+    pub edges: BTreeMap<(String, String), EdgeWitness>,
+}
+
+impl LockGraph {
+    /// Build the digraph from every scanned function, propagating
+    /// transitively-acquired locks over calls (one fixpoint pass).
+    fn build(functions: &[FnInfo]) -> LockGraph {
+        // Bare name → indices of functions with that name (approximate
+        // cross-module resolution).
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in functions.iter().enumerate() {
+            by_name.entry(f.name.as_str()).or_default().push(i);
+        }
+        // Fixpoint: locks each function may acquire, transitively.
+        let mut acq: Vec<BTreeSet<String>> = functions
+            .iter()
+            .map(|f| {
+                f.events
+                    .iter()
+                    .filter_map(|e| match e {
+                        LockEvent::Acquire { lock, .. } => Some(lock.clone()),
+                        LockEvent::Call { .. } => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for (i, f) in functions.iter().enumerate() {
+                for e in &f.events {
+                    let LockEvent::Call { name, .. } = e else {
+                        continue;
+                    };
+                    let Some(callees) = by_name.get(name.as_str()) else {
+                        continue;
+                    };
+                    for &c in callees {
+                        if c == i {
+                            continue;
+                        }
+                        let add: Vec<String> = acq[c].difference(&acq[i]).cloned().collect();
+                        if !add.is_empty() {
+                            acq[i].extend(add);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Edges: walk each function with the held-set approximation
+        // (a guard lives to the end of the function).
+        let mut graph = LockGraph::default();
+        for (i, f) in functions.iter().enumerate() {
+            let mut held: BTreeSet<String> = BTreeSet::new();
+            for e in &f.events {
+                match e {
+                    LockEvent::Acquire { lock, line } => {
+                        for h in &held {
+                            if h != lock {
+                                graph.add_edge(
+                                    h.clone(),
+                                    lock.clone(),
+                                    EdgeWitness {
+                                        file: f.file.clone(),
+                                        function: f.name.clone(),
+                                        line: *line,
+                                        detail: format!(
+                                            "{} acquires {lock} while holding {h}",
+                                            f.name
+                                        ),
+                                    },
+                                );
+                            }
+                        }
+                        held.insert(lock.clone());
+                    }
+                    LockEvent::Call { name, line } => {
+                        if held.is_empty() {
+                            continue;
+                        }
+                        let Some(callees) = by_name.get(name.as_str()) else {
+                            continue;
+                        };
+                        let mut reachable: BTreeSet<&String> = BTreeSet::new();
+                        for &c in callees {
+                            if c != i {
+                                reachable.extend(&acq[c]);
+                            }
+                        }
+                        for h in &held {
+                            for l in &reachable {
+                                if *l != h {
+                                    graph.add_edge(
+                                        h.clone(),
+                                        (*l).clone(),
+                                        EdgeWitness {
+                                            file: f.file.clone(),
+                                            function: f.name.clone(),
+                                            line: *line,
+                                            detail: format!(
+                                                "{} calls {name}() (which acquires {l}) while holding {h}",
+                                                f.name
+                                            ),
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        graph
+    }
+
+    fn add_edge(&mut self, from: String, to: String, witness: EdgeWitness) {
+        self.edges.entry((from, to)).or_insert(witness);
+    }
+
+    /// Find every elementary cycle's canonical node set, each with the
+    /// witness path around it. Deterministic: nodes and successors are
+    /// visited in sorted order.
+    pub fn cycles(&self) -> Vec<Vec<(String, EdgeWitness)>> {
+        let mut succ: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+        for (from, to) in self.edges.keys() {
+            succ.entry(from).or_default().push(to);
+        }
+        let nodes: BTreeSet<&String> = self.edges.keys().map(|(f, _)| f).collect();
+        let mut seen_sets: BTreeSet<Vec<String>> = BTreeSet::new();
+        let mut out = Vec::new();
+        for &start in &nodes {
+            // DFS for a path start → … → start.
+            let mut path: Vec<&String> = vec![start];
+            let mut found: Option<Vec<&String>> = None;
+            fn dfs<'a>(
+                node: &'a String,
+                start: &'a String,
+                succ: &BTreeMap<&'a String, Vec<&'a String>>,
+                path: &mut Vec<&'a String>,
+                found: &mut Option<Vec<&'a String>>,
+            ) {
+                if found.is_some() {
+                    return;
+                }
+                for &next in succ.get(node).map(Vec::as_slice).unwrap_or_default() {
+                    if next == start {
+                        *found = Some(path.clone());
+                        return;
+                    }
+                    if path.contains(&next) {
+                        continue;
+                    }
+                    path.push(next);
+                    dfs(next, start, succ, path, found);
+                    path.pop();
+                }
+            }
+            dfs(start, start, &succ, &mut path, &mut found);
+            let Some(cycle) = found else { continue };
+            let mut canonical: Vec<String> = cycle.iter().map(|s| (*s).clone()).collect();
+            canonical.sort();
+            if !seen_sets.insert(canonical) {
+                continue;
+            }
+            let mut detailed = Vec::new();
+            for (k, &node) in cycle.iter().enumerate() {
+                let next = cycle[(k + 1) % cycle.len()];
+                let w = self.edges[&(node.clone(), next.clone())].clone();
+                detailed.push((node.clone(), w));
+            }
+            out.push(detailed);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// The workspace pass.
+// ---------------------------------------------------------------------
+
+/// Everything Frontend C extracted from one workspace scan.
+#[derive(Debug, Clone, Default)]
+pub struct ConcurrencyAnalysis {
+    /// Every `Ordering::*` site, in file/line order.
+    pub sites: Vec<AtomicSite>,
+    /// The lock-order digraph.
+    pub graph: LockGraph,
+}
+
+/// Scan the workspace for atomic sites and the lock graph (no
+/// diagnostics yet — [`audit`] turns this plus a catalog into findings).
+pub fn scan_concurrency(root: &Path) -> io::Result<ConcurrencyAnalysis> {
+    let mut sites = Vec::new();
+    let mut functions = Vec::new();
+    for rel in rust_files(root)? {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        let tokens = tokenize(&text);
+        sites.extend(atomic_sites(&rel, &tokens));
+        let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+        let locks = declared_locks(&code);
+        functions.extend(scan_functions(&rel, &code, &locks));
+    }
+    Ok(ConcurrencyAnalysis {
+        sites,
+        graph: LockGraph::build(&functions),
+    })
+}
+
+/// Turn a scan plus the checked-in catalog into diagnostics:
+///
+/// * `atomic-audit` — a site group not in the catalog (per site), a
+///   group exceeding its ceiling, a stale ceiling, a missing rationale;
+/// * `lock-order-cycle` — one finding per distinct cycle, naming every
+///   edge's acquisition path.
+pub fn audit(analysis: &ConcurrencyAnalysis, catalog: &ConcurrencyCatalog) -> Report {
+    let mut report = Report::default();
+    let mut by_key: BTreeMap<(String, String), Vec<&AtomicSite>> = BTreeMap::new();
+    for s in &analysis.sites {
+        by_key
+            .entry((s.file.clone(), s.ordering.clone()))
+            .or_default()
+            .push(s);
+    }
+    let entries: BTreeMap<(&str, &str), &AtomicEntry> = catalog
+        .atomics
+        .iter()
+        .map(|e| ((e.file.as_str(), e.ordering.as_str()), e))
+        .collect();
+
+    for ((file, ordering), sites) in &by_key {
+        match entries.get(&(file.as_str(), ordering.as_str())) {
+            None => {
+                for s in sites {
+                    report.findings.push(Finding {
+                        rule: RuleId::AtomicAudit,
+                        file: file.clone(),
+                        line: s.line,
+                        col: s.col,
+                        message: format!(
+                            "`Ordering::{ordering}` site not in concurrency-catalog.toml; \
+                             add an [[atomic]] entry with a rationale"
+                        ),
+                    });
+                }
+            }
+            Some(e) => {
+                if sites.len() > e.count {
+                    let first_excess = sites[e.count];
+                    report.findings.push(Finding {
+                        rule: RuleId::AtomicAudit,
+                        file: file.clone(),
+                        line: first_excess.line,
+                        col: first_excess.col,
+                        message: format!(
+                            "{} `Ordering::{ordering}` site(s) but the catalog allows {}; \
+                             justify the new site(s) and bump the count",
+                            sites.len(),
+                            e.count
+                        ),
+                    });
+                } else if sites.len() < e.count {
+                    report.findings.push(Finding {
+                        rule: RuleId::AtomicAudit,
+                        file: file.clone(),
+                        line: 0,
+                        col: 0,
+                        message: format!(
+                            "stale catalog ceiling: {} `Ordering::{ordering}` site(s), catalog says {} — ratchet it down",
+                            sites.len(),
+                            e.count
+                        ),
+                    });
+                }
+                if e.rationale.trim().is_empty() {
+                    report.findings.push(Finding {
+                        rule: RuleId::AtomicAudit,
+                        file: file.clone(),
+                        line: 0,
+                        col: 0,
+                        message: format!(
+                            "catalog entry for `Ordering::{ordering}` has no rationale — say why the ordering is sufficient"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    // Entries whose (file, ordering) no longer fires at all.
+    for e in &catalog.atomics {
+        if !by_key.contains_key(&(e.file.clone(), e.ordering.clone())) {
+            report.findings.push(Finding {
+                rule: RuleId::AtomicAudit,
+                file: e.file.clone(),
+                line: 0,
+                col: 0,
+                message: format!(
+                    "stale catalog entry: no `Ordering::{}` sites remain — remove it",
+                    e.ordering
+                ),
+            });
+        }
+    }
+
+    for cycle in analysis.graph.cycles() {
+        let (first_lock, first_witness) = &cycle[0];
+        let path = cycle
+            .iter()
+            .map(|(lock, w)| format!("{lock} [{} at {}:{}]", w.detail, w.file, w.line))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        report.findings.push(Finding {
+            rule: RuleId::LockOrderCycle,
+            file: first_witness.file.clone(),
+            line: first_witness.line,
+            col: 1,
+            message: format!("lock-order cycle through {first_lock}: {path}"),
+        });
+    }
+
+    report.sort();
+    report
+}
+
+/// The full Frontend C pass: scan `root`, audit against `catalog`.
+pub fn analyze_concurrency(root: &Path, catalog: &ConcurrencyCatalog) -> io::Result<Report> {
+    let analysis = scan_concurrency(root)?;
+    Ok(audit(&analysis, catalog))
+}
+
+impl fmt::Display for AtomicSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: Ordering::{}",
+            self.file, self.line, self.col, self.ordering
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites_of(src: &str) -> Vec<String> {
+        atomic_sites("f.rs", &tokenize(src))
+            .into_iter()
+            .map(|s| s.ordering)
+            .collect()
+    }
+
+    #[test]
+    fn ordering_sites_found_in_code_only() {
+        let src = r#"
+use std::sync::atomic::Ordering;
+// Ordering::SeqCst in a comment
+fn f(a: &AtomicU64) {
+    let s = "Ordering::Relaxed";
+    a.store(1, Ordering::Release);
+    a.compare_exchange(0, 1, Ordering::SeqCst, Ordering::Relaxed).ok();
+}
+"#;
+        assert_eq!(sites_of(src), ["Release", "SeqCst", "Relaxed"]);
+    }
+
+    #[test]
+    fn use_lines_are_skipped() {
+        assert_eq!(
+            sites_of("use std::sync::atomic::Ordering::SeqCst;\nfn f() {}"),
+            Vec::<String>::new()
+        );
+        // …but a site after the use on the next statement still counts.
+        assert_eq!(
+            sites_of("use x::Ordering;\nfn f(a: &A) { a.load(Ordering::Acquire); }"),
+            ["Acquire"]
+        );
+    }
+
+    #[test]
+    fn imported_orderings_count_bare_uses() {
+        let src = r#"
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+fn f(a: &AtomicBool) {
+    a.store(true, SeqCst);
+    while a.load(SeqCst) {}
+}
+"#;
+        assert_eq!(sites_of(src), ["SeqCst", "SeqCst"]);
+        // A different enum's variant of the same name stays excluded.
+        assert_eq!(
+            sites_of("use x::Ordering::SeqCst;\nfn f() { g(DeclaredOrdering::SeqCst); }"),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn catalog_round_trips() {
+        let text = r#"
+[[atomic]]
+file = "crates/obs/src/recorder.rs"
+ordering = "Relaxed"
+count = 4
+rationale = "independent counters; snapshot consistency via the write lock"
+"#;
+        let c = ConcurrencyCatalog::parse(text).unwrap();
+        assert_eq!(c.atomics.len(), 1);
+        assert_eq!(c.atomics[0].count, 4);
+        let again = ConcurrencyCatalog::parse(&c.render()).unwrap();
+        assert_eq!(again.atomics, c.atomics);
+    }
+
+    #[test]
+    fn catalog_rejects_unknown_ordering() {
+        let text = "[[atomic]]\nfile = \"a.rs\"\nordering = \"Sequential\"\n";
+        assert!(ConcurrencyCatalog::parse(text)
+            .unwrap_err()
+            .contains("unknown ordering"));
+    }
+
+    #[test]
+    fn from_sites_preserves_rationales() {
+        let sites = vec![
+            AtomicSite {
+                file: "a.rs".into(),
+                line: 1,
+                col: 1,
+                ordering: "SeqCst".into(),
+            },
+            AtomicSite {
+                file: "a.rs".into(),
+                line: 2,
+                col: 1,
+                ordering: "SeqCst".into(),
+            },
+        ];
+        let old = ConcurrencyCatalog {
+            atomics: vec![AtomicEntry {
+                file: "a.rs".into(),
+                ordering: "SeqCst".into(),
+                count: 1,
+                rationale: "kept".into(),
+            }],
+        };
+        let new = ConcurrencyCatalog::from_sites(&sites, &old);
+        assert_eq!(new.atomics.len(), 1);
+        assert_eq!(new.atomics[0].count, 2);
+        assert_eq!(new.atomics[0].rationale, "kept");
+    }
+
+    fn audit_src(src: &str, catalog: &ConcurrencyCatalog) -> Report {
+        let tokens = tokenize(src);
+        let analysis = ConcurrencyAnalysis {
+            sites: atomic_sites("a.rs", &tokens),
+            graph: LockGraph::default(),
+        };
+        audit(&analysis, catalog)
+    }
+
+    #[test]
+    fn uncataloged_site_is_a_finding() {
+        let r = audit_src(
+            "fn f(a: &A) { a.load(Ordering::Acquire); }",
+            &ConcurrencyCatalog::default(),
+        );
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, RuleId::AtomicAudit);
+        assert!(r.findings[0].message.contains("not in concurrency-catalog"));
+    }
+
+    #[test]
+    fn cataloged_site_with_rationale_is_clean() {
+        let catalog = ConcurrencyCatalog {
+            atomics: vec![AtomicEntry {
+                file: "a.rs".into(),
+                ordering: "Acquire".into(),
+                count: 1,
+                rationale: "pairs with the Release store in f".into(),
+            }],
+        };
+        let r = audit_src("fn f(a: &A) { a.load(Ordering::Acquire); }", &catalog);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn over_ceiling_stale_and_missing_rationale_diagnosed() {
+        let catalog = ConcurrencyCatalog {
+            atomics: vec![
+                AtomicEntry {
+                    file: "a.rs".into(),
+                    ordering: "Acquire".into(),
+                    count: 1,
+                    rationale: String::new(), // missing rationale
+                },
+                AtomicEntry {
+                    file: "gone.rs".into(),
+                    ordering: "SeqCst".into(),
+                    count: 2,
+                    rationale: "file was deleted".into(),
+                },
+            ],
+        };
+        let r = audit_src(
+            "fn f(a: &A) { a.load(Ordering::Acquire); a.load(Ordering::Acquire); }",
+            &catalog,
+        );
+        let msgs: Vec<&str> = r.findings.iter().map(|f| f.message.as_str()).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("catalog allows 1")),
+            "{msgs:?}"
+        );
+        assert!(msgs.iter().any(|m| m.contains("no rationale")), "{msgs:?}");
+        assert!(
+            msgs.iter().any(|m| m.contains("stale catalog entry")),
+            "{msgs:?}"
+        );
+    }
+
+    fn graph_of(src: &str) -> LockGraph {
+        let tokens = tokenize(src);
+        let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+        let locks = declared_locks(&code);
+        LockGraph::build(&scan_functions("a.rs", &code, &locks))
+    }
+
+    const CYCLE_SRC: &str = r#"
+struct S { m1: Mutex<u32>, m2: Mutex<u32> }
+impl S {
+    fn forward(&self) {
+        let a = self.m1.lock();
+        let b = self.m2.lock();
+    }
+    fn backward(&self) {
+        let b = self.m2.lock();
+        let a = self.m1.lock();
+    }
+}
+"#;
+
+    #[test]
+    fn lock_order_cycle_detected_with_both_paths() {
+        let g = graph_of(CYCLE_SRC);
+        assert_eq!(g.edges.len(), 2);
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        let analysis = ConcurrencyAnalysis {
+            sites: Vec::new(),
+            graph: g,
+        };
+        let r = audit(&analysis, &ConcurrencyCatalog::default());
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, RuleId::LockOrderCycle);
+        assert!(r.findings[0].message.contains("forward"), "{r}");
+        assert!(r.findings[0].message.contains("backward"), "{r}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = r#"
+struct S { m1: Mutex<u32>, m2: Mutex<u32> }
+impl S {
+    fn a(&self) { let x = self.m1.lock(); let y = self.m2.lock(); }
+    fn b(&self) { let x = self.m1.lock(); let y = self.m2.lock(); }
+}
+"#;
+        let g = graph_of(src);
+        assert_eq!(g.edges.len(), 1);
+        assert!(g.cycles().is_empty());
+    }
+
+    #[test]
+    fn interprocedural_cycle_through_a_call() {
+        let src = r#"
+struct S { m1: Mutex<u32>, m2: Mutex<u32> }
+impl S {
+    fn outer(&self) {
+        let a = self.m1.lock();
+        self.inner();
+    }
+    fn inner(&self) {
+        let b = self.m2.lock();
+    }
+    fn inverted(&self) {
+        let b = self.m2.lock();
+        let a = self.m1.lock();
+    }
+}
+"#;
+        let g = graph_of(src);
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1, "{:?}", g.edges.keys().collect::<Vec<_>>());
+        // The m1 → m2 edge is witnessed by the *call*.
+        let w = &g.edges[&("a.rs::m1".to_string(), "a.rs::m2".to_string())];
+        assert!(w.detail.contains("calls inner()"), "{w:?}");
+    }
+
+    #[test]
+    fn io_read_calls_are_not_acquisitions() {
+        let src = r#"
+struct S { data: Mutex<u32> }
+fn f(s: &S, file: &mut File, buf: &mut [u8]) {
+    file.read(buf);
+    let g = s.data.lock();
+}
+"#;
+        let g = graph_of(src);
+        assert!(g.edges.is_empty());
+    }
+
+    #[test]
+    fn rwlock_read_and_write_are_acquisitions() {
+        let src = r#"
+struct S { counters: RwLock<u32>, writer: Mutex<u32> }
+impl S {
+    fn snap(&self) { let c = self.counters.read(); let w = self.writer.lock(); }
+    fn add(&self) { let w = self.writer.lock(); let c = self.counters.write(); }
+}
+"#;
+        let g = graph_of(src);
+        assert_eq!(g.cycles().len(), 1);
+    }
+}

@@ -38,6 +38,12 @@ impl Default for LintConfig {
                 // and wire decode run once per client operation.
                 "crates/core/src/snapshot.rs".into(),
                 "crates/serve/src/protocol.rs".into(),
+                // The accept/dispatch loop every client session runs
+                // through, and the model checker whose verdicts the
+                // analyze gate trusts — a panic in either aborts the
+                // server or fakes a green gate.
+                "crates/serve/src/server.rs".into(),
+                "crates/race/src/".into(),
             ],
             deterministic: vec![
                 // Everything a simulation run executes must be a pure
@@ -50,6 +56,9 @@ impl Default for LintConfig {
                 "crates/storage/src/".into(),
                 "crates/parallel/src/".into(),
                 "crates/sim/src/".into(),
+                // Exploration statistics and counterexample schedules
+                // must be reproducible run-over-run.
+                "crates/race/src/".into(),
             ],
             catalog_file: "crates/obs/src/names.rs".into(),
             metric_names: Vec::new(),
@@ -91,7 +100,9 @@ mod tests {
         assert!(cfg.is_hot_path("crates/core/src/snapshot.rs"));
         assert!(cfg.is_hot_path("crates/serve/src/protocol.rs"));
         assert!(!cfg.is_hot_path("crates/core/src/manager.rs"));
-        assert!(!cfg.is_hot_path("crates/serve/src/server.rs"));
+        assert!(cfg.is_hot_path("crates/serve/src/server.rs"));
+        assert!(cfg.is_hot_path("crates/race/src/dpor.rs"));
+        assert!(cfg.is_deterministic("crates/race/src/explore.rs"));
         assert!(cfg.is_deterministic("crates/sim/src/rng.rs"));
         assert!(!cfg.is_deterministic("crates/obs/src/lib.rs"));
         assert!(!cfg.is_deterministic("crates/bench/src/lib.rs"));

@@ -40,6 +40,12 @@ pub enum RuleId {
     /// `view-cycle`: a set of view definitions that reference each other
     /// cyclically — no topological maintenance order exists.
     ViewCycle,
+    /// `atomic-audit`: every `Ordering::*` site must appear in the
+    /// checked-in `concurrency-catalog.toml` with a one-line rationale.
+    AtomicAudit,
+    /// `lock-order-cycle`: the approximate inter-procedural lock-order
+    /// digraph contains a cycle (a potential deadlock).
+    LockOrderCycle,
 }
 
 impl RuleId {
@@ -55,6 +61,8 @@ impl RuleId {
         RuleId::AlwaysIrrelevant,
         RuleId::RedundantAtom,
         RuleId::ViewCycle,
+        RuleId::AtomicAudit,
+        RuleId::LockOrderCycle,
     ];
 
     /// The stable kebab-case name used in output, suppressions and
@@ -70,6 +78,8 @@ impl RuleId {
             RuleId::AlwaysIrrelevant => "always-irrelevant",
             RuleId::RedundantAtom => "redundant-atom",
             RuleId::ViewCycle => "view-cycle",
+            RuleId::AtomicAudit => "atomic-audit",
+            RuleId::LockOrderCycle => "lock-order-cycle",
         }
     }
 
@@ -107,6 +117,12 @@ impl RuleId {
             }
             RuleId::ViewCycle => {
                 "view definitions must form a DAG; a cycle has no topological maintenance order"
+            }
+            RuleId::AtomicAudit => {
+                "every atomic ordering choice must be cataloged with the invariant it relies on"
+            }
+            RuleId::LockOrderCycle => {
+                "locks must be acquired in one global order; a digraph cycle is a latent deadlock"
             }
         }
     }

@@ -19,6 +19,13 @@
 //!   closure, and DAG-structure checks over definition *sets* (cycles,
 //!   unresolved operands, shared select-join cores). Surfaced through
 //!   the shell's `\analyze` command.
+//! * **Frontend C** ([`concurrency`]) — concurrency bookkeeping: every
+//!   `Ordering::*` site must be inventoried in `concurrency-catalog.toml`
+//!   with a rationale (the audit fails on uncataloged sites and stale
+//!   ceilings), and `Mutex`/`RwLock` acquisitions are lifted into an
+//!   approximate inter-procedural lock-order digraph whose cycles are
+//!   reported with both acquisition paths. The dynamic complement (the
+//!   `crates/race` model checker) verifies the protocols themselves.
 //!
 //! Pre-existing findings are grandfathered by `lint-baseline.toml`
 //! ([`baseline`]) so the gate fails only on regressions; one-off
@@ -30,6 +37,7 @@
 
 pub mod baseline;
 pub mod catalog;
+pub mod concurrency;
 pub mod config;
 pub mod diag;
 pub mod source;
@@ -38,6 +46,7 @@ pub mod views;
 pub mod workspace;
 
 pub use baseline::{Baseline, BaselineOutcome};
+pub use concurrency::{analyze_concurrency, scan_concurrency, ConcurrencyCatalog};
 pub use config::LintConfig;
 pub use diag::{Finding, Report, RuleId};
 pub use views::{analyze_all, analyze_dag, analyze_view, DagAnalysis, ViewAnalysisReport};

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! ivm-lint [--root DIR] [--baseline FILE | --no-baseline]
-//!          [--write-baseline] [--quiet]
+//!          [--write-baseline] [--write-concurrency-catalog] [--quiet]
 //! ivm-lint --metrics-doc DOC [--catalog FILE] [--root DIR]
 //! ivm-lint --list-rules
 //! ```
@@ -15,6 +15,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use ivm_lint::baseline::Baseline;
+use ivm_lint::concurrency::{self, ConcurrencyCatalog};
 use ivm_lint::config::LintConfig;
 use ivm_lint::diag::RuleId;
 use ivm_lint::{catalog, lint_workspace, load_catalog};
@@ -24,6 +25,7 @@ struct Args {
     baseline: Option<PathBuf>,
     no_baseline: bool,
     write_baseline: bool,
+    write_concurrency_catalog: bool,
     quiet: bool,
     metrics_doc: Option<PathBuf>,
     catalog: Option<PathBuf>,
@@ -31,7 +33,7 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: ivm-lint [--root DIR] [--baseline FILE | --no-baseline] [--write-baseline] [--quiet]\n\
+    "usage: ivm-lint [--root DIR] [--baseline FILE | --no-baseline] [--write-baseline] [--write-concurrency-catalog] [--quiet]\n\
      \x20      ivm-lint --metrics-doc DOC [--catalog FILE] [--root DIR]\n\
      \x20      ivm-lint --list-rules"
 }
@@ -42,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         no_baseline: false,
         write_baseline: false,
+        write_concurrency_catalog: false,
         quiet: false,
         metrics_doc: None,
         catalog: None,
@@ -59,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
             "--baseline" => args.baseline = Some(path_arg(&mut it)?),
             "--no-baseline" => args.no_baseline = true,
             "--write-baseline" => args.write_baseline = true,
+            "--write-concurrency-catalog" => args.write_concurrency_catalog = true,
             "--quiet" | "-q" => args.quiet = true,
             "--metrics-doc" => args.metrics_doc = Some(path_arg(&mut it)?),
             "--catalog" => args.catalog = Some(path_arg(&mut it)?),
@@ -110,10 +114,43 @@ fn run() -> Result<bool, String> {
         return Ok(diff.is_clean());
     }
 
-    // Frontend A over the workspace.
+    // Frontend C's catalog: missing file means an empty catalog, so
+    // every atomic site is reported as uncataloged.
+    let concurrency_path = args.root.join("concurrency-catalog.toml");
+    let concurrency_catalog = if concurrency_path.exists() {
+        let text = std::fs::read_to_string(&concurrency_path)
+            .map_err(|e| format!("cannot read {concurrency_path:?}: {e}"))?;
+        ConcurrencyCatalog::parse(&text)
+            .map_err(|e| format!("{}: {e}", concurrency_path.display()))?
+    } else {
+        ConcurrencyCatalog::default()
+    };
+
+    if args.write_concurrency_catalog {
+        let analysis = concurrency::scan_concurrency(&args.root)
+            .map_err(|e| format!("concurrency scan failed: {e}"))?;
+        let fresh = ConcurrencyCatalog::from_sites(&analysis.sites, &concurrency_catalog);
+        std::fs::write(&concurrency_path, fresh.render())
+            .map_err(|e| format!("cannot write {concurrency_path:?}: {e}"))?;
+        println!(
+            "wrote {} with {} entry(ies) covering {} atomic site(s); fill in any empty rationales",
+            concurrency_path.display(),
+            fresh.atomics.len(),
+            analysis.sites.len()
+        );
+        return Ok(true);
+    }
+
+    // Frontend A over the workspace, then Frontend C merged into the
+    // same baseline-gated report.
     load_catalog(&args.root, &mut cfg)
         .map_err(|e| format!("cannot load catalog {}: {e}", cfg.catalog_file))?;
-    let report = lint_workspace(&args.root, &cfg).map_err(|e| format!("scan failed: {e}"))?;
+    let mut report = lint_workspace(&args.root, &cfg).map_err(|e| format!("scan failed: {e}"))?;
+    report.merge(
+        concurrency::analyze_concurrency(&args.root, &concurrency_catalog)
+            .map_err(|e| format!("concurrency scan failed: {e}"))?,
+    );
+    report.sort();
 
     let baseline_path = args
         .baseline

@@ -236,6 +236,39 @@ mod tests {
         assert_eq!(rec.counter(names::POOL_CHUNKS), 8_000);
     }
 
+    /// Regression: `snapshot()` must be a consistent cut across
+    /// counters. The writer bumps `rows` strictly before `joins`, so no
+    /// valid snapshot can ever show `joins` ahead of `rows`; the old
+    /// read-lock snapshot interleaved with in-flight `fetch_add`s and
+    /// could.
+    #[test]
+    fn snapshot_is_a_consistent_cut_across_counters() {
+        let rec = Arc::new(InMemoryRecorder::new());
+        let obs = Obs::new(rec.clone());
+        // Materialize both counters before racing so the snapshot always
+        // sees both keys.
+        obs.add(names::DIFF_ROWS_EVALUATED, 1);
+        obs.add(names::DIFF_JOINS_PERFORMED, 1);
+        std::thread::scope(|s| {
+            let writer = obs.clone();
+            s.spawn(move || {
+                for _ in 0..2_000 {
+                    writer.add(names::DIFF_ROWS_EVALUATED, 1);
+                    writer.add(names::DIFF_JOINS_PERFORMED, 1);
+                }
+            });
+            for _ in 0..200 {
+                let snap = rec.snapshot();
+                let rows = snap.counters[names::DIFF_ROWS_EVALUATED];
+                let joins = snap.counters[names::DIFF_JOINS_PERFORMED];
+                assert!(
+                    rows >= joins,
+                    "snapshot saw joins={joins} ahead of rows={rows}"
+                );
+            }
+        });
+    }
+
     #[test]
     fn histogram_summary_tracks_bounds() {
         let rec = Arc::new(InMemoryRecorder::new());

@@ -195,10 +195,18 @@ impl InMemoryRecorder {
     }
 
     /// Copy out everything recorded so far.
+    ///
+    /// Counters are read under the *write* lock: adders hold the read
+    /// lock across their `fetch_add`, so exclusive access here means no
+    /// adder is mid-update and the per-counter `Relaxed` loads form a
+    /// consistent cut (a writer that bumps `a` then `b` can never be
+    /// seen with `b` ahead of `a`). Under the read lock the loads would
+    /// interleave with concurrent `fetch_add`s and `\stats` could show
+    /// cross-counter totals that never coexisted.
     pub fn snapshot(&self) -> Snapshot {
         let counters = self
             .counters
-            .read()
+            .write()
             .expect("counter map poisoned")
             .iter()
             .map(|(k, v)| ((*k).to_owned(), v.load(Ordering::Relaxed)))

@@ -1,23 +1,17 @@
-//! A miniature deterministic schedule explorer ("mini-loom") for the
-//! pool's coordination protocols.
+//! Deterministic schedule-explored models of the pool's coordination
+//! protocols.
 //!
 //! Real `std::thread::scope` threads cannot be paused and resumed at
 //! will, so the concurrency-sensitive invariants of this crate — the
 //! *earliest-error-in-input-order* selection of [`crate::Pool::try_map`]
 //! and the *join-everything-then-propagate* shutdown of
-//! [`crate::Pool::map_chunks`] — are checked here against explicit
-//! state-machine **models** instead. Each model thread is a deterministic
-//! sequence of atomic steps over shared state; the [`Explorer`]
-//! exhaustively enumerates every interleaving of those steps with a
-//! scripted scheduler (depth-first, replay-based: each execution restarts
-//! from the initial state and follows a recorded schedule prefix), and
-//! runs the model's invariant check at the end of every complete
-//! execution.
-//!
-//! The exploration is a pure function of the model: no clocks, no
-//! ambient randomness, no real threads. Two runs produce bit-identical
-//! statistics and trace digests, and a reported counterexample is a
-//! replayable schedule (`run with threads [1, 0, 2, ...]`).
+//! [`crate::Pool::map_chunks`] — are checked against explicit
+//! state-machine **models** instead. The exploration machinery itself
+//! (the "mini-loom" that used to live here) has been promoted to the
+//! standalone [`ivm_race`] crate, which adds DPOR pruning and modeled
+//! memory orderings on top; this module re-exports the core so existing
+//! `ivm_parallel::model::{Explorer, replay, ...}` callers keep working,
+//! and keeps the two pool models next to the pool they describe.
 //!
 //! This is model checking, not testing-by-execution: a bug like "the
 //! error of whichever worker *finished first* wins" passes every real
@@ -25,207 +19,9 @@
 //! interleaving where a later chunk's error overtakes an earlier one —
 //! see `schedule_dependent_selection_is_caught` in the tests.
 
-use std::fmt;
-
-/// Scheduling status of one model thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Status {
-    /// Has an enabled atomic step.
-    Runnable,
-    /// Waiting on another thread (e.g. a join on an unfinished worker).
-    Blocked,
-    /// No steps left.
-    Finished,
-}
-
-/// A concurrent protocol expressed as threads of atomic steps over
-/// shared state. The explorer owns the schedule; the model owns the
-/// semantics.
-pub trait Model {
-    /// Shared state mutated by the threads.
-    type State;
-
-    /// Fresh state for one execution.
-    fn init(&self) -> Self::State;
-
-    /// Number of model threads (fixed for all executions).
-    fn threads(&self) -> usize;
-
-    /// Scheduling status of `thread` in `state`.
-    fn status(&self, state: &Self::State, thread: usize) -> Status;
-
-    /// Execute one atomic step of `thread`. Called only when
-    /// [`Model::status`] says `Runnable`.
-    fn step(&self, state: &mut Self::State, thread: usize);
-
-    /// Invariant check at the end of a complete execution (every thread
-    /// `Finished`). Return a description of the violation, if any.
-    fn check(&self, state: &Self::State) -> Result<(), String>;
-}
-
-/// A schedule that violated the model's invariants, with enough detail
-/// to replay it by hand.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ScheduleBug {
-    /// Thread ids in execution order — feed to [`replay`] to reproduce.
-    pub schedule: Vec<usize>,
-    /// What went wrong: the model's check message, or a deadlock report.
-    pub message: String,
-}
-
-impl fmt::Display for ScheduleBug {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} under schedule {:?}", self.message, self.schedule)
-    }
-}
-
-/// Aggregate statistics of an exhaustive exploration. Deterministic:
-/// identical across runs for the same model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Exploration {
-    /// Number of distinct complete interleavings executed.
-    pub interleavings: u64,
-    /// Total atomic steps across all interleavings.
-    pub steps: u64,
-    /// Length of the longest execution.
-    pub max_depth: usize,
-    /// FNV-1a digest of every (depth, thread) choice in visit order —
-    /// the determinism witness two runs are compared by.
-    pub digest: u64,
-}
-
-/// Exhaustive depth-first schedule exploration with a bounded number of
-/// interleavings (a runaway backstop, not a sampling knob — hitting it
-/// is an error, never a silent truncation).
-#[derive(Debug, Clone, Copy)]
-pub struct Explorer {
-    /// Abort with an error beyond this many interleavings.
-    pub max_interleavings: u64,
-}
-
-impl Default for Explorer {
-    fn default() -> Self {
-        Explorer {
-            max_interleavings: 1_000_000,
-        }
-    }
-}
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(FNV_PRIME);
-    }
-    hash
-}
-
-impl Explorer {
-    /// Run every interleaving of `model`, checking invariants at the end
-    /// of each. Returns aggregate statistics, or the first violating
-    /// schedule (including deadlocks: no thread runnable while some are
-    /// unfinished).
-    pub fn explore<M: Model>(&self, model: &M) -> Result<Exploration, ScheduleBug> {
-        // DFS over choice points by replay: `picks[d]` is the index into
-        // the runnable set chosen at depth `d`. After each complete
-        // execution, backtrack to the deepest choice point with an
-        // untried alternative and replay from scratch.
-        let mut picks: Vec<usize> = Vec::new();
-        let mut stats = Exploration {
-            interleavings: 0,
-            steps: 0,
-            max_depth: 0,
-            digest: FNV_OFFSET,
-        };
-        loop {
-            if stats.interleavings >= self.max_interleavings {
-                return Err(ScheduleBug {
-                    schedule: Vec::new(),
-                    message: format!(
-                        "exploration exceeded {} interleavings — model too large",
-                        self.max_interleavings
-                    ),
-                });
-            }
-            let mut state = model.init();
-            // (chosen index, runnable count) per depth of this execution.
-            let mut frames: Vec<(usize, usize)> = Vec::new();
-            let mut trace: Vec<usize> = Vec::new();
-            loop {
-                let runnable: Vec<usize> = (0..model.threads())
-                    .filter(|&t| model.status(&state, t) == Status::Runnable)
-                    .collect();
-                if runnable.is_empty() {
-                    let stuck: Vec<usize> = (0..model.threads())
-                        .filter(|&t| model.status(&state, t) == Status::Blocked)
-                        .collect();
-                    if !stuck.is_empty() {
-                        return Err(ScheduleBug {
-                            schedule: trace,
-                            message: format!("deadlock: threads {stuck:?} blocked forever"),
-                        });
-                    }
-                    break; // all finished: complete execution
-                }
-                let depth = frames.len();
-                let pick = if depth < picks.len() { picks[depth] } else { 0 };
-                frames.push((pick, runnable.len()));
-                let thread = runnable[pick];
-                trace.push(thread);
-                stats.digest = fnv1a(stats.digest, &[depth as u8, thread as u8]);
-                model.step(&mut state, thread);
-                stats.steps += 1;
-            }
-            stats.interleavings += 1;
-            stats.max_depth = stats.max_depth.max(frames.len());
-            if let Err(message) = model.check(&state) {
-                return Err(ScheduleBug {
-                    schedule: trace,
-                    message,
-                });
-            }
-            // Backtrack to the deepest untried alternative.
-            picks = frames.iter().map(|&(p, _)| p).collect();
-            let mut advanced = false;
-            while let Some((pick, n)) = frames.pop() {
-                picks.truncate(frames.len());
-                if pick + 1 < n {
-                    picks.push(pick + 1);
-                    advanced = true;
-                    break;
-                }
-            }
-            if !advanced {
-                return Ok(stats);
-            }
-        }
-    }
-}
-
-/// Replay one explicit schedule (thread ids in execution order) against
-/// a model, returning the final state — the debugging companion to a
-/// [`ScheduleBug`]. Fails if the schedule names a non-runnable thread or
-/// stops before every thread finishes.
-pub fn replay<M: Model>(model: &M, schedule: &[usize]) -> Result<M::State, String> {
-    let mut state = model.init();
-    for (i, &thread) in schedule.iter().enumerate() {
-        if thread >= model.threads() {
-            return Err(format!("step {i}: no such thread {thread}"));
-        }
-        match model.status(&state, thread) {
-            Status::Runnable => model.step(&mut state, thread),
-            s => return Err(format!("step {i}: thread {thread} is {s:?}, not runnable")),
-        }
-    }
-    for t in 0..model.threads() {
-        if model.status(&state, t) != Status::Finished {
-            return Err(format!("schedule ended with thread {t} unfinished"));
-        }
-    }
-    Ok(state)
-}
+pub use ivm_race::explore::{
+    replay, replay_prefix, Exploration, Explorer, Model, ScheduleBug, Status,
+};
 
 // ---------------------------------------------------------------------
 // Model 1: try_map's deterministic error selection.

@@ -1,0 +1,464 @@
+//! Modeled atomics with *declared* memory orderings.
+//!
+// ivm-lint: allow-file(no-unchecked-index) — invariant: `pc` is the
+// fixed-size array `[usize; MP_THREADS]` and every literal index in the
+// MessagePassing litmus is a thread id < MP_THREADS = 2.
+//!
+//! The explorer's interleaving semantics is sequentially consistent:
+//! every step acts on one coherent shared state. Real `Ordering::Relaxed`
+//! stores are weaker — they may become visible to other threads *later*
+//! than program order says — so a protocol that is correct under SeqCst
+//! exploration can still be wrong as written if one of its atomics is
+//! declared weaker than the protocol needs. This module makes that gap
+//! explorable: a [`Mem`] cell records each store's **declared** ordering,
+//! and in [`MemMode::Declared`] a `Relaxed` store goes into a per-thread,
+//! per-location store buffer whose *flush to coherent memory is a
+//! separate schedulable step*. Delayed visibility becomes one more
+//! scheduling choice, so the same DFS/DPOR machinery enumerates it and a
+//! counterexample is still a plain replayable schedule.
+//!
+//! Modeling rules (a pragmatic store-buffer semantics, close to
+//! C11-release/acquire for the patterns this repo uses):
+//!
+//! * `Relaxed` store → buffered. Per-(thread, location) FIFO: two
+//!   relaxed stores by one thread to one location stay ordered
+//!   (coherence), but stores to *different* locations may flush in
+//!   either order (store–store reordering — the thing x86-TSO forbids
+//!   but Arm allows and C11 relaxed permits).
+//! * `Release` / `SeqCst` store → flushes **all** of the storing
+//!   thread's buffered entries first, then writes coherent memory
+//!   directly. Everything the thread did before a release store is
+//!   visible to any thread that sees the stored value.
+//! * Loads read the thread's own latest buffered value for the location
+//!   if any (store forwarding), else coherent memory. Loads never read
+//!   *stale* coherent values — a documented simplification: we model
+//!   delayed store visibility, not load-side reordering, which is
+//!   enough to catch every underdeclared-*store* protocol bug and keeps
+//!   the state space explorable.
+//! * Each (thread, location) pair gets a companion **flusher thread**
+//!   (see [`Mem::flusher_threads`]): runnable iff its buffer is
+//!   non-empty, each step publishing the oldest buffered store. Flush
+//!   timing is thereby a first-class scheduling choice, and schedules
+//!   stay plain `Vec<usize>` — no second nondeterminism axis.
+//!
+//! In [`MemMode::SeqCstOnly`] every store is applied directly, which is
+//! exactly the old explorer semantics; the message-passing litmus test
+//! below shows a bug that mode provably cannot find.
+
+use crate::dpor::Access;
+use crate::explore::Status;
+
+/// How strongly a store is declared, mirroring the subset of
+/// `std::sync::atomic::Ordering` the workspace uses for stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeclaredOrdering {
+    /// May become visible late; only per-location coherence is kept.
+    Relaxed,
+    /// Publishes every earlier store by this thread before itself.
+    Release,
+    /// As `Release` here (the model has no load-side reordering for a
+    /// total order to constrain further).
+    SeqCst,
+}
+
+/// Which semantics [`Mem`] runs under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemMode {
+    /// Every store is immediately visible — the classic explorer
+    /// semantics. Underdeclared orderings are invisible in this mode.
+    SeqCstOnly,
+    /// Stores obey their declared orderings via store buffers.
+    Declared,
+}
+
+/// Shared memory of a model: `locations` coherent cells plus one store
+/// buffer per (real thread, location). Embed one in the model's state
+/// (it is `Clone`) and route every shared load/store through it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mem {
+    mode: MemMode,
+    threads: usize,
+    locations: usize,
+    vals: Vec<u64>,
+    /// `buf[t * locations + loc]` = FIFO of not-yet-visible stores.
+    buf: Vec<Vec<u64>>,
+}
+
+impl Mem {
+    /// Fresh memory, all locations zero, all buffers empty.
+    pub fn new(mode: MemMode, threads: usize, locations: usize) -> Mem {
+        Mem {
+            mode,
+            threads,
+            locations,
+            vals: vec![0; locations],
+            buf: vec![Vec::new(); threads * locations],
+        }
+    }
+
+    fn slot(&self, thread: usize, loc: usize) -> usize {
+        thread * self.locations + loc
+    }
+
+    /// Set a location's *initial* value (a direct coherent write, no
+    /// buffering) — for protocols whose slots do not start at zero,
+    /// e.g. announce slots starting `IDLE`.
+    pub fn poke(&mut self, loc: usize, val: u64) {
+        if let Some(v) = self.vals.get_mut(loc) {
+            *v = val;
+        }
+    }
+
+    /// Store `val` to `loc` as `thread`, with the ordering the real code
+    /// declares at that site.
+    pub fn store(&mut self, thread: usize, loc: usize, val: u64, ord: DeclaredOrdering) {
+        match (self.mode, ord) {
+            (MemMode::SeqCstOnly, _)
+            | (MemMode::Declared, DeclaredOrdering::Release)
+            | (MemMode::Declared, DeclaredOrdering::SeqCst) => {
+                self.flush_all(thread);
+                if let Some(v) = self.vals.get_mut(loc) {
+                    *v = val;
+                }
+            }
+            (MemMode::Declared, DeclaredOrdering::Relaxed) => {
+                let slot = self.slot(thread, loc);
+                if let Some(q) = self.buf.get_mut(slot) {
+                    q.push(val);
+                }
+            }
+        }
+    }
+
+    /// Load `loc` as `thread`: own buffered value if any (store
+    /// forwarding), else coherent memory.
+    pub fn load(&self, thread: usize, loc: usize) -> u64 {
+        let slot = self.slot(thread, loc);
+        if let Some(&v) = self.buf.get(slot).and_then(|q| q.last()) {
+            return v;
+        }
+        self.vals.get(loc).copied().unwrap_or(0)
+    }
+
+    /// Publish every buffered store of `thread`, oldest-first per
+    /// location (what a release/SeqCst store does before writing).
+    pub fn flush_all(&mut self, thread: usize) {
+        for loc in 0..self.locations {
+            let slot = self.slot(thread, loc);
+            let drained: Vec<u64> = match self.buf.get_mut(slot) {
+                Some(q) => std::mem::take(q),
+                None => continue,
+            };
+            if let (Some(v), Some(last)) = (self.vals.get_mut(loc), drained.last()) {
+                *v = *last;
+            }
+        }
+    }
+
+    /// Number of companion flusher threads a model embedding this memory
+    /// must add to its own thread count.
+    pub fn flusher_threads(&self) -> usize {
+        match self.mode {
+            MemMode::SeqCstOnly => 0,
+            MemMode::Declared => self.threads * self.locations,
+        }
+    }
+
+    /// Scheduling status of flusher `idx` (`0..flusher_threads()`), given
+    /// whether its owning real thread has finished: runnable while its
+    /// buffer holds stores, finished once the owner is done and the
+    /// buffer is drained (stores are always *eventually* visible).
+    pub fn flusher_status(&self, idx: usize, owner_finished: bool) -> Status {
+        match self.buf.get(idx) {
+            Some(q) if !q.is_empty() => Status::Runnable,
+            _ if owner_finished => Status::Finished,
+            _ => Status::Blocked,
+        }
+    }
+
+    /// The real thread owning flusher `idx`.
+    pub fn flusher_owner(&self, idx: usize) -> usize {
+        idx.checked_div(self.locations).unwrap_or(0)
+    }
+
+    /// The location flusher `idx` publishes to.
+    pub fn flusher_location(&self, idx: usize) -> usize {
+        idx.checked_rem(self.locations).unwrap_or(0)
+    }
+
+    /// One step of flusher `idx`: publish its oldest buffered store.
+    pub fn flusher_step(&mut self, idx: usize) {
+        let loc = self.flusher_location(idx);
+        let published = match self.buf.get_mut(idx) {
+            Some(q) if !q.is_empty() => Some(q.remove(0)),
+            _ => None,
+        };
+        if let (Some(v), Some(p)) = (self.vals.get_mut(loc), published) {
+            *v = p;
+        }
+    }
+
+    /// DPOR access of one flusher step: it writes exactly one coherent
+    /// location.
+    pub fn flusher_access(&self, idx: usize) -> Access {
+        Access::Write(self.flusher_location(idx))
+    }
+
+    /// DPOR access of a store by `thread` with the given declared
+    /// ordering. A release-class store flushes the thread's whole buffer
+    /// (several locations), so it is conservatively [`Access::Global`] —
+    /// but only when there is actually something to flush. With empty
+    /// buffers the flush is a no-op and the store touches exactly one
+    /// location; declaring that precisely is what lets DPOR prune an
+    /// all-`SeqCst` protocol as aggressively as under
+    /// [`MemMode::SeqCstOnly`].
+    pub fn store_access(&self, thread: usize, loc: usize, ord: DeclaredOrdering) -> Access {
+        match (self.mode, ord) {
+            (MemMode::Declared, DeclaredOrdering::Release)
+            | (MemMode::Declared, DeclaredOrdering::SeqCst)
+                if !self.quiescent(thread) =>
+            {
+                Access::Global
+            }
+            _ => Access::Write(loc),
+        }
+    }
+
+    /// True when `thread` has no pending buffered stores.
+    pub fn quiescent(&self, thread: usize) -> bool {
+        (0..self.locations).all(|loc| {
+            self.buf
+                .get(self.slot(thread, loc))
+                .map(|q| q.is_empty())
+                .unwrap_or(true)
+        })
+    }
+
+    /// Fold the coherent memory into a digest accumulator (for
+    /// [`crate::dpor::DporModel::digest`] implementations).
+    pub fn digest_into(&self, mut hash: u64) -> u64 {
+        for &v in &self.vals {
+            hash = crate::explore::fnv1a(hash, &v.to_le_bytes());
+        }
+        hash
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message-passing litmus: the canonical underdeclared-store bug.
+// ---------------------------------------------------------------------
+
+/// The classic message-passing litmus test, as a model: thread 0 stores
+/// `DATA = 1` (Relaxed — fine *if* the flag carries the release) and
+/// then `FLAG = 1` with [`MessagePassing::flag_order`]; thread 1 loads
+/// the flag once and, if set, loads the data, which must then be 1.
+///
+/// With `flag_order = Release` the protocol is correct in every mode.
+/// With `flag_order = Relaxed` — the underdeclared foil — the flag can
+/// become visible before the data, and only [`MemMode::Declared`]
+/// exploration finds it: the run under SeqCst-only semantics stays
+/// green, which is precisely why the declared-ordering mode exists.
+#[derive(Debug, Clone, Copy)]
+pub struct MessagePassing {
+    /// Semantics to explore under.
+    pub mode: MemMode,
+    /// The declared ordering of the flag store in the "code".
+    pub flag_order: DeclaredOrdering,
+}
+
+const DATA: usize = 0;
+const FLAG: usize = 1;
+const MP_THREADS: usize = 2;
+const MP_LOCS: usize = 2;
+
+/// Execution state of [`MessagePassing`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MpState {
+    mem: Mem,
+    pc: [usize; MP_THREADS],
+    /// What the reader observed: `(flag, data)` if it got that far.
+    observed: Option<(u64, u64)>,
+}
+
+impl crate::explore::Model for MessagePassing {
+    type State = MpState;
+
+    fn init(&self) -> MpState {
+        MpState {
+            mem: Mem::new(self.mode, MP_THREADS, MP_LOCS),
+            pc: [0; MP_THREADS],
+            observed: None,
+        }
+    }
+
+    fn threads(&self) -> usize {
+        MP_THREADS + Mem::new(self.mode, MP_THREADS, MP_LOCS).flusher_threads()
+    }
+
+    fn status(&self, s: &MpState, t: usize) -> Status {
+        match t {
+            0 => {
+                if s.pc[0] < 2 {
+                    Status::Runnable
+                } else {
+                    Status::Finished
+                }
+            }
+            1 => {
+                if s.pc[1] < 2 && s.observed.is_none() {
+                    Status::Runnable
+                } else {
+                    Status::Finished
+                }
+            }
+            _ => {
+                let idx = t - MP_THREADS;
+                let owner = s.mem.flusher_owner(idx);
+                let owner_finished = match owner {
+                    0 => s.pc[0] >= 2,
+                    _ => s.pc[1] >= 2 || s.observed.is_some(),
+                };
+                s.mem.flusher_status(idx, owner_finished)
+            }
+        }
+    }
+
+    fn step(&self, s: &mut MpState, t: usize) {
+        match t {
+            0 => {
+                if s.pc[0] == 0 {
+                    s.mem.store(0, DATA, 1, DeclaredOrdering::Relaxed);
+                } else {
+                    s.mem.store(0, FLAG, 1, self.flag_order);
+                }
+                s.pc[0] += 1;
+            }
+            1 => {
+                if s.pc[1] == 0 {
+                    let flag = s.mem.load(1, FLAG);
+                    if flag == 0 {
+                        // Not ready: the reader gives up (one probe keeps
+                        // the model finite) with nothing to assert.
+                        s.observed = Some((0, 0));
+                    }
+                    s.pc[1] += 1;
+                } else {
+                    let data = s.mem.load(1, DATA);
+                    s.observed = Some((1, data));
+                    s.pc[1] += 1;
+                }
+            }
+            _ => s.mem.flusher_step(t - MP_THREADS),
+        }
+    }
+
+    fn check(&self, s: &MpState) -> Result<(), String> {
+        match s.observed {
+            Some((1, data)) if data != 1 => Err(format!(
+                "message passing violated: flag visible but data = {data}"
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+impl crate::dpor::DporModel for MessagePassing {
+    fn access(&self, s: &MpState, t: usize) -> Access {
+        match t {
+            0 => {
+                if s.pc[0] == 0 {
+                    s.mem.store_access(0, DATA, DeclaredOrdering::Relaxed)
+                } else {
+                    s.mem.store_access(0, FLAG, self.flag_order)
+                }
+            }
+            1 => {
+                if s.pc[1] == 0 {
+                    Access::Read(FLAG)
+                } else {
+                    Access::Read(DATA)
+                }
+            }
+            _ => s.mem.flusher_access(t - MP_THREADS),
+        }
+    }
+
+    fn digest(&self, s: &MpState) -> u64 {
+        let seed = match s.observed {
+            Some((f, d)) => 1 + f * 2 + d,
+            None => 0,
+        };
+        s.mem.digest_into(crate::explore::fnv1a(
+            crate::explore::FNV_OFFSET,
+            &seed.to_le_bytes(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{replay, Explorer};
+
+    #[test]
+    fn buffered_store_is_invisible_until_flushed() {
+        let mut mem = Mem::new(MemMode::Declared, 2, 1);
+        mem.store(0, 0, 7, DeclaredOrdering::Relaxed);
+        assert_eq!(mem.load(0, 0), 7, "store forwarding");
+        assert_eq!(mem.load(1, 0), 0, "other thread sees old value");
+        mem.flusher_step(0);
+        assert_eq!(mem.load(1, 0), 7);
+    }
+
+    #[test]
+    fn release_store_flushes_earlier_relaxed_stores() {
+        let mut mem = Mem::new(MemMode::Declared, 2, 2);
+        mem.store(0, 0, 5, DeclaredOrdering::Relaxed);
+        mem.store(0, 1, 9, DeclaredOrdering::Release);
+        assert_eq!(mem.load(1, 0), 5);
+        assert_eq!(mem.load(1, 1), 9);
+    }
+
+    #[test]
+    fn per_location_fifo_coherence() {
+        let mut mem = Mem::new(MemMode::Declared, 1, 1);
+        mem.store(0, 0, 1, DeclaredOrdering::Relaxed);
+        mem.store(0, 0, 2, DeclaredOrdering::Relaxed);
+        mem.flusher_step(0);
+        assert_eq!(mem.vals[0], 1, "oldest first");
+        mem.flusher_step(0);
+        assert_eq!(mem.vals[0], 2);
+    }
+
+    #[test]
+    fn correct_release_flag_passes_in_every_mode() {
+        for mode in [MemMode::SeqCstOnly, MemMode::Declared] {
+            let model = MessagePassing {
+                mode,
+                flag_order: DeclaredOrdering::Release,
+            };
+            Explorer::default()
+                .explore(&model)
+                .unwrap_or_else(|bug| panic!("{mode:?}: {bug}"));
+        }
+    }
+
+    #[test]
+    fn underdeclared_flag_is_caught_only_in_declared_mode() {
+        let relaxed_flag = |mode| MessagePassing {
+            mode,
+            flag_order: DeclaredOrdering::Relaxed,
+        };
+        // SeqCst-only exploration is blind to the misdeclaration…
+        Explorer::default()
+            .explore(&relaxed_flag(MemMode::SeqCstOnly))
+            .expect("SeqCst-only semantics cannot see the reordering");
+        // …declared-ordering exploration catches it with a replayable
+        // counterexample.
+        let model = relaxed_flag(MemMode::Declared);
+        let bug = Explorer::default().explore(&model).unwrap_err();
+        assert!(bug.message.contains("flag visible but data"), "{bug}");
+        let state = replay(&model, &bug.schedule).unwrap();
+        assert_eq!(state.observed, Some((1, 0)));
+    }
+}

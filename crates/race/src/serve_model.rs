@@ -1,0 +1,333 @@
+//! A model of the serving layer's writer/session handoff and graceful
+//! shutdown (`crates/serve/src/server.rs`).
+//!
+//! The real protocol: every session thread sends `WriteReq` messages to
+//! the single writer over an mpsc channel and blocks on a rendezvous
+//! reply channel; `Server::stop` flips the `stopping` flag, **shuts down
+//! every session's TCP socket** (the wakeup that unblocks sessions
+//! parked in `read`), joins the sessions, drops the main writer sender,
+//! and joins the writer — which exits its `recv` loop only once *all*
+//! senders are gone. The load-bearing invariants:
+//!
+//! * **No lost wakeup**: every session is eventually unblocked by the
+//!   socket shutdown and every in-flight request still gets its reply
+//!   (the writer drains the queue before exiting, because blocked
+//!   sessions still hold their sender clones).
+//! * **Shutdown unblocks all sessions**: the join loop terminates.
+//!
+//! In the model, each session sends one request, consumes its reply,
+//! then parks "reading the socket" until its socket is closed; the
+//! stopper closes sockets one by one, joins sessions, drops the main
+//! sender, joins the writer. The seeded foil
+//! [`ServeFoil::SkipSocketShutdown`] elides the socket-close steps —
+//! the exact lost-wakeup bug `begin_stop` exists to prevent — and the
+//! checker reports it as a deadlock with a replayable schedule
+//! (sessions parked forever, stopper parked in join, writer parked in
+//! `recv`).
+//!
+//! This model is plain interleaving semantics (no [`crate::mem`]): the
+//! real implementation synchronizes through mutexes and channels, not
+//! hand-rolled orderings, so SeqCst-equivalent exploration is faithful.
+
+use std::collections::VecDeque;
+
+use crate::dpor::{Access, DporModel};
+use crate::explore::{fnv1a, Model, Status, FNV_OFFSET};
+
+/// Seeded protocol mutation the checker must catch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFoil {
+    /// The protocol as written: must verify clean.
+    None,
+    /// `stop` flips the flag but never shuts the session sockets down —
+    /// the lost wakeup the real `begin_stop` exists to prevent.
+    SkipSocketShutdown,
+}
+
+/// Model parameters: `sessions` concurrent sessions, each with one
+/// in-flight request at shutdown time.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeModel {
+    /// Number of session threads.
+    pub sessions: usize,
+    /// Which (if any) protocol mutation to seed.
+    pub foil: ServeFoil,
+}
+
+/// Session progress: send request → await reply → park on socket →
+/// finished (sender dropped).
+const SENT: usize = 1;
+const REPLIED: usize = 2;
+const EXITED: usize = 3;
+
+/// Execution state of [`ServeModel`]. Threads `0..S` are sessions,
+/// thread `S` is the writer, thread `S + 1` is the stopper.
+#[derive(Debug, Clone)]
+pub struct ServeState {
+    /// Per-session program counter (`0..=EXITED`).
+    spc: Vec<usize>,
+    /// The mpsc request queue (session ids).
+    queue: VecDeque<usize>,
+    /// Per-session delivered-reply flag (the rendezvous channel).
+    replied: Vec<bool>,
+    /// Per-session socket state (closed ⇒ a parked read returns).
+    socket_closed: Vec<bool>,
+    /// Live `writer_tx` clones: one per unfinished session, plus main's.
+    senders: usize,
+    /// The `stopping` flag (modeled for fidelity; sessions learn of
+    /// shutdown through their socket, as in the real code).
+    stopping: bool,
+    /// Requests the writer has processed.
+    processed: usize,
+    /// Writer exited its recv loop.
+    writer_done: bool,
+    /// Stopper program counter.
+    stpc: usize,
+}
+
+impl ServeModel {
+    fn writer(&self) -> usize {
+        self.sessions
+    }
+
+    /// Stopper pc layout: 0 set flag, `1..=S` close socket `pc-1` (the
+    /// foil skips straight past these), `S+1` join sessions, `S+2` drop
+    /// main sender, `S+3` join writer.
+    fn close_slot(&self, stpc: usize) -> Option<usize> {
+        (stpc >= 1 && stpc <= self.sessions).then(|| stpc - 1)
+    }
+
+    // DPOR object ids.
+    fn obj_queue(&self) -> usize {
+        0
+    }
+    fn obj_reply(&self, s: usize) -> usize {
+        1 + s
+    }
+    fn obj_stopping(&self) -> usize {
+        1 + self.sessions
+    }
+    fn obj_writer_done(&self) -> usize {
+        2 + self.sessions
+    }
+}
+
+impl Model for ServeModel {
+    type State = ServeState;
+
+    fn init(&self) -> ServeState {
+        ServeState {
+            spc: vec![0; self.sessions],
+            queue: VecDeque::new(),
+            replied: vec![false; self.sessions],
+            socket_closed: vec![false; self.sessions],
+            senders: self.sessions + 1,
+            stopping: false,
+            processed: 0,
+            writer_done: false,
+            stpc: 0,
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.sessions + 2
+    }
+
+    fn status(&self, s: &ServeState, t: usize) -> Status {
+        if t < self.sessions {
+            match s.spc[t] {
+                0 => Status::Runnable,
+                SENT => {
+                    if s.replied[t] {
+                        Status::Runnable
+                    } else {
+                        Status::Blocked
+                    }
+                }
+                REPLIED => {
+                    if s.socket_closed[t] {
+                        Status::Runnable
+                    } else {
+                        Status::Blocked
+                    }
+                }
+                _ => Status::Finished,
+            }
+        } else if t == self.writer() {
+            if s.writer_done {
+                Status::Finished
+            } else if !s.queue.is_empty() || s.senders == 0 {
+                Status::Runnable
+            } else {
+                Status::Blocked
+            }
+        } else {
+            let after_close = 1 + self.sessions;
+            if s.stpc == after_close {
+                // Join sessions: blocked until every session exited.
+                if s.spc.iter().all(|&pc| pc == EXITED) {
+                    Status::Runnable
+                } else {
+                    Status::Blocked
+                }
+            } else if s.stpc == after_close + 2 {
+                // Join writer.
+                if s.writer_done {
+                    Status::Runnable
+                } else {
+                    Status::Blocked
+                }
+            } else if s.stpc > after_close + 2 {
+                Status::Finished
+            } else {
+                Status::Runnable
+            }
+        }
+    }
+
+    fn step(&self, s: &mut ServeState, t: usize) {
+        if t < self.sessions {
+            match s.spc[t] {
+                0 => s.queue.push_back(t),
+                SENT => {}           // reply consumed; fall through to socket read
+                _ => s.senders -= 1, // socket closed: exit, dropping sender
+            }
+            s.spc[t] += 1;
+        } else if t == self.writer() {
+            if let Some(session) = s.queue.pop_front() {
+                if let Some(r) = s.replied.get_mut(session) {
+                    *r = true;
+                }
+                s.processed += 1;
+            } else {
+                // All senders gone and the queue is drained: recv fails,
+                // the writer loop exits.
+                s.writer_done = true;
+            }
+        } else {
+            if s.stpc == 0 {
+                s.stopping = true;
+                if self.foil == ServeFoil::SkipSocketShutdown {
+                    // The foil forgets the wakeup entirely.
+                    s.stpc = 1 + self.sessions;
+                    return;
+                }
+            } else if let Some(session) = self.close_slot(s.stpc) {
+                if let Some(c) = s.socket_closed.get_mut(session) {
+                    *c = true;
+                }
+            } else if s.stpc == 2 + self.sessions {
+                s.senders -= 1; // drop main writer_tx
+            }
+            s.stpc += 1;
+        }
+    }
+
+    fn check(&self, s: &ServeState) -> Result<(), String> {
+        if !s.writer_done {
+            return Err("writer never exited its recv loop".into());
+        }
+        if s.processed != self.sessions || !s.queue.is_empty() {
+            return Err(format!(
+                "writer processed {} of {} requests ({} still queued)",
+                s.processed,
+                self.sessions,
+                s.queue.len()
+            ));
+        }
+        if let Some(sess) = s.replied.iter().position(|&r| !r) {
+            return Err(format!("session {sess} never received its reply"));
+        }
+        if s.senders != 0 {
+            return Err(format!("{} sender clone(s) leaked", s.senders));
+        }
+        if !s.stopping {
+            return Err("execution finished without stopping".into());
+        }
+        Ok(())
+    }
+}
+
+impl DporModel for ServeModel {
+    fn access(&self, s: &ServeState, t: usize) -> Access {
+        if t < self.sessions {
+            match s.spc[t] {
+                0 => Access::Write(self.obj_queue()),
+                SENT => Access::Read(self.obj_reply(t)),
+                // Exiting decrements the shared sender count (which can
+                // enable the writer's final step) after a socket read.
+                _ => Access::Global,
+            }
+        } else if t == self.writer() {
+            // Pops the queue and delivers a reply (or consumes the
+            // senders-gone condition): several objects, keep it Global.
+            Access::Global
+        } else {
+            let after_close = 1 + self.sessions;
+            if s.stpc == 0 {
+                Access::Write(self.obj_stopping())
+            } else if self.close_slot(s.stpc).is_some() {
+                // Closing a socket unblocks that session.
+                Access::Global
+            } else if s.stpc == after_close || s.stpc == after_close + 1 {
+                Access::Global
+            } else {
+                Access::Read(self.obj_writer_done())
+            }
+        }
+    }
+
+    fn digest(&self, s: &ServeState) -> u64 {
+        let mut h = FNV_OFFSET;
+        for &pc in &s.spc {
+            h = fnv1a(h, &[pc as u8]);
+        }
+        for &r in &s.replied {
+            h = fnv1a(h, &[r as u8]);
+        }
+        h = fnv1a(h, &(s.processed as u64).to_le_bytes());
+        h = fnv1a(h, &[s.writer_done as u8, s.stopping as u8, s.senders as u8]);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpor::DporExplorer;
+    use crate::explore::replays_to_deadlock;
+
+    #[test]
+    fn shutdown_protocol_verifies_clean() {
+        let m = ServeModel {
+            sessions: 2,
+            foil: ServeFoil::None,
+        };
+        let stats = DporExplorer::default().explore(&m).unwrap();
+        assert!(stats.executions >= 500, "{stats:?}");
+    }
+
+    #[test]
+    fn skipped_socket_shutdown_is_a_caught_lost_wakeup() {
+        let m = ServeModel {
+            sessions: 2,
+            foil: ServeFoil::SkipSocketShutdown,
+        };
+        let bug = DporExplorer::default().explore(&m).unwrap_err();
+        assert!(bug.message.contains("deadlock"), "{bug}");
+        // The schedule replays to the stuck state: nothing runnable,
+        // sessions parked on their sockets forever.
+        assert!(replays_to_deadlock(&m, &bug.schedule).unwrap());
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let m = ServeModel {
+            sessions: 2,
+            foil: ServeFoil::None,
+        };
+        let a = DporExplorer::default().explore(&m).unwrap();
+        let b = DporExplorer::default().explore(&m).unwrap();
+        assert_eq!(a, b);
+    }
+}

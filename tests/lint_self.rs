@@ -6,6 +6,9 @@
 //!   the baseline must carry no stale ceilings (ratchet discipline).
 //! * The seeded regression fixture must trip every source rule, so the
 //!   gate's self-test can never silently go blind.
+//! * Frontend C must find every `Ordering::*` site covered by the
+//!   committed `concurrency-catalog.toml` (with rationales) and no
+//!   cycle in the lock-order digraph.
 //! * Frontend B's `always-irrelevant` verdict is cross-checked against
 //!   the Theorem 4.1 relevance oracle: every tuple of the flagged
 //!   relation must be classified irrelevant by `RelevanceFilter`, and a
@@ -18,17 +21,31 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ivm::prelude::*;
-use ivm_lint::{analyze_view, lint_workspace, load_catalog, Baseline, LintConfig, RuleId};
+use ivm_lint::{
+    analyze_concurrency, analyze_view, lint_workspace, load_catalog, scan_concurrency, Baseline,
+    ConcurrencyCatalog, LintConfig, RuleId,
+};
 
 fn workspace_root() -> &'static Path {
     Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn committed_concurrency_catalog() -> ConcurrencyCatalog {
+    let text = std::fs::read_to_string(workspace_root().join("concurrency-catalog.toml"))
+        .expect("concurrency-catalog.toml is committed");
+    ConcurrencyCatalog::parse(&text).expect("concurrency catalog parses")
 }
 
 fn scan_workspace() -> ivm_lint::Report {
     let root = workspace_root();
     let mut cfg = LintConfig::default();
     load_catalog(root, &mut cfg).expect("obs catalog must parse");
-    lint_workspace(root, &cfg).expect("workspace scan")
+    let mut report = lint_workspace(root, &cfg).expect("workspace scan");
+    report.merge(
+        analyze_concurrency(root, &committed_concurrency_catalog()).expect("concurrency scan"),
+    );
+    report.sort();
+    report
 }
 
 #[test]
@@ -69,7 +86,10 @@ fn regression_fixture_trips_every_source_rule() {
     let root = workspace_root().join("crates/lint/fixtures/regression");
     let mut cfg = LintConfig::default();
     load_catalog(&root, &mut cfg).expect("fixture catalog");
-    let report = lint_workspace(&root, &cfg).expect("fixture scan");
+    let mut report = lint_workspace(&root, &cfg).expect("fixture scan");
+    // The fixture root has no concurrency catalog: its atomic site must
+    // surface as uncataloged, its inverted mutex pair as a cycle.
+    report.merge(analyze_concurrency(&root, &ConcurrencyCatalog::default()).expect("fixture scan"));
     let hit: BTreeSet<&str> = report.findings.iter().map(|f| f.rule.name()).collect();
     for rule in [
         RuleId::NoPanic,
@@ -77,6 +97,8 @@ fn regression_fixture_trips_every_source_rule() {
         RuleId::SafetyComment,
         RuleId::MetricLiteral,
         RuleId::NoAmbientTime,
+        RuleId::AtomicAudit,
+        RuleId::LockOrderCycle,
     ] {
         assert!(
             hit.contains(rule.name()),
@@ -84,6 +106,30 @@ fn regression_fixture_trips_every_source_rule() {
             rule.name()
         );
     }
+}
+
+#[test]
+fn concurrency_catalog_covers_every_atomic_site_and_no_lock_cycles_exist() {
+    let root = workspace_root();
+    let analysis = scan_concurrency(root).expect("concurrency scan");
+    assert!(
+        !analysis.sites.is_empty(),
+        "the scanner found no atomic sites at all — it has gone blind"
+    );
+    let catalog = committed_concurrency_catalog();
+    for entry in &catalog.atomics {
+        assert!(
+            !entry.rationale.trim().is_empty(),
+            "catalog entry for {} / {} has no rationale",
+            entry.file,
+            entry.ordering
+        );
+    }
+    let report = ivm_lint::concurrency::audit(&analysis, &catalog);
+    assert!(
+        report.is_clean(),
+        "atomic-audit / lock-order regressions:\n{report}"
+    );
 }
 
 #[test]
